@@ -1,0 +1,121 @@
+// Command gspcsim runs the paper's experiments and prints their tables.
+//
+// Usage:
+//
+//	gspcsim -list
+//	gspcsim -exp fig12 [-scale 0.25] [-frames 2] [-apps AssnCreed,Dirt] [-v]
+//	gspcsim -exp all
+//
+// Every run is deterministic; identical flags produce identical tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gspc/internal/harness"
+	"gspc/internal/viz"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		exp    = flag.String("exp", "", "experiment id (e.g. fig12), or 'all'")
+		scale  = flag.Float64("scale", 0.25, "linear frame scale (1.0 = paper resolutions)")
+		capf   = flag.Float64("capacity-factor", 0, "LLC capacity calibration factor (0 = default)")
+		frames = flag.Int("frames", 0, "max frames per application (0 = all)")
+		apps   = flag.String("apps", "", "comma-separated application abbreviations")
+		verb   = flag.Bool("v", false, "print per-frame progress")
+		report = flag.String("report", "", "write a full markdown report (all experiments) to this file")
+		chart  = flag.Bool("chart", false, "render each experiment as an ASCII bar chart as well")
+	)
+	flag.Parse()
+
+	if *list || (*exp == "" && *report == "") {
+		fmt.Println("experiments:")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-6s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("extensions and ablations:")
+		for _, e := range harness.Extensions() {
+			fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := harness.DefaultOptions()
+	opts.Scale = *scale
+	opts.CapacityFactor = *capf
+	opts.MaxFramesPerApp = *frames
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+	if *verb {
+		opts.Progress = os.Stderr
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gspcsim:", err)
+			os.Exit(1)
+		}
+		var ids []string
+		if *exp != "" && *exp != "all" {
+			ids = strings.Split(*exp, ",")
+		}
+		if err := harness.WriteReport(f, opts, ids); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "gspcsim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "gspcsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *report)
+		return
+	}
+
+	var selected []harness.Experiment
+	if *exp == "all" {
+		selected = harness.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := harness.ByIDExt(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "gspcsim: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tbl, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gspcsim: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		tbl.Render(os.Stdout)
+		if *chart {
+			d := viz.NewData("", tbl.Columns...)
+			for _, r := range tbl.Rows {
+				d.Add(r.Label, r.Values...)
+			}
+			base := 0.0
+			if _, ok := tbl.Cell("MEAN", "DRRIP"); ok || strings.Contains(tbl.Title, "normalized") {
+				base = 1.0
+			}
+			viz.Chart{Baseline: base}.Render(os.Stdout, d)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

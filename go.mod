@@ -1,0 +1,3 @@
+module gspc
+
+go 1.22

@@ -1,0 +1,247 @@
+// Package analysis provides the characterization instruments of Section 2
+// of the paper, implemented as cachesim observers so they can be attached
+// to any policy:
+//
+//   - per-stream access/hit accounting split by read/write (Figures 4, 5, 13),
+//   - inter- vs intra-stream texture reuse via the RT-bit protocol and the
+//     render-target production/consumption rate (Figure 6),
+//   - texture sampler and Z epoch tracking with per-epoch hit distribution
+//     and death ratios (Figures 7 and 9).
+package analysis
+
+import (
+	"gspc/internal/cachesim"
+	"gspc/internal/stream"
+)
+
+// MaxEpoch is the highest individually tracked epoch; blocks beyond it are
+// lumped into the final bucket (the paper tracks E0, E1, E2, and E>=3).
+const MaxEpoch = 3
+
+// Block classes maintained by the tracker, mirroring the RT-bit protocol
+// of Section 2.3: a block is a render target until it is consumed by the
+// texture sampler or evicted.
+const (
+	clsNone uint8 = iota
+	clsTex
+	clsRT
+	clsZ
+)
+
+// Tracker observes a cache and accumulates the paper's characterization
+// metrics. Attach with cache.AddObserver(tracker) after construction with
+// NewTracker(cache.Sets(), cache.Ways()).
+type Tracker struct {
+	ways  int
+	class []uint8
+	epoch []uint8
+
+	// ReadAccesses/ReadHits and WriteAccesses/WriteHits split the
+	// per-stream counts by operation; Figure 13's "render target hit
+	// rate" is the hit rate of RT reads (blending).
+	ReadAccesses, ReadHits   [stream.NumKinds]int64
+	WriteAccesses, WriteHits [stream.NumKinds]int64
+
+	// InterTexHits counts texture sampler hits satisfied by a render
+	// target block (dynamic texturing); IntraTexHits counts the rest.
+	InterTexHits, IntraTexHits int64
+
+	// RTProduced counts render target blocks created in the LLC (fills
+	// and conversions); RTConsumed counts those consumed by the sampler
+	// while resident. Their ratio is the lower panel of Figure 6.
+	RTProduced, RTConsumed int64
+
+	// TexEpochHits[k] counts intra-stream texture hits to blocks in
+	// epoch k at hit time (k = MaxEpoch lumps all higher epochs).
+	TexEpochHits [MaxEpoch + 1]int64
+
+	// TexEntries[k] and ZEntries[k] count blocks that entered epoch k;
+	// the death ratio of E_k is (entries[k]-entries[k+1])/entries[k].
+	TexEntries [MaxEpoch + 2]int64
+	ZEntries   [MaxEpoch + 2]int64
+}
+
+var _ cachesim.Observer = (*Tracker)(nil)
+
+// NewTracker returns a tracker for a cache with the given geometry.
+func NewTracker(sets, ways int) *Tracker {
+	return &Tracker{
+		ways:  ways,
+		class: make([]uint8, sets*ways),
+		epoch: make([]uint8, sets*ways),
+	}
+}
+
+// Attach constructs a tracker sized for c and registers it.
+func Attach(c *cachesim.Cache) *Tracker {
+	t := NewTracker(c.Sets(), c.Ways())
+	c.AddObserver(t)
+	return t
+}
+
+func isRTKind(k stream.Kind) bool { return k == stream.RT || k == stream.Display }
+
+// Observe implements cachesim.Observer.
+func (t *Tracker) Observe(ev cachesim.Event) {
+	switch ev.Type {
+	case cachesim.EvHit:
+		t.onHit(ev)
+	case cachesim.EvFill:
+		t.onFill(ev)
+	case cachesim.EvEvict:
+		i := ev.Set*t.ways + ev.Way
+		t.class[i] = clsNone
+		t.epoch[i] = 0
+	case cachesim.EvBypass:
+		t.count(ev.Access, false)
+	}
+}
+
+func (t *Tracker) count(a stream.Access, hit bool) {
+	if a.Write {
+		t.WriteAccesses[a.Kind]++
+		if hit {
+			t.WriteHits[a.Kind]++
+		}
+	} else {
+		t.ReadAccesses[a.Kind]++
+		if hit {
+			t.ReadHits[a.Kind]++
+		}
+	}
+}
+
+func (t *Tracker) enterTexE0(i int) {
+	t.class[i] = clsTex
+	t.epoch[i] = 0
+	t.TexEntries[0]++
+}
+
+func (t *Tracker) onFill(ev cachesim.Event) {
+	t.count(ev.Access, false)
+	i := ev.Set*t.ways + ev.Way
+	switch {
+	case ev.Access.Kind == stream.Texture:
+		t.enterTexE0(i)
+	case isRTKind(ev.Access.Kind):
+		t.class[i] = clsRT
+		t.epoch[i] = 0
+		t.RTProduced++
+	case ev.Access.Kind == stream.Z:
+		t.class[i] = clsZ
+		t.epoch[i] = 0
+		t.ZEntries[0]++
+	default:
+		t.class[i] = clsNone
+		t.epoch[i] = 0
+	}
+}
+
+func (t *Tracker) onHit(ev cachesim.Event) {
+	t.count(ev.Access, true)
+	i := ev.Set*t.ways + ev.Way
+	switch {
+	case ev.Access.Kind == stream.Texture:
+		if t.class[i] == clsRT {
+			// Inter-stream reuse: render target consumed as texture. The
+			// block becomes an E0 texture block.
+			t.InterTexHits++
+			t.RTConsumed++
+			t.enterTexE0(i)
+			return
+		}
+		t.IntraTexHits++
+		if t.class[i] != clsTex {
+			// A texture hit on a block produced by another stream (rare;
+			// depends on address layout): adopt it as a texture block.
+			t.enterTexE0(i)
+		}
+		e := t.epoch[i]
+		if e > MaxEpoch {
+			e = MaxEpoch
+		}
+		t.TexEpochHits[e]++
+		t.promote(t.TexEntries[:], i)
+	case isRTKind(ev.Access.Kind):
+		if t.class[i] != clsRT {
+			// An existing surface reused as a fresh render target.
+			t.RTProduced++
+		}
+		t.class[i] = clsRT
+		t.epoch[i] = 0
+	case ev.Access.Kind == stream.Z:
+		if t.class[i] != clsZ {
+			t.class[i] = clsZ
+			t.epoch[i] = 0
+			t.ZEntries[0]++
+		}
+		t.promote(t.ZEntries[:], i)
+	}
+}
+
+// promote advances the block at flat index i to the next epoch, recording
+// the entry. Epochs beyond MaxEpoch+1 stay in the last bucket (their
+// entries are only counted once).
+func (t *Tracker) promote(entries []int64, i int) {
+	e := int(t.epoch[i])
+	if e+1 < len(entries) {
+		entries[e+1]++
+	}
+	if e < MaxEpoch+1 {
+		t.epoch[i] = uint8(e + 1)
+	}
+}
+
+// TexDeathRatio returns the death ratio of texture epoch k: the fraction
+// of blocks entering E_k that were evicted before reaching E_{k+1}.
+func (t *Tracker) TexDeathRatio(k int) float64 { return deathRatio(t.TexEntries[:], k) }
+
+// ZDeathRatio returns the death ratio of Z epoch k.
+func (t *Tracker) ZDeathRatio(k int) float64 { return deathRatio(t.ZEntries[:], k) }
+
+func deathRatio(entries []int64, k int) float64 {
+	if k < 0 || k+1 >= len(entries) || entries[k] == 0 {
+		return 0
+	}
+	return float64(entries[k]-entries[k+1]) / float64(entries[k])
+}
+
+// TexHits returns the total texture sampler hits observed.
+func (t *Tracker) TexHits() int64 { return t.InterTexHits + t.IntraTexHits }
+
+// RTConsumptionRate returns RTConsumed/RTProduced, the fraction of render
+// target blocks consumed by the texture sampler from the LLC.
+func (t *Tracker) RTConsumptionRate() float64 {
+	if t.RTProduced == 0 {
+		return 0
+	}
+	return float64(t.RTConsumed) / float64(t.RTProduced)
+}
+
+// KindAccesses returns total accesses (reads+writes) for kind k.
+func (t *Tracker) KindAccesses(k stream.Kind) int64 {
+	return t.ReadAccesses[k] + t.WriteAccesses[k]
+}
+
+// KindHits returns total hits for kind k.
+func (t *Tracker) KindHits(k stream.Kind) int64 {
+	return t.ReadHits[k] + t.WriteHits[k]
+}
+
+// KindHitRate returns the hit rate of stream kind k (reads and writes).
+func (t *Tracker) KindHitRate(k stream.Kind) float64 {
+	acc := t.KindAccesses(k)
+	if acc == 0 {
+		return 0
+	}
+	return float64(t.KindHits(k)) / float64(acc)
+}
+
+// RTReadHitRate returns the hit rate of render target loads (blending
+// reads), the "render target hit rate" of Figure 13.
+func (t *Tracker) RTReadHitRate() float64 {
+	if t.ReadAccesses[stream.RT] == 0 {
+		return 0
+	}
+	return float64(t.ReadHits[stream.RT]) / float64(t.ReadAccesses[stream.RT])
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"testing"
+
+	"gspc/internal/cachesim"
+	"gspc/internal/policy"
+	"gspc/internal/stream"
+)
+
+func newCache(ways int) (*cachesim.Cache, *Tracker) {
+	c := cachesim.New(cachesim.Geometry{SizeBytes: 64 * ways, Ways: ways, BlockSize: 64}, policy.NewLRU())
+	return c, Attach(c)
+}
+
+func addr(i int) uint64 { return uint64(i) * 64 }
+
+func TestReadWriteAccounting(t *testing.T) {
+	c, tk := newCache(4)
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Z})              // read miss
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Z, Write: true}) // write hit
+	if tk.ReadAccesses[stream.Z] != 1 || tk.WriteAccesses[stream.Z] != 1 {
+		t.Errorf("accesses: r=%d w=%d", tk.ReadAccesses[stream.Z], tk.WriteAccesses[stream.Z])
+	}
+	if tk.ReadHits[stream.Z] != 0 || tk.WriteHits[stream.Z] != 1 {
+		t.Errorf("hits: r=%d w=%d", tk.ReadHits[stream.Z], tk.WriteHits[stream.Z])
+	}
+	if tk.KindHitRate(stream.Z) != 0.5 {
+		t.Errorf("hit rate = %v", tk.KindHitRate(stream.Z))
+	}
+}
+
+func TestInterStreamConsumption(t *testing.T) {
+	c, tk := newCache(4)
+	// Produce a render target block, then consume it twice from the
+	// sampler: the first texture hit is inter-stream consumption, the
+	// second is an intra-stream hit on the now-texture block.
+	c.Access(stream.Access{Addr: addr(1), Kind: stream.RT, Write: true})
+	c.Access(stream.Access{Addr: addr(1), Kind: stream.Texture})
+	c.Access(stream.Access{Addr: addr(1), Kind: stream.Texture})
+	if tk.RTProduced != 1 || tk.RTConsumed != 1 {
+		t.Errorf("produced=%d consumed=%d", tk.RTProduced, tk.RTConsumed)
+	}
+	if tk.InterTexHits != 1 || tk.IntraTexHits != 1 {
+		t.Errorf("inter=%d intra=%d", tk.InterTexHits, tk.IntraTexHits)
+	}
+	if tk.RTConsumptionRate() != 1.0 {
+		t.Errorf("consumption rate = %v", tk.RTConsumptionRate())
+	}
+}
+
+func TestRTEvictionEndsTracking(t *testing.T) {
+	c, tk := newCache(2)
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.RT, Write: true})
+	c.Access(stream.Access{Addr: addr(1), Kind: stream.Other})
+	c.Access(stream.Access{Addr: addr(2), Kind: stream.Other}) // evicts RT block (LRU)
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture})
+	// The texture access misses (block evicted); no consumption.
+	if tk.RTConsumed != 0 {
+		t.Errorf("consumed after eviction = %d", tk.RTConsumed)
+	}
+	if tk.InterTexHits != 0 {
+		t.Error("inter-stream hit counted across an eviction")
+	}
+}
+
+func TestRTObjectReuseCountsProduction(t *testing.T) {
+	c, tk := newCache(4)
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture}) // texture block
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.RT, Write: true})
+	if tk.RTProduced != 1 {
+		t.Errorf("object reuse production = %d, want 1", tk.RTProduced)
+	}
+	// Blending rewrite of an RT block is not new production.
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.RT, Write: true})
+	if tk.RTProduced != 1 {
+		t.Error("RT rewrite counted as production")
+	}
+}
+
+func TestTextureEpochs(t *testing.T) {
+	c, tk := newCache(4)
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture}) // fill -> E0 entry
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture}) // E0 hit -> E1
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture}) // E1 hit -> E2
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture}) // E2 hit -> E3
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture}) // E3 hit (lumped bucket)
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture}) // E3+ hit (stays in bucket)
+	if tk.TexEntries[0] != 1 || tk.TexEntries[1] != 1 || tk.TexEntries[2] != 1 {
+		t.Errorf("entries = %v", tk.TexEntries)
+	}
+	if tk.TexEpochHits[0] != 1 || tk.TexEpochHits[1] != 1 || tk.TexEpochHits[2] != 1 || tk.TexEpochHits[3] != 2 {
+		t.Errorf("epoch hits = %v", tk.TexEpochHits)
+	}
+}
+
+func TestDeathRatios(t *testing.T) {
+	c, tk := newCache(2)
+	// Three texture blocks enter E0; one is reused (reaches E1).
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture})
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture})
+	c.Access(stream.Access{Addr: addr(1), Kind: stream.Texture})
+	c.Access(stream.Access{Addr: addr(2), Kind: stream.Texture})
+	if got := tk.TexDeathRatio(0); got < 0.66 || got > 0.67 {
+		t.Errorf("E0 death ratio = %v, want 2/3", got)
+	}
+	if got := tk.TexDeathRatio(1); got != 1.0 {
+		t.Errorf("E1 death ratio = %v, want 1 (no E2 entries)", got)
+	}
+}
+
+func TestZEpochs(t *testing.T) {
+	c, tk := newCache(4)
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Z, Write: true})
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Z})
+	c.Access(stream.Access{Addr: addr(1), Kind: stream.Z, Write: true})
+	if tk.ZEntries[0] != 2 || tk.ZEntries[1] != 1 {
+		t.Errorf("z entries = %v", tk.ZEntries)
+	}
+	if got := tk.ZDeathRatio(0); got != 0.5 {
+		t.Errorf("z E0 death = %v", got)
+	}
+}
+
+func TestRTReadHitRate(t *testing.T) {
+	c, tk := newCache(4)
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.RT, Write: true})
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.RT}) // blend read, hit
+	c.Access(stream.Access{Addr: addr(9), Kind: stream.RT}) // blend read, miss
+	if got := tk.RTReadHitRate(); got != 0.5 {
+		t.Errorf("rt read hit rate = %v", got)
+	}
+}
+
+func TestBypassCounted(t *testing.T) {
+	c, tk := newCache(4)
+	c.SetBypass(stream.Display, true)
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Display, Write: true})
+	if tk.WriteAccesses[stream.Display] != 1 || tk.WriteHits[stream.Display] != 0 {
+		t.Errorf("bypass accounting: %d/%d", tk.WriteAccesses[stream.Display], tk.WriteHits[stream.Display])
+	}
+}
+
+func TestTexHitsAndKindTotals(t *testing.T) {
+	c, tk := newCache(4)
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture})
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture})
+	if tk.TexHits() != 1 {
+		t.Errorf("TexHits = %d", tk.TexHits())
+	}
+	if tk.KindAccesses(stream.Texture) != 2 || tk.KindHits(stream.Texture) != 1 {
+		t.Error("kind totals wrong")
+	}
+}
+
+func TestDeathRatioEdgeCases(t *testing.T) {
+	_, tk := newCache(2)
+	if tk.TexDeathRatio(0) != 0 {
+		t.Error("death ratio of empty epoch must be 0")
+	}
+	if tk.TexDeathRatio(-1) != 0 || tk.TexDeathRatio(99) != 0 {
+		t.Error("out-of-range epochs must be 0")
+	}
+	if tk.RTConsumptionRate() != 0 {
+		t.Error("consumption rate with no production must be 0")
+	}
+	if tk.KindHitRate(stream.Z) != 0 {
+		t.Error("hit rate with no accesses must be 0")
+	}
+}
+
+func TestForeignBlockAdoption(t *testing.T) {
+	c, tk := newCache(4)
+	// A Z block hit by the sampler (aliasing) is adopted as texture.
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Z, Write: true})
+	c.Access(stream.Access{Addr: addr(0), Kind: stream.Texture})
+	if tk.IntraTexHits != 1 {
+		t.Error("foreign-block texture hit must count as intra-stream")
+	}
+	if tk.TexEntries[0] != 1 {
+		t.Error("adopted block must enter E0")
+	}
+}

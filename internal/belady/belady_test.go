@@ -1,0 +1,197 @@
+package belady
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gspc/internal/cachesim"
+	"gspc/internal/policy"
+	"gspc/internal/stream"
+)
+
+func mkTrace(blocks []int) []stream.Access {
+	tr := make([]stream.Access, len(blocks))
+	for i, b := range blocks {
+		tr[i] = stream.Access{Addr: uint64(b) * 64, Seq: int64(i)}
+	}
+	return tr
+}
+
+func TestNextUseSimple(t *testing.T) {
+	tr := mkTrace([]int{1, 2, 1, 3, 2, 1})
+	next := NextUse(tr, 6)
+	want := []int64{2, 4, 5, Never, Never, Never}
+	for i := range want {
+		if next[i] != want[i] {
+			t.Errorf("next[%d] = %d, want %d", i, next[i], want[i])
+		}
+	}
+}
+
+func TestNextUseSameBlockDifferentOffsets(t *testing.T) {
+	tr := []stream.Access{
+		{Addr: 0, Seq: 0},
+		{Addr: 63, Seq: 1}, // same block
+		{Addr: 64, Seq: 2}, // next block
+		{Addr: 32, Seq: 3}, // block 0 again
+	}
+	next := NextUse(tr, 6)
+	if next[0] != 1 || next[1] != 3 || next[2] != Never || next[3] != Never {
+		t.Errorf("next = %v", next)
+	}
+}
+
+// brute-force next-use for the property test.
+func bruteNextUse(tr []stream.Access, shift uint) []int64 {
+	out := make([]int64, len(tr))
+	for i := range tr {
+		out[i] = Never
+		for j := i + 1; j < len(tr); j++ {
+			if tr[i].Addr>>shift == tr[j].Addr>>shift {
+				out[i] = int64(j)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestNextUseProperty(t *testing.T) {
+	f := func(blocks []uint8) bool {
+		tr := make([]stream.Access, len(blocks))
+		for i, b := range blocks {
+			tr[i] = stream.Access{Addr: uint64(b) * 8, Seq: int64(i)}
+		}
+		got := NextUse(tr, 6)
+		want := bruteNextUse(tr, 6)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func runTrace(tr []stream.Access, p cachesim.Policy, ways int) int64 {
+	c := cachesim.New(cachesim.Geometry{SizeBytes: 64 * ways, Ways: ways, BlockSize: 64}, p)
+	for _, a := range tr {
+		c.Access(a)
+	}
+	return c.Stats.Misses
+}
+
+func TestOPTKnownSequence(t *testing.T) {
+	// 2-way cache, blocks: 1 2 3 1 2. OPT: on filling 3, evict 2 if 1 is
+	// nearer... next uses: 1->3, 2->4, 3->never. Filling 3 with bypass
+	// enabled: 3 is never reused, so OPT bypasses it entirely.
+	tr := mkTrace([]int{1, 2, 3, 1, 2})
+	misses := runTrace(tr, NewOPT(NextUse(tr, 6)), 2)
+	if misses != 3 {
+		t.Errorf("OPT misses = %d, want 3 (fills 1,2; bypasses 3; hits 1,2)", misses)
+	}
+}
+
+func TestOPTForcedFill(t *testing.T) {
+	tr := mkTrace([]int{1, 2, 3, 1, 2})
+	p := NewOPT(NextUse(tr, 6))
+	p.Bypass = false
+	misses := runTrace(tr, p, 2)
+	// Forced fill must evict one of {1,2} for 3; evicting the farther (2)
+	// preserves the hit on 1: misses = 1,2,3,2 = 4.
+	if misses != 4 {
+		t.Errorf("forced-fill OPT misses = %d, want 4", misses)
+	}
+}
+
+func TestOPTBeatsLRUOnLoop(t *testing.T) {
+	// Cyclic access to ways+1 blocks is LRU's worst case; OPT keeps all
+	// but one resident.
+	var blocks []int
+	for rep := 0; rep < 10; rep++ {
+		for b := 0; b < 5; b++ {
+			blocks = append(blocks, b)
+		}
+	}
+	tr := mkTrace(blocks)
+	lru := runTrace(tr, policy.NewLRU(), 4)
+	opt := runTrace(tr, NewOPT(NextUse(tr, 6)), 4)
+	if lru != int64(len(tr)) {
+		t.Errorf("LRU on a 5-block loop in 4 ways should always miss, got %d/%d", lru, len(tr))
+	}
+	if opt >= lru/2 {
+		t.Errorf("OPT (%d) should dramatically beat LRU (%d)", opt, lru)
+	}
+}
+
+// The defining property: OPT's miss count lower-bounds every on-line
+// policy on the same trace and geometry.
+func TestOPTOptimalityProperty(t *testing.T) {
+	rivals := func() []cachesim.Policy {
+		return []cachesim.Policy{
+			policy.NewLRU(), policy.NewNRU(), policy.NewSRRIP(2),
+			policy.NewDRRIP(2), policy.NewRandom(11),
+		}
+	}
+	f := func(blocks []uint8) bool {
+		if len(blocks) == 0 {
+			return true
+		}
+		tr := make([]stream.Access, len(blocks))
+		for i, b := range blocks {
+			tr[i] = stream.Access{Addr: uint64(b%32) * 64, Seq: int64(i)}
+		}
+		opt := runTrace(tr, NewOPT(NextUse(tr, 6)), 4)
+		for _, r := range rivals() {
+			if opt > runTrace(tr, r, 4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Bypass-capable OPT never does worse than forced-fill OPT.
+func TestOPTBypassNeverWorseProperty(t *testing.T) {
+	f := func(blocks []uint8) bool {
+		if len(blocks) == 0 {
+			return true
+		}
+		tr := make([]stream.Access, len(blocks))
+		for i, b := range blocks {
+			tr[i] = stream.Access{Addr: uint64(b%16) * 64, Seq: int64(i)}
+		}
+		next := NextUse(tr, 6)
+		withBypass := runTrace(tr, NewOPT(next), 4)
+		forced := NewOPT(next)
+		forced.Bypass = false
+		return withBypass <= runTrace(tr, forced, 4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOPTPanicsOnUnpreparedSeq(t *testing.T) {
+	tr := mkTrace([]int{1, 2})
+	p := NewOPT(NextUse(tr, 6))
+	c := cachesim.New(cachesim.Geometry{SizeBytes: 128, Ways: 2, BlockSize: 64}, p)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range Seq")
+		}
+	}()
+	c.Access(stream.Access{Addr: 0, Seq: 99})
+}
+
+func TestOPTName(t *testing.T) {
+	if NewOPT(nil).Name() != "Belady" {
+		t.Error("unexpected policy name")
+	}
+}

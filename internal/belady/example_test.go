@@ -1,0 +1,34 @@
+package belady_test
+
+import (
+	"fmt"
+
+	"gspc/internal/belady"
+	"gspc/internal/cachesim"
+	"gspc/internal/stream"
+)
+
+// Example replays a short trace under Belady's optimal policy. The trace
+// must be known in full up front: NextUse builds the forward reuse chain
+// and every access carries its trace position in Seq.
+func Example() {
+	blocks := []int{1, 2, 3, 1, 2, 4, 1, 2}
+	tr := make([]stream.Access, len(blocks))
+	for i, b := range blocks {
+		tr[i] = stream.Access{Addr: uint64(b) * 64, Seq: int64(i)}
+	}
+
+	next := belady.NextUse(tr, 6)
+	c := cachesim.New(cachesim.Geometry{SizeBytes: 128, Ways: 2, BlockSize: 64}, belady.NewOPT(next))
+	for _, a := range tr {
+		c.Access(a)
+	}
+
+	// OPT keeps blocks 1 and 2 resident and bypasses the never-reused
+	// blocks 3 and 4 entirely.
+	fmt.Printf("misses: %d (of %d accesses)\n", c.Stats.Misses, c.Stats.Accesses)
+	fmt.Printf("bypasses: %d\n", c.Stats.Bypasses)
+	// Output:
+	// misses: 4 (of 8 accesses)
+	// bypasses: 2
+}

@@ -1,0 +1,403 @@
+// Package cachesim implements a generic set-associative cache model with
+// pluggable replacement policies, per-stream statistics, bypass support,
+// and observer hooks for characterization. It is the offline LLC simulator
+// of the paper (Section 2) and also serves as the building block for the
+// render-cache complex in front of the LLC (internal/rendercache) — each
+// render cache is an instance of this model with an LRU policy and a
+// downstream sink.
+package cachesim
+
+import (
+	"fmt"
+
+	"gspc/internal/stream"
+)
+
+// Geometry describes a cache organization.
+type Geometry struct {
+	// SizeBytes is the total data capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// BlockSize is the line size in bytes (64 in all paper configurations).
+	BlockSize int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (g Geometry) Sets() int { return g.SizeBytes / (g.Ways * g.BlockSize) }
+
+// Validate reports a descriptive error for malformed geometries.
+func (g Geometry) Validate() error {
+	switch {
+	case g.BlockSize <= 0:
+		return fmt.Errorf("cachesim: block size %d must be positive", g.BlockSize)
+	case g.Ways <= 0:
+		return fmt.Errorf("cachesim: associativity %d must be positive", g.Ways)
+	case g.SizeBytes <= 0:
+		return fmt.Errorf("cachesim: size %d must be positive", g.SizeBytes)
+	case g.SizeBytes%(g.Ways*g.BlockSize) != 0:
+		return fmt.Errorf("cachesim: size %d is not a multiple of ways*block (%d)", g.SizeBytes, g.Ways*g.BlockSize)
+	}
+	return nil
+}
+
+// String renders the geometry as e.g. "8MB/16w/64B".
+func (g Geometry) String() string {
+	return fmt.Sprintf("%s/%dw/%dB", formatSize(g.SizeBytes), g.Ways, g.BlockSize)
+}
+
+func formatSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Policy is a replacement policy attached to a Cache. The cache owns tags,
+// validity, and dirty bits; the policy owns all replacement state, which
+// it allocates in Reset. All callbacks receive the access that triggered
+// them so stream-aware policies can key on the stream kind.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Reset (re)allocates replacement state for a cache with the given
+	// number of sets and ways and clears any learned state.
+	Reset(sets, ways int)
+	// Hit is invoked when access a hits the block at (set, way).
+	Hit(set, way int, a stream.Access)
+	// Fill is invoked after a missing block is installed at (set, way).
+	Fill(set, way int, a stream.Access)
+	// Victim selects the way to evict from a full set to make room for
+	// access a. Returning a negative way bypasses the fill: the access is
+	// counted as a miss and nothing is installed.
+	Victim(set int, a stream.Access) int
+	// Evict is invoked when the valid block at (set, way) is removed,
+	// before the replacement block (if any) is installed.
+	Evict(set, way int)
+}
+
+// EventType discriminates observer events.
+type EventType uint8
+
+// Observer event types. For a miss that evicts a valid block, observers
+// see EvEvict (carrying the victim's tag) followed by EvFill.
+const (
+	EvHit EventType = iota
+	EvFill
+	EvEvict
+	EvBypass
+)
+
+// Event is delivered to observers on every cache transaction.
+type Event struct {
+	Type EventType
+	// Access is the triggering access (for EvEvict it is the access whose
+	// fill displaced the victim).
+	Access stream.Access
+	// Set and Way locate the affected block. Way is -1 for EvBypass.
+	Set, Way int
+	// Tag is the block number of the affected block; for EvEvict it is
+	// the victim's block number.
+	Tag uint64
+	// Dirty is set on EvEvict when the victim required a writeback.
+	Dirty bool
+}
+
+// Observer receives cache events. Characterization metrics (stream reuse,
+// epochs, death ratios) are implemented as observers in internal/analysis.
+type Observer interface {
+	Observe(ev Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(ev Event)
+
+// Observe calls f(ev).
+func (f ObserverFunc) Observe(ev Event) { f(ev) }
+
+// Stats aggregates access outcomes, overall and per stream kind.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Bypasses   int64 // subset of Misses that did not allocate
+	Evictions  int64
+	Writebacks int64 // dirty evictions
+
+	KindAccesses [stream.NumKinds]int64
+	KindHits     [stream.NumKinds]int64
+	KindMisses   [stream.NumKinds]int64
+}
+
+// HitRate returns Hits/Accesses, or 0 when there were no accesses.
+func (s *Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// KindHitRate returns the hit rate restricted to stream kind k.
+func (s *Stats) KindHitRate(k stream.Kind) float64 {
+	if s.KindAccesses[k] == 0 {
+		return 0
+	}
+	return float64(s.KindHits[k]) / float64(s.KindAccesses[k])
+}
+
+type block struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Cache is a set-associative cache with a pluggable replacement policy.
+// It implements stream.Sink so it can terminate a pipeline of sinks.
+type Cache struct {
+	geom       Geometry
+	sets, ways int
+	blockShift uint
+	blocks     []block
+	policy     Policy
+
+	// bypassKind[k] forces accesses of kind k to bypass the cache
+	// entirely (they are counted as misses and forwarded downstream).
+	// This implements the paper's "uncached displayable color" (UCD).
+	bypassKind [stream.NumKinds]bool
+
+	observers []Observer
+
+	// Downstream, when non-nil, receives a read access for every miss
+	// (demand fill or bypass) and a write access for every dirty
+	// eviction. This is how render caches feed the LLC.
+	Downstream stream.Sink
+	// NoFetchOnWrite suppresses the downstream demand fetch for write
+	// misses: the block is allocated and validated locally (write
+	// combining). Color pipelines write whole tiles, so the render
+	// target cache never reads the old contents from the LLC; its
+	// stores reach downstream only as writebacks.
+	NoFetchOnWrite bool
+	// WritebackKind is the stream kind attached to writeback accesses
+	// emitted downstream. Render caches serve a single stream, so the
+	// kind is a property of the cache.
+	WritebackKind stream.Kind
+
+	// Stats accumulates outcome counters.
+	Stats Stats
+}
+
+// New constructs a cache with the given geometry and policy. It panics on
+// an invalid geometry (a programming error, not a runtime condition).
+func New(geom Geometry, policy Policy) *Cache {
+	if err := geom.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{
+		geom:   geom,
+		sets:   geom.Sets(),
+		ways:   geom.Ways,
+		policy: policy,
+	}
+	for 1<<c.blockShift < geom.BlockSize {
+		c.blockShift++
+	}
+	if 1<<c.blockShift != geom.BlockSize {
+		panic(fmt.Sprintf("cachesim: block size %d is not a power of two", geom.BlockSize))
+	}
+	c.blocks = make([]block, c.sets*c.ways)
+	policy.Reset(c.sets, c.ways)
+	return c
+}
+
+// Geometry returns the cache organization.
+func (c *Cache) Geometry() Geometry { return c.geom }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Policy returns the attached replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// SetBypass configures stream kind k to bypass the cache when on is true.
+func (c *Cache) SetBypass(k stream.Kind, on bool) {
+	c.bypassKind[k] = on
+}
+
+// AddObserver registers an observer for cache events.
+func (c *Cache) AddObserver(o Observer) {
+	c.observers = append(c.observers, o)
+}
+
+// BlockNumber returns the block number (tag) for a byte address.
+func (c *Cache) BlockNumber(addr uint64) uint64 { return addr >> c.blockShift }
+
+// SetIndex returns the set an address maps to.
+func (c *Cache) SetIndex(addr uint64) int {
+	return int((addr >> c.blockShift) % uint64(c.sets))
+}
+
+// Lookup reports whether addr is resident and, if so, its location.
+func (c *Cache) Lookup(addr uint64) (set, way int, ok bool) {
+	bn := c.BlockNumber(addr)
+	set = int(bn % uint64(c.sets))
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if b := &c.blocks[base+w]; b.valid && b.tag == bn {
+			return set, w, true
+		}
+	}
+	return set, -1, false
+}
+
+// BlockAt returns (tag, valid, dirty) for the block at (set, way).
+func (c *Cache) BlockAt(set, way int) (tag uint64, valid, dirty bool) {
+	b := &c.blocks[set*c.ways+way]
+	return b.tag, b.valid, b.dirty
+}
+
+// Occupancy returns the number of valid blocks.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.blocks {
+		if c.blocks[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Emit implements stream.Sink by performing the access and discarding the
+// hit/miss outcome.
+func (c *Cache) Emit(a stream.Access) { c.Access(a) }
+
+// Access performs one cache access and returns whether it hit. Misses
+// always allocate (the paper's LLC fills every miss) unless the stream is
+// configured to bypass or the policy declines a victim.
+func (c *Cache) Access(a stream.Access) bool {
+	c.Stats.Accesses++
+	c.Stats.KindAccesses[a.Kind]++
+
+	bn := a.Addr >> c.blockShift
+	set := int(bn % uint64(c.sets))
+	base := set * c.ways
+
+	// Lookup.
+	for w := 0; w < c.ways; w++ {
+		b := &c.blocks[base+w]
+		if b.valid && b.tag == bn {
+			c.Stats.Hits++
+			c.Stats.KindHits[a.Kind]++
+			if a.Write {
+				b.dirty = true
+			}
+			c.policy.Hit(set, w, a)
+			c.notify(Event{Type: EvHit, Access: a, Set: set, Way: w, Tag: bn})
+			return true
+		}
+	}
+
+	// Miss.
+	c.Stats.Misses++
+	c.Stats.KindMisses[a.Kind]++
+	if c.bypassKind[a.Kind] {
+		// The access skips the cache entirely: reads fetch from
+		// downstream, writes go straight through.
+		c.Stats.Bypasses++
+		if c.Downstream != nil {
+			c.Downstream.Emit(stream.Access{Addr: a.Addr, Kind: a.Kind, Write: a.Write})
+		}
+		c.notify(Event{Type: EvBypass, Access: a, Set: set, Way: -1, Tag: bn})
+		return false
+	}
+	if c.Downstream != nil && !(a.Write && c.NoFetchOnWrite) {
+		// Demand fill: the block is fetched from downstream regardless of
+		// whether the triggering access is a load or a store (write
+		// allocate); store data reaches downstream later as a writeback.
+		c.Downstream.Emit(stream.Access{Addr: a.Addr, Kind: a.Kind})
+	}
+
+	// Choose a frame: invalid way first, else ask the policy.
+	way := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.blocks[base+w].valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = c.policy.Victim(set, a)
+		if way < 0 {
+			c.Stats.Bypasses++
+			c.notify(Event{Type: EvBypass, Access: a, Set: set, Way: -1, Tag: bn})
+			return false
+		}
+		if way >= c.ways {
+			panic(fmt.Sprintf("cachesim: policy %s returned way %d of %d", c.policy.Name(), way, c.ways))
+		}
+		v := &c.blocks[base+way]
+		c.Stats.Evictions++
+		if v.dirty {
+			c.Stats.Writebacks++
+			if c.Downstream != nil {
+				c.Downstream.Emit(stream.Access{
+					Addr:  v.tag << c.blockShift,
+					Kind:  c.WritebackKind,
+					Write: true,
+				})
+			}
+		}
+		c.policy.Evict(set, way)
+		c.notify(Event{Type: EvEvict, Access: a, Set: set, Way: way, Tag: v.tag, Dirty: v.dirty})
+	}
+
+	b := &c.blocks[base+way]
+	b.tag = bn
+	b.valid = true
+	b.dirty = a.Write
+	c.policy.Fill(set, way, a)
+	c.notify(Event{Type: EvFill, Access: a, Set: set, Way: way, Tag: bn})
+	return false
+}
+
+// DrainWritebacks emits a downstream write for every dirty block and
+// marks it clean. Render caches call this at end of frame so that partial
+// tiles still resident reach the LLC trace, mirroring a frame-boundary
+// flush.
+func (c *Cache) DrainWritebacks() {
+	if c.Downstream == nil {
+		return
+	}
+	for i := range c.blocks {
+		b := &c.blocks[i]
+		if b.valid && b.dirty {
+			c.Downstream.Emit(stream.Access{
+				Addr:  b.tag << c.blockShift,
+				Kind:  c.WritebackKind,
+				Write: true,
+			})
+			b.dirty = false
+		}
+	}
+}
+
+// Reset invalidates all blocks, clears statistics, and resets the policy.
+func (c *Cache) Reset() {
+	for i := range c.blocks {
+		c.blocks[i] = block{}
+	}
+	c.Stats = Stats{}
+	c.policy.Reset(c.sets, c.ways)
+}
+
+func (c *Cache) notify(ev Event) {
+	for _, o := range c.observers {
+		o.Observe(ev)
+	}
+}

@@ -1,0 +1,325 @@
+// Package gpu is the detailed timing simulator of Section 4: a GPU with
+// 96 shader cores x 8 thread contexts (768 threads), twelve fixed-
+// function texture samplers, a four-banked 8 MB 16-way LLC with a
+// 20-cycle load-to-use latency, and a dual-channel DDR3 memory system.
+//
+// The model is event-driven. The frame's LLC access trace is partitioned
+// among the thread contexts in interleaved chunks (screen-space tiles are
+// distributed over cores the same way); each thread alternates between
+// shading work (a per-stream compute gap, scaled by the core's issue
+// share) and memory accesses. Loads block the issuing thread until the
+// banked LLC — and on a miss, DRAM — returns data; stores retire into the
+// memory system without blocking. Rendering performance is the wall-clock
+// cycle count to drain all threads, reported as frames per second.
+//
+// The model captures the two mechanisms the paper's performance results
+// rest on: fast thread switching partially hides memory latency (so only
+// substantial LLC miss savings become speedups), and the LLC is far more
+// bandwidth-efficient than DRAM (so miss savings relieve the DRAM bus,
+// which is the common bottleneck).
+package gpu
+
+import (
+	"container/heap"
+	"fmt"
+
+	"gspc/internal/cachesim"
+	"gspc/internal/dram"
+	"gspc/internal/stream"
+)
+
+// Config describes the simulated GPU.
+type Config struct {
+	// Cores and ThreadsPerCore size the shader array (96 x 8 baseline;
+	// the Figure 17 sensitivity study uses 64 x 8).
+	Cores          int
+	ThreadsPerCore int
+	// IssueWidth is the number of thread instructions a core issues per
+	// cycle (two SIMD pipelines per core in the paper).
+	IssueWidth int
+	// Samplers is the number of fixed-function texture sampler units.
+	Samplers int
+	// SamplerCycles is the sampler pipeline occupancy per LLC texture
+	// request (front-end filtering means each LLC request stands for a
+	// batch of texel fetches).
+	SamplerCycles int
+	// ClockGHz is the shader/sampler clock (1.6 GHz).
+	ClockGHz float64
+
+	// LLCGeom is the last-level cache organization.
+	LLCGeom cachesim.Geometry
+	// LLCBanks and LLCLatency describe the banked LLC pipeline: one
+	// access per bank per cycle, LLCLatency cycles load-to-use.
+	LLCBanks   int
+	LLCLatency int
+	// UncachedDisplay bypasses the LLC for the display stream (UCD).
+	UncachedDisplay bool
+
+	// DRAM is the memory system configuration; its GPUClockGHz is
+	// overridden with ClockGHz.
+	DRAM dram.Config
+
+	// ChunkSize is the number of consecutive trace accesses bound to one
+	// thread before work distribution moves to the next thread — the
+	// screen-tile granularity of the rasterizer's core assignment.
+	ChunkSize int
+
+	// ComputeGap is the shading work in thread-cycles preceding each
+	// memory access, per stream kind. Zero entries fall back to
+	// DefaultComputeGap.
+	ComputeGap [stream.NumKinds]int
+}
+
+// DefaultComputeGap is the per-stream shading cost in thread cycles per
+// LLC access. Each LLC access stands for many absorbed render-cache hits,
+// so these are large: a texture LLC request amortizes the filtering and
+// shading math of dozens of pixels.
+var DefaultComputeGap = [stream.NumKinds]int{
+	stream.Vertex:  320,
+	stream.HiZ:     160,
+	stream.Z:       200,
+	stream.Stencil: 160,
+	stream.RT:      260,
+	stream.Texture: 420,
+	stream.Display: 80,
+	stream.Other:   200,
+}
+
+// DefaultConfig returns the paper's baseline GPU with the given LLC
+// policy geometry.
+func DefaultConfig(geom cachesim.Geometry) Config {
+	return Config{
+		Cores:          96,
+		ThreadsPerCore: 8,
+		IssueWidth:     2,
+		Samplers:       12,
+		SamplerCycles:  4,
+		ClockGHz:       1.6,
+		LLCGeom:        geom,
+		LLCBanks:       4,
+		LLCLatency:     20,
+		DRAM:           dram.DefaultConfig(),
+		ChunkSize:      64,
+	}
+}
+
+// Result reports one simulated frame.
+type Result struct {
+	Cycles int64
+	// FPS is frames per second at the configured clock for this frame.
+	FPS  float64
+	LLC  cachesim.Stats
+	DRAM dram.Stats
+	// Accesses is the number of trace accesses the model executed.
+	Accesses int64
+}
+
+type event struct {
+	t      int64
+	thread int32
+	seq    int64 // tie-break for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Simulate renders one frame (its LLC access trace) on the configured
+// GPU with the given LLC replacement policy and returns the timing
+// result. The policy's state is reset by the embedded cache model.
+func Simulate(tr []stream.Access, cfg Config, pol cachesim.Policy) Result {
+	if cfg.Cores <= 0 || cfg.ThreadsPerCore <= 0 {
+		panic(fmt.Sprintf("gpu: invalid shader array %dx%d", cfg.Cores, cfg.ThreadsPerCore))
+	}
+	if cfg.ChunkSize <= 0 {
+		cfg.ChunkSize = 64
+	}
+	if cfg.IssueWidth <= 0 {
+		cfg.IssueWidth = 2
+	}
+	for k := range cfg.ComputeGap {
+		if cfg.ComputeGap[k] == 0 {
+			cfg.ComputeGap[k] = DefaultComputeGap[k]
+		}
+	}
+	cfg.DRAM.GPUClockGHz = cfg.ClockGHz
+
+	mem := dram.New(cfg.DRAM)
+	llc := cachesim.New(cfg.LLCGeom, pol)
+	if cfg.UncachedDisplay {
+		llc.SetBypass(stream.Display, true)
+	}
+
+	// MSHRs: outstanding demand fills indexed by block number. A thread
+	// hitting a block whose fill is still in flight waits for that fill
+	// instead of receiving data at the LLC pipeline latency; a second
+	// miss merges rather than issuing a duplicate DRAM fetch. Entries
+	// whose fill has completed are lazily reclaimed.
+	mshr := make(map[uint64]int64, 1024)
+
+	// The LLC's downstream is DRAM: demand fetches and writebacks are
+	// issued at the simulation time of the access that triggered them.
+	var now int64
+	var lastFill int64 // completion of the most recent demand fetch
+	llc.Downstream = stream.SinkFunc(func(a stream.Access) {
+		if a.Write {
+			mem.Access(a.Addr, now, true)
+			return
+		}
+		bn := a.Addr >> 6
+		if done, ok := mshr[bn]; ok && done > now {
+			lastFill = done // merge with the in-flight fill
+			return
+		}
+		done := mem.Access(a.Addr, now, false)
+		mshr[bn] = done
+		lastFill = done
+		if len(mshr) > 4096 {
+			for k, d := range mshr {
+				if d <= now {
+					delete(mshr, k)
+				}
+			}
+		}
+	})
+
+	nThreads := cfg.Cores * cfg.ThreadsPerCore
+	nChunks := (len(tr) + cfg.ChunkSize - 1) / cfg.ChunkSize
+
+	// Thread k owns chunks k, k+T, k+2T, ... ; pos tracks each thread's
+	// place within its current chunk.
+	chunkOf := make([]int, nThreads) // current chunk ordinal per thread
+	idx := make([]int, nThreads)     // offset within current chunk
+
+	// Shading rate: with all thread contexts busy, a core advances
+	// IssueWidth threads per cycle, so a gap of g thread-cycles costs
+	// g * ThreadsPerCore / IssueWidth wall cycles.
+	gapScale := cfg.ThreadsPerCore / cfg.IssueWidth
+	if gapScale < 1 {
+		gapScale = 1
+	}
+
+	bankFree := make([]int64, cfg.LLCBanks)
+	samplerFree := make([]int64, max(1, cfg.Samplers))
+
+	h := make(eventHeap, 0, nThreads)
+	var seq int64
+	for t := 0; t < nThreads && t < nChunks; t++ {
+		chunkOf[t] = t
+		h = append(h, event{t: 0, thread: int32(t), seq: seq})
+		seq++
+	}
+	heap.Init(&h)
+
+	var cycles int64
+	var accesses int64
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		th := int(ev.thread)
+
+		// Fetch the thread's next access, advancing through its chunks.
+		pos := -1
+		for chunkOf[th] < nChunks {
+			p := chunkOf[th]*cfg.ChunkSize + idx[th]
+			if idx[th] < cfg.ChunkSize && p < len(tr) {
+				pos = p
+				break
+			}
+			chunkOf[th] += nThreads
+			idx[th] = 0
+		}
+		if pos < 0 {
+			if ev.t > cycles {
+				cycles = ev.t
+			}
+			continue // thread retires
+		}
+		a := tr[pos]
+		idx[th]++
+		accesses++
+
+		// Shading work before the access.
+		t := ev.t + int64(cfg.ComputeGap[a.Kind]*gapScale)
+
+		// Texture requests flow through a sampler unit.
+		if a.Kind == stream.Texture && cfg.Samplers > 0 {
+			s := th % cfg.Samplers
+			if samplerFree[s] > t {
+				t = samplerFree[s]
+			}
+			samplerFree[s] = t + int64(cfg.SamplerCycles)
+			t += int64(cfg.SamplerCycles)
+		}
+
+		// Banked LLC pipeline: one access per bank per cycle.
+		b := llc.SetIndex(a.Addr) * cfg.LLCBanks / llc.Sets()
+		if b >= cfg.LLCBanks {
+			b = cfg.LLCBanks - 1
+		}
+		if bankFree[b] > t {
+			t = bankFree[b]
+		}
+		bankFree[b] = t + 1
+
+		now = t + int64(cfg.LLCLatency)
+		lastFill = 0
+		hit := llc.Access(a)
+		done := t + int64(cfg.LLCLatency)
+		if lastFill > done {
+			done = lastFill // miss: wait for the DRAM fill
+		}
+		if hit && !a.Write {
+			// A hit on a block whose demand fill is still in flight
+			// (secondary miss) delivers data when the fill lands.
+			if fd, ok := mshr[a.Addr>>6]; ok && fd > done {
+				done = fd
+			}
+		}
+
+		resume := done
+		if a.Write {
+			// Stores retire asynchronously; the thread only pays the
+			// issue slot.
+			resume = t + 1
+		}
+		if done > cycles {
+			cycles = done
+		}
+		heap.Push(&h, event{t: resume, thread: int32(th), seq: seq})
+		seq++
+	}
+
+	fps := 0.0
+	if cycles > 0 {
+		fps = cfg.ClockGHz * 1e9 / float64(cycles)
+	}
+	return Result{
+		Cycles:   cycles,
+		FPS:      fps,
+		LLC:      llc.Stats,
+		DRAM:     mem.Stats,
+		Accesses: accesses,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

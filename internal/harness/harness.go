@@ -1,0 +1,257 @@
+// Package harness defines one runnable experiment per figure and table of
+// the paper's evaluation, producing text tables with the same rows and
+// series the paper reports. Experiments run the 52-frame suite through
+// the offline LLC simulator (Figures 1-14) or the GPU timing simulator
+// (Figures 15-17) at a configurable scale.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"gspc/internal/belady"
+	"gspc/internal/cachesim"
+	"gspc/internal/core"
+	"gspc/internal/policy"
+	"gspc/internal/stream"
+	"gspc/internal/trace"
+	"gspc/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale is the linear frame scale relative to the paper's
+	// resolutions (1.0 = full size). The default 0.25 keeps the full
+	// suite tractable on a laptop.
+	Scale float64
+	// CapacityFactor calibrates the scaled LLC capacity:
+	// modelBytes = paperBytes * Scale^2 * CapacityFactor. The factor 1.5
+	// compensates for residency-window effects that do not scale with
+	// area (see DESIGN.md, "Scaling").
+	CapacityFactor float64
+	// MaxFramesPerApp truncates each application's frame list (0 = all);
+	// benchmarks use 1 for quick runs.
+	MaxFramesPerApp int
+	// Apps restricts the run to the named applications (empty = all 12).
+	Apps []string
+	// Progress, when non-nil, receives one line per completed frame.
+	Progress io.Writer
+}
+
+// DefaultOptions returns the standard scaled configuration.
+func DefaultOptions() Options {
+	return Options{Scale: 0.25, CapacityFactor: 1.5}
+}
+
+func (o Options) normalized() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.25
+	}
+	if o.CapacityFactor <= 0 {
+		if o.Scale >= 1 {
+			o.CapacityFactor = 1
+		} else {
+			o.CapacityFactor = 1.5
+		}
+	}
+	return o
+}
+
+// Geometry maps a paper LLC capacity (e.g. 8 MB) to the scaled model
+// geometry, keeping 16 ways and 64-byte blocks and quantizing to whole
+// sets.
+func (o Options) Geometry(paperBytes int) cachesim.Geometry {
+	o = o.normalized()
+	const ways, block = 16, 64
+	setBytes := ways * block
+	sets := int(float64(paperBytes)*o.Scale*o.Scale*o.CapacityFactor) / setBytes
+	if sets < 16 {
+		sets = 16
+	}
+	return cachesim.Geometry{SizeBytes: sets * setBytes, Ways: ways, BlockSize: block}
+}
+
+// Jobs returns the frame jobs selected by the options.
+func (o Options) Jobs() []workload.FrameJob {
+	var jobs []workload.FrameJob
+	want := map[string]bool{}
+	for _, a := range o.Apps {
+		want[a] = true
+	}
+	perApp := map[string]int{}
+	for _, j := range workload.Suite() {
+		if len(want) > 0 && !want[j.App.Abbrev] {
+			continue
+		}
+		if o.MaxFramesPerApp > 0 && perApp[j.App.Abbrev] >= o.MaxFramesPerApp {
+			continue
+		}
+		perApp[j.App.Abbrev]++
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// Experiment is one reproducible unit of the evaluation.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) (*Table, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"tab1", "Table 1: DirectX application suite", RunTable1},
+		{"fig1", "Figure 1: NRU and Belady LLC misses normalized to DRRIP (8 MB)", RunFig1},
+		{"fig4", "Figure 4: stream-wise distribution of LLC accesses", RunFig4},
+		{"fig5", "Figure 5: texture/RT/Z hit rates under Belady, DRRIP, NRU", RunFig5},
+		{"fig6", "Figure 6: inter- vs intra-stream texture reuse and RT consumption", RunFig6},
+		{"fig7", "Figure 7: texture epoch hit distribution and death ratios (Belady)", RunFig7},
+		{"fig8", "Figure 8: RT and texture fills with RRPV=3 under DRRIP", RunFig8},
+		{"fig9", "Figure 9: Z epoch death ratios (Belady)", RunFig9},
+		{"fig11", "Figure 11: GSPZTC sensitivity to threshold t (vs t=16)", RunFig11},
+		{"fig12", "Figure 12: LLC misses of all policies normalized to DRRIP (8 MB)", RunFig12},
+		{"fig13", "Figure 13: stream metrics averaged over the suite, per policy", RunFig13},
+		{"fig14", "Figure 14: iso-overhead comparison (4 replacement-state bits)", RunFig14},
+		{"fig15", "Figure 15: performance normalized to DRRIP on 8 MB LLC", RunFig15},
+		{"fig16", "Figure 16: performance normalized to DRRIP on 16 MB LLC", RunFig16},
+		{"fig17", "Figure 17: sensitivity — DDR3-1867 and less aggressive GPU", RunFig17},
+		{"tab6", "Table 6: evaluated policies", RunTable6},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// paperLLCBytes is the baseline 8 MB capacity of Section 4.
+const paperLLCBytes = 8 << 20
+
+// policySpec names a policy with its display-stream caching mode.
+type policySpec struct {
+	name string
+	ucd  bool
+	make func() cachesim.Policy
+}
+
+func specDRRIP() policySpec {
+	return policySpec{name: "DRRIP", make: func() cachesim.Policy { return policy.NewDRRIP(2) }}
+}
+
+func specNRU() policySpec {
+	return policySpec{name: "NRU", make: func() cachesim.Policy { return policy.NewNRU() }}
+}
+
+func specGSPC(v core.Variant, t int, ucd bool) policySpec {
+	name := v.String()
+	if t != 8 && t > 0 {
+		name = fmt.Sprintf("%s(t=%d)", v, t)
+	}
+	if ucd {
+		name += "+UCD"
+	}
+	return policySpec{name: name, ucd: ucd, make: func() cachesim.Policy {
+		p := core.DefaultParams(v)
+		if t > 0 {
+			p.T = t
+		}
+		return core.New(p)
+	}}
+}
+
+// frameResult carries everything the offline experiments extract from one
+// policy run on one frame.
+type frameResult struct {
+	stats   cachesim.Stats
+	tracker *analysisTracker
+	insert  core.InsertionStats
+	drrip   drripFillStats
+}
+
+type drripFillStats struct {
+	fills, distant [stream.NumKinds]int64
+}
+
+// runOffline replays tr through the policy on the given geometry.
+func runOffline(tr []stream.Access, spec policySpec, geom cachesim.Geometry) frameResult {
+	pol := spec.make()
+	c := cachesim.New(geom, pol)
+	if spec.ucd {
+		c.SetBypass(stream.Display, true)
+	}
+	tk := attachTracker(c)
+	for _, a := range tr {
+		c.Access(a)
+	}
+	res := frameResult{stats: c.Stats, tracker: tk}
+	if g, ok := pol.(*core.Policy); ok {
+		res.insert = g.Insertions
+	}
+	if d, ok := pol.(*policy.DRRIP); ok {
+		res.drrip = drripFillStats{fills: d.FillsByKind, distant: d.DistantFillsByKind}
+	}
+	return res
+}
+
+// runBelady replays tr under Belady's optimal policy.
+func runBelady(tr []stream.Access, geom cachesim.Geometry) frameResult {
+	next := belady.NextUse(tr, blockShift(geom.BlockSize))
+	c := cachesim.New(geom, belady.NewOPT(next))
+	tk := attachTracker(c)
+	for _, a := range tr {
+		c.Access(a)
+	}
+	return frameResult{stats: c.Stats, tracker: tk}
+}
+
+func blockShift(block int) uint {
+	var s uint
+	for 1<<s < block {
+		s++
+	}
+	return s
+}
+
+// genTrace builds the LLC trace for a job at the options' scale.
+func genTrace(o Options, j workload.FrameJob) []stream.Access {
+	return trace.GenerateFrame(j, o.normalized().Scale)
+}
+
+// appOrder returns the distinct application abbreviations of jobs, in
+// suite order.
+func appOrder(jobs []workload.FrameJob) []string {
+	seen := map[string]bool{}
+	var order []string
+	for _, j := range jobs {
+		if !seen[j.App.Abbrev] {
+			seen[j.App.Abbrev] = true
+			order = append(order, j.App.Abbrev)
+		}
+	}
+	return order
+}
+
+// meanOf averages the per-app values in m over the order keys.
+func meanOf(m map[string]float64, order []string) float64 {
+	if len(order) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, k := range order {
+		sum += m[k]
+	}
+	return sum / float64(len(order))
+}
+
+func (o Options) progressf(format string, args ...interface{}) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format, args...)
+	}
+}

@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"fmt"
+
+	"gspc/internal/cachesim"
+	"gspc/internal/core"
+	"gspc/internal/dram"
+	"gspc/internal/gpu"
+	"gspc/internal/policy"
+	"gspc/internal/stream"
+	"gspc/internal/workload"
+)
+
+// perfSpecs are the policies of the performance figures. Per Section 5.2,
+// from Figure 15 onward every policy runs with uncached displayable color.
+func perfSpecs() []policySpec {
+	return []policySpec{
+		{name: "NRU", ucd: true, make: func() cachesim.Policy { return policy.NewNRU() }},
+		{name: "GS-DRRIP", ucd: true, make: func() cachesim.Policy { return policy.NewGSDRRIP(2) }},
+		specGSPC(core.VariantGSPC, 8, true),
+	}
+}
+
+// runPerf simulates the suite on the timing model and returns a table of
+// per-app fps normalized to DRRIP (+UCD), with absolute mean fps noted.
+func runPerf(o Options, title string, cfg gpu.Config) (*Table, error) {
+	specs := perfSpecs()
+	base := policySpec{name: "DRRIP", ucd: true, make: func() cachesim.Policy { return policy.NewDRRIP(2) }}
+
+	cycD := map[string]int64{}
+	cyc := map[string][]int64{}
+	var framesD, framesTot int64
+	var cycSumD int64
+	cycSum := make([]int64, len(specs))
+	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
+		ab := j.App.Abbrev
+		cfgRun := cfg
+		cfgRun.UncachedDisplay = true
+		rd := gpu.Simulate(tr, cfgRun, base.make())
+		cycD[ab] += rd.Cycles
+		cycSumD += rd.Cycles
+		framesD++
+		a := cyc[ab]
+		if a == nil {
+			a = make([]int64, len(specs))
+		}
+		for i, s := range specs {
+			r := gpu.Simulate(tr, cfgRun, s.make())
+			a[i] += r.Cycles
+			cycSum[i] += r.Cycles
+		}
+		cyc[ab] = a
+		framesTot++
+	})
+
+	t := &Table{Title: title}
+	for _, s := range specs {
+		t.Columns = append(t.Columns, s.name)
+	}
+	order := appOrder(o.Jobs())
+	sums := make([]float64, len(specs))
+	for _, ab := range order {
+		vals := make([]float64, len(specs))
+		for i := range specs {
+			// Performance ratio = cycle ratio inverted.
+			vals[i] = float64(cycD[ab]) / float64(cyc[ab][i])
+			sums[i] += vals[i]
+		}
+		t.AddRow(ab, vals...)
+	}
+	means := make([]float64, len(specs))
+	for i := range means {
+		means[i] = sums[i] / float64(len(order))
+	}
+	t.AddRow("MEAN", means...)
+	if framesD > 0 {
+		fpsD := cfg.ClockGHz * 1e9 * float64(framesD) / float64(cycSumD)
+		fpsG := cfg.ClockGHz * 1e9 * float64(framesTot) / float64(cycSum[len(specs)-1])
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"model frame rates at this scale: DRRIP %.1f fps, GSPC %.1f fps (absolute values are model-specific)", fpsD, fpsG))
+	}
+	return t, nil
+}
+
+// RunFig15 reproduces Figure 15: performance normalized to DRRIP on the
+// baseline GPU with an 8 MB 16-way LLC.
+func RunFig15(o Options) (*Table, error) {
+	geom := o.Geometry(paperLLCBytes)
+	cfg := gpu.DefaultConfig(geom)
+	t, err := runPerf(o, fmt.Sprintf("Figure 15: performance vs DRRIP (LLC %s)", geom), cfg)
+	if err == nil {
+		t.Notes = append(t.Notes, "paper means: NRU 0.93, GS-DRRIP 1.008, GSPC 1.08")
+	}
+	return t, err
+}
+
+// RunFig16 reproduces Figure 16: the same on a 16 MB 16-way LLC.
+func RunFig16(o Options) (*Table, error) {
+	geom := o.Geometry(2 * paperLLCBytes)
+	cfg := gpu.DefaultConfig(geom)
+	t, err := runPerf(o, fmt.Sprintf("Figure 16: performance vs DRRIP (LLC %s)", geom), cfg)
+	if err == nil {
+		t.Notes = append(t.Notes, "paper means: NRU 0.97, GS-DRRIP 1.04, GSPC 1.118")
+	}
+	return t, err
+}
+
+// RunFig17 reproduces Figure 17: sensitivity to a faster DRAM system
+// (upper panel) and to a less aggressive GPU (lower panel), both with the
+// 8 MB LLC. The two panels are emitted as consecutive row groups.
+func RunFig17(o Options) (*Table, error) {
+	geom := o.Geometry(paperLLCBytes)
+
+	fast := gpu.DefaultConfig(geom)
+	fast.DRAM.Timing = dram.DDR3_1867()
+	t1, err := runPerf(o, "", fast)
+	if err != nil {
+		return nil, err
+	}
+
+	small := gpu.DefaultConfig(geom)
+	small.Cores = 64
+	small.Samplers = 8
+	t2, err := runPerf(o, "", small)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 17: performance vs DRRIP under changed environments (LLC %s)", geom),
+		Columns: t1.Columns,
+	}
+	for _, r := range t1.Rows {
+		t.AddRow("ddr3-1867/"+r.Label, r.Values...)
+	}
+	for _, r := range t2.Rows {
+		t.AddRow("smallgpu/"+r.Label, r.Values...)
+	}
+	t.Notes = append(t.Notes,
+		"paper means: DDR3-1867 — NRU 0.93, GSPC 1.071; 64-core/8-sampler GPU — NRU 0.947, GSPC 1.059")
+	return t, nil
+}

@@ -1,0 +1,98 @@
+package memmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMortonIndexKnown(t *testing.T) {
+	cases := []struct{ x, y, want int }{
+		{0, 0, 0}, {1, 0, 1}, {0, 1, 2}, {1, 1, 3},
+		{2, 0, 4}, {0, 2, 8}, {3, 3, 15}, {4, 0, 16},
+	}
+	for _, c := range cases {
+		if got := mortonIndex(c.x, c.y); got != c.want {
+			t.Errorf("morton(%d,%d) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestMortonIndexUniqueProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		side := int(seed%6) + 2
+		seen := map[int]bool{}
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				m := mortonIndex(x, y)
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonSurfaceAddressing(t *testing.T) {
+	a := NewAllocator(0)
+	s := NewSurfaceLayout(a, 100, 60, 4, LayoutMorton)
+	if s.LayoutKind() != LayoutMorton {
+		t.Fatal("layout not recorded")
+	}
+	// All pixel addresses in range and unique per pixel.
+	seen := map[uint64]bool{}
+	for y := 0; y < 60; y++ {
+		for x := 0; x < 100; x++ {
+			addr := s.Addr(x, y)
+			if !s.Contains(addr) {
+				t.Fatalf("Addr(%d,%d) outside allocation", x, y)
+			}
+			if seen[addr] {
+				t.Fatalf("pixel (%d,%d) address collision", x, y)
+			}
+			seen[addr] = true
+		}
+	}
+}
+
+func TestMortonLocality(t *testing.T) {
+	// A 2x2 tile neighborhood must occupy 4 consecutive blocks under
+	// Morton order (at even tile coordinates) — the property that gives
+	// depth/texture surfaces their 2D cache locality.
+	a := NewAllocator(0)
+	s := NewSurfaceLayout(a, 256, 256, 4, LayoutMorton)
+	base := s.TileAddr(4, 6) // even coordinates
+	addrs := map[uint64]bool{
+		s.TileAddr(4, 6): true, s.TileAddr(5, 6): true,
+		s.TileAddr(4, 7): true, s.TileAddr(5, 7): true,
+	}
+	for want := base; want < base+4*BlockSize; want += BlockSize {
+		if !addrs[want] {
+			t.Fatalf("2x2 tile quad not contiguous under Morton order")
+		}
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	if LayoutRowMajor.String() != "rowmajor" || LayoutMorton.String() != "morton" {
+		t.Error("layout names wrong")
+	}
+}
+
+func TestRowMajorDefaultUnchanged(t *testing.T) {
+	a1 := NewAllocator(0)
+	a2 := NewAllocator(0)
+	s1 := NewSurface(a1, 64, 64, 4)
+	s2 := NewSurfaceLayout(a2, 64, 64, 4, LayoutRowMajor)
+	for y := 0; y < 64; y += 7 {
+		for x := 0; x < 64; x += 7 {
+			if s1.Addr(x, y) != s2.Addr(x, y) {
+				t.Fatal("row-major layouts disagree")
+			}
+		}
+	}
+}

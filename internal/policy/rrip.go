@@ -1,0 +1,396 @@
+package policy
+
+import (
+	"fmt"
+
+	"gspc/internal/cachesim"
+	"gspc/internal/stream"
+)
+
+// bipEpsilon is the BRRIP long-insertion ratio: one in every bipEpsilon
+// fills is inserted with a long re-reference interval (RRPV max-1)
+// instead of a distant one (RRPV max). The value 32 follows Jaleel et
+// al. [19]. The choice is made with a deterministic fill counter so runs
+// are reproducible.
+const bipEpsilon = 32
+
+// pselBits sizes the set-dueling selector counters of DRRIP/GS-DRRIP.
+const pselBits = 10
+
+// rripBase holds the state shared by all re-reference interval prediction
+// policies: an n-bit RRPV per block, the aging victim scan, and per-stream
+// fill accounting (used by Fig. 8).
+type rripBase struct {
+	bits int
+	max  uint8
+	ways int
+	rrpv []uint8
+
+	// FillsByKind and DistantFillsByKind count fills per stream kind,
+	// total and with insertion RRPV == max ("no near-future reuse").
+	// Figure 8 reports DistantFills/Fills for the RT and texture streams
+	// under DRRIP.
+	FillsByKind        [stream.NumKinds]int64
+	DistantFillsByKind [stream.NumKinds]int64
+}
+
+func (b *rripBase) init(bits int) {
+	if bits < 1 || bits > 8 {
+		panic(fmt.Sprintf("policy: rrip width %d out of range", bits))
+	}
+	b.bits = bits
+	b.max = uint8(1<<bits - 1)
+}
+
+func (b *rripBase) reset(sets, ways int) {
+	b.ways = ways
+	b.rrpv = make([]uint8, sets*ways)
+	for i := range b.rrpv {
+		b.rrpv[i] = b.max
+	}
+	b.FillsByKind = [stream.NumKinds]int64{}
+	b.DistantFillsByKind = [stream.NumKinds]int64{}
+}
+
+// insert installs rrpv for a filled block and records fill accounting.
+func (b *rripBase) insert(set, way int, v uint8, k stream.Kind) {
+	b.rrpv[set*b.ways+way] = v
+	b.FillsByKind[k]++
+	if v == b.max {
+		b.DistantFillsByKind[k]++
+	}
+}
+
+// promote implements hit promotion (RRIP-HP): RRPV becomes zero.
+func (b *rripBase) promote(set, way int) { b.rrpv[set*b.ways+way] = 0 }
+
+// victim finds a block with RRPV == max, aging the whole set in unit
+// steps until one exists. Ties break toward the minimum physical way id,
+// as in the paper.
+func (b *rripBase) victim(set int) int {
+	base := set * b.ways
+	for {
+		for w := 0; w < b.ways; w++ {
+			if b.rrpv[base+w] == b.max {
+				return w
+			}
+		}
+		for w := 0; w < b.ways; w++ {
+			b.rrpv[base+w]++
+		}
+	}
+}
+
+// RRPV exposes the current re-reference prediction value of a block, for
+// tests and analysis observers.
+func (b *rripBase) RRPV(set, way int) uint8 { return b.rrpv[set*b.ways+way] }
+
+// MaxRRPV returns 2^n - 1 for the configured width.
+func (b *rripBase) MaxRRPV() uint8 { return b.max }
+
+// SRRIP is static re-reference interval prediction: every fill is
+// inserted with RRPV 2^n-2 (long), hits promote to 0, and blocks with
+// RRPV 2^n-1 are victimized. The LLC sample sets of the GSPC family run
+// exactly this policy.
+type SRRIP struct {
+	rripBase
+}
+
+var _ cachesim.Policy = (*SRRIP)(nil)
+
+// NewSRRIP returns an SRRIP policy with an n-bit RRPV (the paper uses 2).
+func NewSRRIP(bits int) *SRRIP {
+	p := &SRRIP{}
+	p.init(bits)
+	return p
+}
+
+// Name implements cachesim.Policy.
+func (p *SRRIP) Name() string { return fmt.Sprintf("SRRIP-%d", p.bits) }
+
+// Reset implements cachesim.Policy.
+func (p *SRRIP) Reset(sets, ways int) { p.reset(sets, ways) }
+
+// Hit implements cachesim.Policy.
+func (p *SRRIP) Hit(set, way int, a stream.Access) { p.promote(set, way) }
+
+// Fill implements cachesim.Policy.
+func (p *SRRIP) Fill(set, way int, a stream.Access) {
+	p.insert(set, way, p.max-1, a.Kind)
+}
+
+// Victim implements cachesim.Policy.
+func (p *SRRIP) Victim(set int, a stream.Access) int { return p.victim(set) }
+
+// Evict implements cachesim.Policy.
+func (p *SRRIP) Evict(set, way int) { p.rrpv[set*p.ways+way] = p.max }
+
+// BRRIP is bimodal RRIP: fills are inserted with RRPV 2^n-1 except for
+// one in every bipEpsilon fills, which uses 2^n-2. It is the thrashing-
+// resistant pole of DRRIP's duel.
+type BRRIP struct {
+	rripBase
+	fills uint64
+}
+
+var _ cachesim.Policy = (*BRRIP)(nil)
+
+// NewBRRIP returns a BRRIP policy with an n-bit RRPV.
+func NewBRRIP(bits int) *BRRIP {
+	p := &BRRIP{}
+	p.init(bits)
+	return p
+}
+
+// Name implements cachesim.Policy.
+func (p *BRRIP) Name() string { return fmt.Sprintf("BRRIP-%d", p.bits) }
+
+// Reset implements cachesim.Policy.
+func (p *BRRIP) Reset(sets, ways int) {
+	p.reset(sets, ways)
+	p.fills = 0
+}
+
+// Hit implements cachesim.Policy.
+func (p *BRRIP) Hit(set, way int, a stream.Access) { p.promote(set, way) }
+
+// Fill implements cachesim.Policy.
+func (p *BRRIP) Fill(set, way int, a stream.Access) {
+	p.fills++
+	v := p.max
+	if p.fills%bipEpsilon == 0 {
+		v = p.max - 1
+	}
+	p.insert(set, way, v, a.Kind)
+}
+
+// Victim implements cachesim.Policy.
+func (p *BRRIP) Victim(set int, a stream.Access) int { return p.victim(set) }
+
+// Evict implements cachesim.Policy.
+func (p *BRRIP) Evict(set, way int) { p.rrpv[set*p.ways+way] = p.max }
+
+// DRRIP is dynamic RRIP: a set duel between SRRIP insertion (RRPV max-1)
+// and BRRIP insertion decides the policy followed by the remaining sets.
+// One set in every 64 leads for each team; a saturating selector counts
+// leader-set misses. This is the paper's baseline policy.
+type DRRIP struct {
+	rripBase
+	fills uint64
+	psel  int
+}
+
+var _ cachesim.Policy = (*DRRIP)(nil)
+
+// NewDRRIP returns a DRRIP policy with an n-bit RRPV (the baseline uses
+// 2; Fig. 14 also evaluates 4).
+func NewDRRIP(bits int) *DRRIP {
+	p := &DRRIP{}
+	p.init(bits)
+	return p
+}
+
+// Name implements cachesim.Policy.
+func (p *DRRIP) Name() string { return fmt.Sprintf("DRRIP-%d", p.bits) }
+
+// Reset implements cachesim.Policy.
+func (p *DRRIP) Reset(sets, ways int) {
+	p.reset(sets, ways)
+	p.fills = 0
+	p.psel = 1<<(pselBits-1) - 1
+}
+
+const (
+	leaderNone = iota
+	leaderSRRIP
+	leaderBRRIP
+)
+
+// drripLeader classifies a set: residue 0 of every 64 sets leads for
+// SRRIP, residue 33 for BRRIP (spread apart so both teams sample the
+// whole index space).
+func drripLeader(set int) int {
+	switch set & 63 {
+	case 0:
+		return leaderSRRIP
+	case 33:
+		return leaderBRRIP
+	default:
+		return leaderNone
+	}
+}
+
+// Hit implements cachesim.Policy.
+func (p *DRRIP) Hit(set, way int, a stream.Access) { p.promote(set, way) }
+
+// Fill implements cachesim.Policy.
+func (p *DRRIP) Fill(set, way int, a stream.Access) {
+	leader := drripLeader(set)
+	// A fill is a miss: leader-set misses move the selector.
+	switch leader {
+	case leaderSRRIP:
+		if p.psel < 1<<pselBits-1 {
+			p.psel++
+		}
+	case leaderBRRIP:
+		if p.psel > 0 {
+			p.psel--
+		}
+	}
+	useBRRIP := false
+	switch leader {
+	case leaderSRRIP:
+		useBRRIP = false
+	case leaderBRRIP:
+		useBRRIP = true
+	default:
+		useBRRIP = p.psel >= 1<<(pselBits-1)
+	}
+	v := p.max - 1
+	if useBRRIP {
+		p.fills++
+		v = p.max
+		if p.fills%bipEpsilon == 0 {
+			v = p.max - 1
+		}
+	}
+	p.insert(set, way, v, a.Kind)
+}
+
+// Victim implements cachesim.Policy.
+func (p *DRRIP) Victim(set int, a stream.Access) int { return p.victim(set) }
+
+// Evict implements cachesim.Policy.
+func (p *DRRIP) Evict(set, way int) { p.rrpv[set*p.ways+way] = p.max }
+
+// PSEL exposes the duel selector for tests.
+func (p *DRRIP) PSEL() int { return p.psel }
+
+// StreamGroup is the four-way partition of the LLC streams used by the
+// stream-aware policies (Section 3): Z, texture sampler, render target,
+// and the rest.
+type StreamGroup uint8
+
+// The stream groups.
+const (
+	GroupZ StreamGroup = iota
+	GroupTexture
+	GroupRT
+	GroupOther
+	NumStreamGroups
+)
+
+// GroupOf maps a stream kind to its group.
+func GroupOf(k stream.Kind) StreamGroup {
+	switch k {
+	case stream.Z:
+		return GroupZ
+	case stream.Texture:
+		return GroupTexture
+	case stream.RT, stream.Display:
+		// Displayable color is a render target (Section 5.1).
+		return GroupRT
+	default:
+		return GroupOther
+	}
+}
+
+// String names the group.
+func (g StreamGroup) String() string {
+	switch g {
+	case GroupZ:
+		return "Z"
+	case GroupTexture:
+		return "TEX"
+	case GroupRT:
+		return "RT"
+	default:
+		return "OTHER"
+	}
+}
+
+// GSDRRIP is graphics stream-aware DRRIP: thread-aware DRRIP [20] applied
+// to the four graphics stream groups, each with its own duel between
+// SRRIP and BRRIP insertion. Residues 2g and 2g+1 of every 64 sets lead
+// for group g's SRRIP and BRRIP teams respectively; fills of other groups
+// in a leader set follow their own group's winner.
+type GSDRRIP struct {
+	rripBase
+	fills [NumStreamGroups]uint64
+	psel  [NumStreamGroups]int
+}
+
+var _ cachesim.Policy = (*GSDRRIP)(nil)
+
+// NewGSDRRIP returns a GS-DRRIP policy with an n-bit RRPV.
+func NewGSDRRIP(bits int) *GSDRRIP {
+	p := &GSDRRIP{}
+	p.init(bits)
+	return p
+}
+
+// Name implements cachesim.Policy.
+func (p *GSDRRIP) Name() string { return fmt.Sprintf("GS-DRRIP-%d", p.bits) }
+
+// Reset implements cachesim.Policy.
+func (p *GSDRRIP) Reset(sets, ways int) {
+	p.reset(sets, ways)
+	for g := range p.psel {
+		p.psel[g] = 1<<(pselBits-1) - 1
+		p.fills[g] = 0
+	}
+}
+
+// gsLeader reports which group the set leads for and on which team;
+// returns (group, team) with team leaderNone when the set is a follower
+// for every group.
+func gsLeader(set int) (StreamGroup, int) {
+	r := set & 63
+	if r < 2*int(NumStreamGroups) {
+		return StreamGroup(r / 2), leaderSRRIP + r%2
+	}
+	return 0, leaderNone
+}
+
+// Hit implements cachesim.Policy.
+func (p *GSDRRIP) Hit(set, way int, a stream.Access) { p.promote(set, way) }
+
+// Fill implements cachesim.Policy.
+func (p *GSDRRIP) Fill(set, way int, a stream.Access) {
+	g := GroupOf(a.Kind)
+	lg, team := gsLeader(set)
+	if team != leaderNone && lg == g {
+		switch team {
+		case leaderSRRIP:
+			if p.psel[g] < 1<<pselBits-1 {
+				p.psel[g]++
+			}
+		case leaderBRRIP:
+			if p.psel[g] > 0 {
+				p.psel[g]--
+			}
+		}
+	}
+	useBRRIP := p.psel[g] >= 1<<(pselBits-1)
+	if team != leaderNone && lg == g {
+		useBRRIP = team == leaderBRRIP
+	}
+	v := p.max - 1
+	if useBRRIP {
+		p.fills[g]++
+		v = p.max
+		if p.fills[g]%bipEpsilon == 0 {
+			v = p.max - 1
+		}
+	}
+	p.insert(set, way, v, a.Kind)
+}
+
+// Victim implements cachesim.Policy.
+func (p *GSDRRIP) Victim(set int, a stream.Access) int { return p.victim(set) }
+
+// Evict implements cachesim.Policy.
+func (p *GSDRRIP) Evict(set, way int) { p.rrpv[set*p.ways+way] = p.max }
+
+// PSELFor exposes the duel selector of a stream group for tests.
+func (p *GSDRRIP) PSELFor(g StreamGroup) int { return p.psel[g] }

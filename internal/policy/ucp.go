@@ -1,0 +1,214 @@
+package policy
+
+import (
+	"gspc/internal/cachesim"
+	"gspc/internal/stream"
+)
+
+// UCP is utility-based cache partitioning (Qureshi and Patt [41],
+// Section 1.1.1 of the paper) applied to the four graphics stream groups
+// the way TAP [28] applies it to CPU/GPU threads. UMON-style shadow tags
+// in sampled sets record each group's marginal hit utility per way; a
+// periodic lookahead pass re-partitions the ways; the replacement victim
+// is the LRU block of the most over-allocated group.
+//
+// The paper argues (Section 1.1.2) that explicit partitioning cannot
+// serve 3D rendering because the streams share data (render target
+// production feeds texture consumption); this implementation exists to
+// demonstrate exactly that effect in the ext-ucp experiment.
+type UCP struct {
+	ways int
+	sets int
+
+	// Main-array metadata.
+	group []uint8
+	stamp []uint64
+	clock uint64
+
+	// UMON: for each sampled set and group, a shadow LRU stack of block
+	// numbers; way-position hit counters accumulate marginal utility.
+	shadow map[int]*[NumStreamGroups][]uint64
+	hits   [NumStreamGroups][]int64 // per way position
+	access int64
+	alloc  [NumStreamGroups]int
+}
+
+var _ cachesim.Policy = (*UCP)(nil)
+
+// ucpSampleEvery selects one UMON set per this many sets.
+const ucpSampleEvery = 32
+
+// ucpRepartitionPeriod is how many accesses between lookahead passes.
+const ucpRepartitionPeriod = 1 << 14
+
+// NewUCP returns a utility-based partitioning policy over the graphics
+// stream groups.
+func NewUCP() *UCP { return &UCP{} }
+
+// Name implements cachesim.Policy.
+func (p *UCP) Name() string { return "UCP" }
+
+// Reset implements cachesim.Policy.
+func (p *UCP) Reset(sets, ways int) {
+	p.ways = ways
+	p.sets = sets
+	n := sets * ways
+	p.group = make([]uint8, n)
+	p.stamp = make([]uint64, n)
+	p.clock = 0
+	p.shadow = make(map[int]*[NumStreamGroups][]uint64)
+	for g := range p.hits {
+		p.hits[g] = make([]int64, ways)
+	}
+	p.access = 0
+	// Start with an even split, remainder to the render target group
+	// (the heaviest stream).
+	base := ways / int(NumStreamGroups)
+	rem := ways - base*int(NumStreamGroups)
+	for g := range p.alloc {
+		p.alloc[g] = base
+	}
+	p.alloc[GroupRT] += rem
+}
+
+// Allocation exposes the current per-group way allocation for tests.
+func (p *UCP) Allocation() [NumStreamGroups]int { return p.alloc }
+
+func (p *UCP) isUMONSet(set int) bool { return set%ucpSampleEvery == 0 }
+
+// umon updates the shadow stack of the access's group and records the
+// way-position utility.
+func (p *UCP) umon(set int, a stream.Access) {
+	st := p.shadow[set]
+	if st == nil {
+		st = &[NumStreamGroups][]uint64{}
+		p.shadow[set] = st
+	}
+	g := GroupOf(a.Kind)
+	bn := a.Addr >> 6
+	stack := st[g]
+	for i, b := range stack {
+		if b == bn {
+			p.hits[g][i]++
+			copy(stack[1:i+1], stack[:i])
+			stack[0] = bn
+			return
+		}
+	}
+	if len(stack) < p.ways {
+		stack = append(stack, 0)
+	}
+	copy(stack[1:], stack)
+	stack[0] = bn
+	st[g] = stack
+}
+
+// repartition runs greedy lookahead: repeatedly grant the next way to
+// the group with the highest remaining marginal utility, then halve the
+// counters so the partition tracks phase changes.
+func (p *UCP) repartition() {
+	taken := [NumStreamGroups]int{}
+	var next [NumStreamGroups]int
+	for w := 0; w < p.ways; w++ {
+		best, bestU := 0, int64(-1)
+		for g := 0; g < int(NumStreamGroups); g++ {
+			if next[g] >= p.ways {
+				continue
+			}
+			if u := p.hits[g][next[g]]; u > bestU {
+				best, bestU = g, u
+			}
+		}
+		taken[best]++
+		next[best]++
+	}
+	// Guarantee one way per group so no stream starves completely.
+	for g := 0; g < int(NumStreamGroups); g++ {
+		for taken[g] == 0 {
+			donor, most := 0, 0
+			for h := 0; h < int(NumStreamGroups); h++ {
+				if taken[h] > most {
+					donor, most = h, taken[h]
+				}
+			}
+			taken[donor]--
+			taken[g]++
+		}
+	}
+	p.alloc = taken
+	for g := range p.hits {
+		for i := range p.hits[g] {
+			p.hits[g][i] >>= 1
+		}
+	}
+}
+
+func (p *UCP) note(set int, a stream.Access) {
+	p.access++
+	if p.isUMONSet(set) {
+		p.umon(set, a)
+	}
+	if p.access%ucpRepartitionPeriod == 0 {
+		p.repartition()
+	}
+}
+
+// Hit implements cachesim.Policy.
+func (p *UCP) Hit(set, way int, a stream.Access) {
+	p.note(set, a)
+	i := set*p.ways + way
+	p.clock++
+	p.stamp[i] = p.clock
+	p.group[i] = uint8(GroupOf(a.Kind))
+}
+
+// Fill implements cachesim.Policy.
+func (p *UCP) Fill(set, way int, a stream.Access) {
+	p.note(set, a)
+	i := set*p.ways + way
+	p.clock++
+	p.stamp[i] = p.clock
+	p.group[i] = uint8(GroupOf(a.Kind))
+}
+
+// Victim implements cachesim.Policy: evict the LRU block of the group
+// most over its allocation; if the filling group is under-allocated it
+// may take from any over-allocated group. Falls back to plain LRU when
+// no group exceeds its share.
+func (p *UCP) Victim(set int, a stream.Access) int {
+	base := set * p.ways
+	var count [NumStreamGroups]int
+	for w := 0; w < p.ways; w++ {
+		count[p.group[base+w]]++
+	}
+	overG, overBy := -1, 0
+	for g := 0; g < int(NumStreamGroups); g++ {
+		if ov := count[g] - p.alloc[g]; ov > overBy {
+			overG, overBy = g, ov
+		}
+	}
+	victim, oldest := -1, uint64(1<<63)
+	if overG >= 0 {
+		for w := 0; w < p.ways; w++ {
+			if int(p.group[base+w]) == overG && p.stamp[base+w] < oldest {
+				victim, oldest = w, p.stamp[base+w]
+			}
+		}
+		if victim >= 0 {
+			return victim
+		}
+	}
+	for w := 0; w < p.ways; w++ {
+		if p.stamp[base+w] < oldest {
+			victim, oldest = w, p.stamp[base+w]
+		}
+	}
+	return victim
+}
+
+// Evict implements cachesim.Policy.
+func (p *UCP) Evict(set, way int) {
+	i := set*p.ways + way
+	p.stamp[i] = 0
+	p.group[i] = uint8(GroupOther)
+}

@@ -1,0 +1,90 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gspc/internal/cachesim"
+	"gspc/internal/stream"
+)
+
+func TestUCPInitialAllocation(t *testing.T) {
+	p := NewUCP()
+	p.Reset(64, 16)
+	alloc := p.Allocation()
+	total := 0
+	for _, a := range alloc {
+		total += a
+		if a < 1 {
+			t.Errorf("group starved at init: %v", alloc)
+		}
+	}
+	if total != 16 {
+		t.Errorf("allocation sums to %d, want 16", total)
+	}
+}
+
+func TestUCPRepartitionFollowsUtility(t *testing.T) {
+	p := NewUCP()
+	p.Reset(64, 8)
+	// Drive UMON set 0 with a Z-heavy reusable pattern and a texture
+	// stream with no reuse; after repartition Z should hold more ways.
+	for rep := 0; rep < ucpRepartitionPeriod; rep++ {
+		p.Hit(0, 0, stream.Access{Addr: uint64(rep%4) * 64, Kind: stream.Z})
+	}
+	alloc := p.Allocation()
+	if alloc[GroupZ] <= alloc[GroupTexture] {
+		t.Errorf("Z should out-allocate texture: %v", alloc)
+	}
+	total := 0
+	for _, a := range alloc {
+		total += a
+		if a < 1 {
+			t.Errorf("group starved: %v", alloc)
+		}
+	}
+	if total != 8 {
+		t.Errorf("allocation sums to %d", total)
+	}
+}
+
+func TestUCPVictimizesOverAllocatedGroup(t *testing.T) {
+	p := NewUCP()
+	c := cachesim.New(cachesim.Geometry{SizeBytes: 64 * 4, Ways: 4, BlockSize: 64}, p)
+	// Fill the single set entirely with texture blocks, then insert a Z
+	// block: texture is over-allocated (4 > its share), so its LRU block
+	// must be the victim.
+	for i := 0; i < 4; i++ {
+		c.Access(stream.Access{Addr: uint64(i) * 64, Kind: stream.Texture})
+	}
+	c.Access(stream.Access{Addr: 100 * 64, Kind: stream.Z})
+	if _, _, ok := c.Lookup(0); ok {
+		t.Error("texture LRU block should have been evicted")
+	}
+	if _, _, ok := c.Lookup(100 * 64); !ok {
+		t.Error("Z block missing after fill")
+	}
+}
+
+func TestUCPFuzz(t *testing.T) {
+	f := func(addrs []uint16, kinds []byte) bool {
+		c := cachesim.New(cachesim.Geometry{SizeBytes: 64 * 8 * 16, Ways: 8, BlockSize: 64}, NewUCP())
+		for i, ad := range addrs {
+			k := stream.Other
+			if i < len(kinds) {
+				k = stream.Kind(kinds[i] % byte(stream.NumKinds))
+			}
+			c.Access(stream.Access{Addr: uint64(ad) * 64, Kind: k})
+		}
+		return c.Stats.Accesses == c.Stats.Hits+c.Stats.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUCPName(t *testing.T) {
+	if NewUCP().Name() != "UCP" {
+		t.Error("name wrong")
+	}
+}

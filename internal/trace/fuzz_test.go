@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"gspc/internal/stream"
+)
+
+// FuzzRead exercises the trace decoder against arbitrary byte streams:
+// it must never panic, and anything it accepts must round-trip.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	_ = Write(&seed, []stream.Access{
+		{Addr: 0x1000, Kind: stream.Z, Write: true},
+		{Addr: 0x2000, Kind: stream.Texture},
+	})
+	f.Add(seed.Bytes())
+	f.Add([]byte("GSPCTRC1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accs, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode to a decodable trace of the
+		// same length.
+		var buf bytes.Buffer
+		if err := Write(&buf, accs); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil || len(again) != len(accs) {
+			t.Fatalf("round trip failed: %v (%d vs %d)", err, len(again), len(accs))
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Package viz renders experiment tables as horizontal ASCII bar charts,
+// approximating the paper's figures in a terminal. Each row of a table
+// becomes a group of labelled bars, one per column, scaled to a shared
+// axis.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Chart renders labelled bar groups.
+type Chart struct {
+	// Width is the maximum bar length in characters (default 48).
+	Width int
+	// Baseline, when non-zero, draws bars relative to this value
+	// (e.g. 1.0 for normalized miss ratios): values above the baseline
+	// extend right with '+', values below extend right with '-',
+	// visually separating winners from losers.
+	Baseline float64
+}
+
+// row is one bar group.
+type row struct {
+	label  string
+	values []float64
+}
+
+// Data couples a chart with its content.
+type Data struct {
+	Title   string
+	Series  []string
+	Rows    []row
+	maxVal  float64
+	minVal  float64
+	started bool
+}
+
+// NewData starts a chart dataset with the given series names.
+func NewData(title string, series ...string) *Data {
+	return &Data{Title: title, Series: series}
+}
+
+// Add appends a bar group. Extra values beyond the series count are
+// ignored; missing values render as empty bars.
+func (d *Data) Add(label string, values ...float64) {
+	if len(values) > len(d.Series) {
+		values = values[:len(d.Series)]
+	}
+	d.Rows = append(d.Rows, row{label: label, values: values})
+	for _, v := range values {
+		if !d.started {
+			d.maxVal, d.minVal = v, v
+			d.started = true
+			continue
+		}
+		if v > d.maxVal {
+			d.maxVal = v
+		}
+		if v < d.minVal {
+			d.minVal = v
+		}
+	}
+}
+
+// Render writes the chart.
+func (c Chart) Render(w io.Writer, d *Data) {
+	width := c.Width
+	if width <= 0 {
+		width = 48
+	}
+	if d.Title != "" {
+		fmt.Fprintf(w, "%s\n", d.Title)
+	}
+	seriesW := 0
+	for _, s := range d.Series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+
+	if c.Baseline != 0 {
+		c.renderBaseline(w, d, width, seriesW)
+		return
+	}
+
+	span := d.maxVal
+	if span <= 0 {
+		span = 1
+	}
+	for _, r := range d.Rows {
+		fmt.Fprintf(w, "%s\n", r.label)
+		for i, s := range d.Series {
+			v := 0.0
+			if i < len(r.values) {
+				v = r.values[i]
+			}
+			n := int(v / span * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(w, "  %-*s |%s %.3g\n", seriesW, s, strings.Repeat("#", n), v)
+		}
+	}
+}
+
+// renderBaseline draws deviation bars around the baseline value.
+func (c Chart) renderBaseline(w io.Writer, d *Data, width, seriesW int) {
+	span := d.maxVal - c.Baseline
+	if dev := c.Baseline - d.minVal; dev > span {
+		span = dev
+	}
+	if span <= 0 {
+		span = 1
+	}
+	fmt.Fprintf(w, "(bars show deviation from %.3g: '-' better, '+' worse)\n", c.Baseline)
+	for _, r := range d.Rows {
+		fmt.Fprintf(w, "%s\n", r.label)
+		for i, s := range d.Series {
+			v := 0.0
+			if i < len(r.values) {
+				v = r.values[i]
+			}
+			dev := v - c.Baseline
+			n := int((dev / span) * float64(width))
+			bar := ""
+			if n >= 0 {
+				bar = strings.Repeat("+", n)
+			} else {
+				bar = strings.Repeat("-", -n)
+			}
+			fmt.Fprintf(w, "  %-*s |%s %.3g\n", seriesW, s, bar, v)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	d := NewData("demo", "a", "b")
+	d.Add("row1", 1.0, 2.0)
+	d.Add("row2", 4.0)
+	var buf bytes.Buffer
+	Chart{Width: 8}.Render(&buf, d)
+	out := buf.String()
+	for _, want := range []string{"demo", "row1", "row2", "a", "b", "####"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The max value (4.0) gets the full width.
+	if !strings.Contains(out, strings.Repeat("#", 8)) {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+}
+
+func TestRenderBaseline(t *testing.T) {
+	d := NewData("norm", "p")
+	d.Add("good", 0.9)
+	d.Add("bad", 1.1)
+	var buf bytes.Buffer
+	Chart{Width: 10, Baseline: 1.0}.Render(&buf, d)
+	out := buf.String()
+	if !strings.Contains(out, "-") || !strings.Contains(out, "+") {
+		t.Errorf("baseline chart missing deviation bars:\n%s", out)
+	}
+	if !strings.Contains(out, "deviation from 1") {
+		t.Errorf("baseline legend missing:\n%s", out)
+	}
+}
+
+func TestExtraValuesIgnored(t *testing.T) {
+	d := NewData("x", "only")
+	d.Add("r", 1, 2, 3)
+	if len(d.Rows[0].values) != 1 {
+		t.Error("extra values not trimmed")
+	}
+}
+
+func TestZeroAndNegativeSafe(t *testing.T) {
+	d := NewData("z", "s")
+	d.Add("zero", 0)
+	d.Add("neg", -1)
+	var buf bytes.Buffer
+	Chart{}.Render(&buf, d)
+	if buf.Len() == 0 {
+		t.Error("nothing rendered")
+	}
+}
+
+func TestDefaultWidth(t *testing.T) {
+	d := NewData("w", "s")
+	d.Add("r", 1)
+	var buf bytes.Buffer
+	Chart{}.Render(&buf, d)
+	if !strings.Contains(buf.String(), strings.Repeat("#", 48)) {
+		t.Error("default width not applied to the max bar")
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// LoadProfiles reads user-defined application profiles from JSON, so
+// downstream users can trace their own workload shapes without
+// recompiling. The JSON is an array of Profile objects using the field
+// names of the Profile struct, e.g.:
+//
+//	[{
+//	  "Name": "My Engine", "Abbrev": "MyEngine", "DirectX": 11,
+//	  "Width": 1920, "Height": 1080, "Frames": 2,
+//	  "ShadowPasses": 2, "GeomPasses": 2, "PostPasses": 3,
+//	  "DrawsPerGeomPass": 12, "MeshTris": 3000, "VertexCount": 2500,
+//	  "DepthComplexity": 2.2, "ZPassRate": 0.6,
+//	  "TexturesPerDraw": 2, "StaticTexCount": 20, "StaticTexSize": 2048,
+//	  "DynamicTexFraction": 0.5, "SceneReadFraction": 0.3,
+//	  "PostChainTextures": 2, "ShadowMapSize": 1024, "EnvMapScale": 0.5
+//	}]
+//
+// Missing numeric fields default to zero; Validate reports the fields
+// that must be positive.
+func LoadProfiles(r io.Reader) ([]Profile, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var ps []Profile
+	if err := dec.Decode(&ps); err != nil {
+		return nil, fmt.Errorf("workload: parsing profiles: %w", err)
+	}
+	for i := range ps {
+		if err := ps[i].Validate(); err != nil {
+			return nil, fmt.Errorf("workload: profile %d (%s): %w", i, ps[i].Abbrev, err)
+		}
+	}
+	return ps, nil
+}
+
+// Validate reports structural problems that would make a profile
+// unusable by the frame builder.
+func (p Profile) Validate() error {
+	switch {
+	case p.Abbrev == "":
+		return fmt.Errorf("missing Abbrev")
+	case p.Width < 64 || p.Height < 64:
+		return fmt.Errorf("resolution %dx%d below the 64-pixel minimum", p.Width, p.Height)
+	case p.Frames < 1:
+		return fmt.Errorf("Frames must be at least 1")
+	case p.GeomPasses < 1:
+		return fmt.Errorf("at least one geometry pass is required")
+	case p.DrawsPerGeomPass < 1:
+		return fmt.Errorf("DrawsPerGeomPass must be at least 1")
+	case p.MeshTris < 1 || p.VertexCount < 1:
+		return fmt.Errorf("geometry (MeshTris/VertexCount) must be positive")
+	case p.DepthComplexity <= 0:
+		return fmt.Errorf("DepthComplexity must be positive")
+	case p.ZPassRate < 0 || p.ZPassRate > 1:
+		return fmt.Errorf("ZPassRate %v outside [0,1]", p.ZPassRate)
+	case p.HiZRejectRate < 0 || p.HiZRejectRate > 1:
+		return fmt.Errorf("HiZRejectRate %v outside [0,1]", p.HiZRejectRate)
+	case p.StaticTexCount > 0 && p.StaticTexSize < 64:
+		return fmt.Errorf("StaticTexSize %d below the 64-texel minimum", p.StaticTexSize)
+	case p.ShadowPasses > 0 && p.ShadowMapSize < 64:
+		return fmt.Errorf("ShadowMapSize %d below the 64-texel minimum", p.ShadowMapSize)
+	case p.EnvPasses > 0 && (p.EnvMapScale <= 0 || p.EnvMapScale > 1):
+		return fmt.Errorf("EnvMapScale %v outside (0,1]", p.EnvMapScale)
+	}
+	return nil
+}
+
+// MarshalSuite writes profiles as indented JSON (the inverse of
+// LoadProfiles, handy for exporting the built-in suite as a template).
+func MarshalSuite(w io.Writer, ps []Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ps)
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinProfilesValidate(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Abbrev, err)
+		}
+	}
+}
+
+func TestProfilesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MarshalSuite(&buf, Profiles()); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := LoadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 12 {
+		t.Fatalf("round trip lost profiles: %d", len(ps))
+	}
+	if ps[2].Abbrev != "AssnCreed" || ps[2].DynamicTexFraction != Profiles()[2].DynamicTexFraction {
+		t.Error("profile content corrupted in round trip")
+	}
+	// A loaded custom profile must build a valid frame.
+	f := ps[0].BuildFrame(0, 0.1)
+	if err := f.Validate(); err != nil {
+		t.Errorf("round-tripped profile builds invalid frame: %v", err)
+	}
+}
+
+func TestLoadProfilesRejectsBad(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"unknown field":   `[{"Abbrev":"X","Bogus":1}]`,
+		"missing abbrev":  `[{"Width":1920,"Height":1080}]`,
+		"tiny resolution": `[{"Abbrev":"X","Width":8,"Height":8,"Frames":1,"GeomPasses":1,"DrawsPerGeomPass":1,"MeshTris":1,"VertexCount":1,"DepthComplexity":1}]`,
+		"bad zpass":       `[{"Abbrev":"X","Width":640,"Height":480,"Frames":1,"GeomPasses":1,"DrawsPerGeomPass":1,"MeshTris":1,"VertexCount":1,"DepthComplexity":1,"ZPassRate":1.5}]`,
+	}
+	for name, js := range cases {
+		if _, err := LoadProfiles(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadProfilesMinimalValid(t *testing.T) {
+	js := `[{"Abbrev":"Mini","Name":"Mini","Width":640,"Height":480,"Frames":1,
+		"GeomPasses":1,"DrawsPerGeomPass":2,"MeshTris":100,"VertexCount":80,
+		"DepthComplexity":1.5,"ZPassRate":0.7}]`
+	ps, err := LoadProfiles(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ps[0].BuildFrame(0, 0.5)
+	if err := f.Validate(); err != nil {
+		t.Errorf("minimal profile frame invalid: %v", err)
+	}
+}

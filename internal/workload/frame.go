@@ -1,0 +1,400 @@
+package workload
+
+import (
+	"gspc/internal/memmap"
+	"gspc/internal/pipeline"
+	"gspc/internal/xrand"
+)
+
+// heapBase is where each frame's allocator starts. Address bits [27:14]
+// form the SHiP-mem signature, so the base is chosen to keep surfaces in
+// a realistic physical range.
+const heapBase = 0x1000_0000
+
+// BuildFrame constructs the pipeline frame for frame index of the
+// application at the given linear scale. The construction is fully
+// deterministic in (profile, index, scale).
+func (p Profile) BuildFrame(index int, scale float64) *pipeline.Frame {
+	return p.BuildFrameLayout(index, scale, memmap.LayoutRowMajor)
+}
+
+// BuildFrameLayout is BuildFrame with an explicit tile layout for the
+// GPU-internal surfaces (depth, HiZ, render targets, textures). Morton
+// layout gives screen-space neighborhoods compact memory footprints, as
+// real depth/texture surfaces have; the back buffer stays row-major
+// because display engines scan out linearly. Used by the abl-morton
+// experiment.
+func (p Profile) BuildFrameLayout(index int, scale float64, layout memmap.Layout) *pipeline.Frame {
+	job := FrameJob{App: p, Index: index}
+	rng := xrand.New(job.Seed())
+	// Assets (texture pools, meshes, surfaces) persist across the frames
+	// of an application, so every allocation-affecting choice draws from
+	// an application-level generator: frames of the same application
+	// place their surfaces and textures at identical addresses, enabling
+	// warm-cache inter-frame studies (static textures are re-sampled
+	// frame after frame).
+	appRng := xrand.New(hashString(p.Abbrev) ^ 0xa55e75)
+
+	w := scaleDim(p.Width, scale)
+	h := scaleDim(p.Height, scale)
+	alloc := memmap.NewAllocator(heapBase)
+	surf := func(w, h, bpp int) *memmap.Surface {
+		return memmap.NewSurfaceLayout(alloc, w, h, bpp, layout)
+	}
+
+	f := &pipeline.Frame{
+		Width:  w,
+		Height: h,
+		Seed:   job.Seed() ^ 0xfeedface,
+	}
+	f.BackBuffer = memmap.NewSurface(alloc, w, h, 4)
+	depth := surf(w, h, pipeline.ZBytesPerPixel)
+	hiz := surf(ceilDiv(w, pipeline.HiZGranularity), ceilDiv(h, pipeline.HiZGranularity), pipeline.HiZBytesPerEntry)
+	var stencil *memmap.Surface
+	if p.StencilPassFrac > 0 {
+		stencil = surf(w, h, 1)
+	}
+
+	// Shader constants / state region ("other" stream).
+	constBuf := memmap.NewBuffer(alloc, 64, memmap.BlockSize)
+	f.ConstBase = constBuf.Base
+	f.ConstBlocks = constBuf.Count()
+
+	// Static texture pool with full MIP chains.
+	texDim := maxInt(64, scaleDim(p.StaticTexSize, scale))
+	pool := make([]*memmap.Texture, p.StaticTexCount)
+	for i := range pool {
+		// Vary pool member sizes so the MIP footprint is heterogeneous.
+		d := texDim >> uint(appRng.Intn(2))
+		if d < 64 {
+			d = 64
+		}
+		pool[i] = memmap.NewTextureLayout(alloc, d, d, 4, 8, layout)
+	}
+
+	// Meshes: a few shared geometry buffers per frame. Geometry density
+	// scales with frame area.
+	// geomDensity calibrates the vertex stream toward its measured share
+	// of LLC traffic (~4%, Figure 4); profile MeshTris values describe
+	// per-draw batches and several batches are fused per draw here.
+	const geomDensity = 3
+	area := scale * scale
+	tris := maxInt(16, int(float64(p.MeshTris)*area)*geomDensity/2)
+	if p.DirectX >= 11 {
+		// Tessellation amplification (hull/tessellator/domain stages are
+		// modelled as a geometry multiplier; DESIGN.md Section 5).
+		tris = tris * 3 / 2
+	}
+	verts := maxInt(16, int(float64(p.VertexCount)*area)*geomDensity/2)
+	meshes := make([]*pipeline.Mesh, 3)
+	for i := range meshes {
+		meshes[i] = &pipeline.Mesh{
+			Vertices: memmap.NewBuffer(alloc, verts, 32), // pos+normal+uv
+			Indices:  memmap.NewBuffer(alloc, tris*3, 4),
+			TriCount: tris,
+		}
+	}
+	pickMesh := func(r *xrand.RNG) *pipeline.Mesh { return meshes[r.Intn(len(meshes))] }
+
+	// Dynamic surfaces produced during the frame and available for
+	// sampling by later passes.
+	var produced []*memmap.Surface
+
+	// Pass schedule. Shadow and environment pre-passes are interleaved
+	// with the main geometry passes the way engines schedule them: a
+	// shadow map is rendered immediately before the geometry that samples
+	// it, which keeps the production-to-consumption distance of dynamic
+	// textures short — the property that makes render-target blocks
+	// consumable from the LLC (Section 2.3).
+	shadowDim := maxInt(64, scaleDim(p.ShadowMapSize, scale))
+	makeShadow := func(s int) {
+		srt := surf(shadowDim, shadowDim, 4)
+		sz := surf(shadowDim, shadowDim, pipeline.ZBytesPerPixel)
+		shz := surf(ceilDiv(shadowDim, pipeline.HiZGranularity), ceilDiv(shadowDim, pipeline.HiZGranularity), pipeline.HiZBytesPerEntry)
+		pass := &pipeline.Pass{Target: srt, Depth: sz, HiZ: shz}
+		prng := rng.Fork(uint64(100 + s))
+		nd := jitterInt(prng, maxInt(2, p.DrawsPerGeomPass/2), 0.2)
+		for d := 0; d < nd; d++ {
+			pass.Draws = append(pass.Draws, &pipeline.Draw{
+				Mesh:          pickMesh(prng),
+				Coverage:      1.3 / float64(nd) * jitter(prng, 0.3),
+				Patches:       2 + prng.Intn(3),
+				ZPassRate:     0.75,
+				HiZRejectRate: 0.1,
+			})
+		}
+		f.Passes = append(f.Passes, pass)
+		produced = append(produced, srt)
+	}
+	ew := maxInt(64, scaleDim(int(float64(p.Width)*p.EnvMapScale), scale))
+	eh := maxInt(64, scaleDim(int(float64(p.Height)*p.EnvMapScale), scale))
+	makeEnv := func(e int) {
+		ert := surf(ew, eh, 4)
+		ez := surf(ew, eh, pipeline.ZBytesPerPixel)
+		ehz := surf(ceilDiv(ew, pipeline.HiZGranularity), ceilDiv(eh, pipeline.HiZGranularity), pipeline.HiZBytesPerEntry)
+		pass := &pipeline.Pass{Target: ert, Depth: ez, HiZ: ehz}
+		prng := rng.Fork(uint64(200 + e))
+		nd := jitterInt(prng, maxInt(2, p.DrawsPerGeomPass*2/3), 0.2)
+		for d := 0; d < nd; d++ {
+			pass.Draws = append(pass.Draws, &pipeline.Draw{
+				Mesh:          pickMesh(prng),
+				Textures:      staticBindings(prng, pool, p, 1),
+				Coverage:      float64(p.DepthComplexity) / float64(nd) * jitter(prng, 0.3),
+				Patches:       2 + prng.Intn(3),
+				ZPassRate:     p.ZPassRate,
+				HiZRejectRate: p.HiZRejectRate,
+			})
+		}
+		f.Passes = append(f.Passes, pass)
+		produced = append(produced, ert)
+	}
+
+	// Main geometry passes render to an offscreen scene target when a
+	// post chain follows, otherwise straight to the back buffer.
+	var sceneRT *memmap.Surface
+	if p.PostPasses > 0 {
+		sceneRT = surf(w, h, 4)
+	} else {
+		sceneRT = f.BackBuffer
+	}
+	var gbuf []*memmap.Surface
+	for m := 0; m < p.DeferredMRT; m++ {
+		gbuf = append(gbuf, surf(w, h, 4))
+	}
+	// Light-prepass/deferred resolve buffers: each geometry pass is
+	// followed by a full-screen lighting/resolve pass that consumes the
+	// scene color (and G-buffer) written moments earlier. This is the
+	// dominant steady source of render-target-to-texture consumption in
+	// engines of this era and of the paper's inter-stream reuse.
+	var lastResolve *memmap.Surface
+	if p.PostPasses > 0 {
+		lastResolve = surf(w, h, 4)
+	}
+	shadowsLeft, envsLeft := p.ShadowPasses, p.EnvPasses
+	shadowID, envID := 0, 0
+	for g := 0; g < p.GeomPasses; g++ {
+		// Emit this pass's share of the remaining pre-passes first.
+		remaining := p.GeomPasses - g
+		for n := ceilDiv(shadowsLeft, remaining); n > 0; n-- {
+			makeShadow(shadowID)
+			shadowID++
+			shadowsLeft--
+		}
+		for n := ceilDiv(envsLeft, remaining); n > 0; n-- {
+			makeEnv(envID)
+			envID++
+			envsLeft--
+		}
+
+		prng := rng.Fork(uint64(300 + g))
+		pass := &pipeline.Pass{Target: sceneRT, Depth: depth, HiZ: hiz}
+		if g == 0 && len(gbuf) > 0 {
+			pass.ExtraTargets = gbuf
+		}
+		if stencil != nil && prng.Bool(p.StencilPassFrac) {
+			pass.Stencil = stencil
+		}
+		nd := jitterInt(prng, p.DrawsPerGeomPass, 0.2)
+		for d := 0; d < nd; d++ {
+			draw := &pipeline.Draw{
+				Mesh:          pickMesh(prng),
+				Textures:      staticBindings(prng, pool, p, maxInt(1, p.TexturesPerDraw-1)),
+				Coverage:      p.DepthComplexity / float64(nd) * jitter(prng, 0.3),
+				Patches:       3 + prng.Intn(4),
+				ZPassRate:     clamp01(p.ZPassRate * jitter(prng, 0.1)),
+				HiZRejectRate: p.HiZRejectRate,
+			}
+			// Transparent geometry comes last in a pass and blends.
+			if d >= nd*3/5 && prng.Bool(p.BlendFraction) {
+				draw.Blend = true
+			}
+			// Scene color readback: refraction, heat distortion, soft
+			// particles, and decals sample the scene rendered so far —
+			// an immediate render-target-to-texture consume and the
+			// steadiest source of inter-stream reuse within a pass.
+			if sceneRT != f.BackBuffer && prng.Bool(p.SceneReadFraction) {
+				draw.Textures = append(draw.Textures, pipeline.TextureBinding{
+					Texture: memmap.TextureFromSurface(sceneRT),
+					Scale:   1.0,
+					Aligned: true,
+				})
+				pass.SamplesDynamic = true
+			}
+			// Dynamic texturing: sample a recently produced render
+			// target (shadow map, reflection map) — the paper's primary
+			// inter-stream reuse source. Recent surfaces are preferred,
+			// as engines consume a shadow map in the very next pass.
+			if len(produced) > 0 && prng.Bool(p.DynamicTexFraction) {
+				src := produced[len(produced)-1-prng.Intn(minInt(2, len(produced)))]
+				// Each object projects to its own region of the shadow or
+				// reflection map, so consumers read largely disjoint
+				// windows and a produced block is consumed about once —
+				// the one-shot inter-stream reuse the paper measures.
+				draw.Textures = append(draw.Textures, pipeline.TextureBinding{
+					Texture: memmap.TextureFromSurface(src),
+					Scale:   float64(src.Width) / float64(w),
+					Aligned: true,
+					U0:      prng.Float64(),
+					V0:      prng.Float64(),
+				})
+				pass.SamplesDynamic = true
+			}
+			pass.Draws = append(pass.Draws, draw)
+		}
+		f.Passes = append(f.Passes, pass)
+
+		if p.PostPasses > 0 {
+			rdraw := &pipeline.Draw{
+				Mesh:     meshes[0],
+				Coverage: 1.0,
+				Patches:  1,
+				Textures: []pipeline.TextureBinding{{
+					Texture: memmap.TextureFromSurface(sceneRT),
+					Scale:   1.0,
+					Aligned: true,
+				}},
+			}
+			for _, gb := range gbuf {
+				rdraw.Textures = append(rdraw.Textures, pipeline.TextureBinding{
+					Texture: memmap.TextureFromSurface(gb),
+					Scale:   1.0,
+					Aligned: true,
+				})
+			}
+			f.Passes = append(f.Passes, &pipeline.Pass{
+				Target:         lastResolve,
+				Draws:          []*pipeline.Draw{rdraw},
+				SamplesDynamic: true,
+			})
+		}
+	}
+	if lastResolve != nil {
+		produced = append(produced, lastResolve)
+	}
+	if sceneRT != f.BackBuffer {
+		produced = append(produced, sceneRT)
+	}
+	produced = append(produced, gbuf...)
+
+	// 4. Post-processing: each post stage is a bloom-style triple at a
+	// reduced resolution — downsample, horizontal blur, vertical blur —
+	// where every pass fully consumes the surface produced by the pass
+	// immediately before it (the vertical blur writes back into the
+	// level's downsample buffer, reusing the render target object). Games
+	// of this era issue dozens of such small render-to-texture hops per
+	// frame; they are the dominant source of tightly-spaced render-
+	// target-to-texture consumption in the LLC. A final full-resolution
+	// combine reads the lit scene and the processed chain into the back
+	// buffer.
+	if p.PostPasses > 0 {
+		fullScreen := func(target *memmap.Surface, srcs ...*memmap.Surface) {
+			draw := &pipeline.Draw{Mesh: meshes[0], Coverage: 1.0, Patches: 1}
+			for _, sc := range srcs {
+				draw.Textures = append(draw.Textures, pipeline.TextureBinding{
+					Texture: memmap.TextureFromSurface(sc),
+					Scale:   float64(sc.Width) / float64(target.Width),
+					Aligned: true,
+				})
+			}
+			f.Passes = append(f.Passes, &pipeline.Pass{
+				Target:         target,
+				Draws:          []*pipeline.Draw{draw},
+				SamplesDynamic: true,
+			})
+		}
+		lit := sceneRT
+		if lastResolve != nil {
+			lit = lastResolve
+		}
+		src := lit
+		var chainTops []*memmap.Surface
+		for q := 0; q < p.PostPasses; q++ {
+			dw := maxInt(64, (w>>uint(q+1)+7)&^7)
+			dh := maxInt(64, (h>>uint(q+1)+7)&^7)
+			down := surf(dw, dh, 4)
+			tmp := surf(dw, dh, 4)
+			fullScreen(down, src) // downsample
+			fullScreen(tmp, down) // horizontal blur
+			fullScreen(down, tmp) // vertical blur back into the level buffer
+			produced = append(produced, down)
+			chainTops = append(chainTops, down)
+			src = down
+		}
+		// Final combine: lit scene + the blurred chain levels.
+		combineSrcs := append([]*memmap.Surface{lit}, chainTops...)
+		if len(combineSrcs) > p.PostChainTextures+1 {
+			combineSrcs = combineSrcs[:p.PostChainTextures+1]
+		}
+		fullScreen(f.BackBuffer, combineSrcs...)
+	}
+
+	return f
+}
+
+// staticBindings picks n static textures with pseudo-random sampling
+// scales (driving MIP selection) from the pool.
+func staticBindings(rng *xrand.RNG, pool []*memmap.Texture, p Profile, n int) []pipeline.TextureBinding {
+	if len(pool) == 0 || n <= 0 {
+		return nil
+	}
+	tb := make([]pipeline.TextureBinding, 0, n)
+	for i := 0; i < n; i++ {
+		// Scales near one: meshes are UV-mapped so a draw's footprint
+		// stays within its MIP level rather than wrapping around coarse
+		// levels (wrapping would manufacture artificial near reuse).
+		tb = append(tb, pipeline.TextureBinding{
+			Texture:   pool[rng.Intn(len(pool))],
+			Scale:     rng.Range(0.8, 2.2),
+			Trilinear: rng.Bool(p.TrilinearFraction),
+		})
+	}
+	return tb
+}
+
+// scaleDim scales a full-resolution dimension, keeping it a multiple of 8
+// (the HiZ granularity) and at least 64.
+func scaleDim(d int, scale float64) int {
+	v := int(float64(d) * scale)
+	if v < 64 {
+		v = 64
+	}
+	return (v + 7) &^ 7
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// jitter returns a multiplicative factor in [1-f, 1+f).
+func jitter(rng *xrand.RNG, f float64) float64 { return rng.Range(1-f, 1+f) }
+
+// jitterInt applies jitter to an integer count, keeping it >= 1.
+func jitterInt(rng *xrand.RNG, n int, f float64) int {
+	v := int(float64(n) * jitter(rng, f))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

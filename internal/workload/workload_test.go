@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"testing"
+)
+
+// Table 1 ground truth from the paper.
+var table1 = []struct {
+	abbrev  string
+	directx int
+	w, h    int
+}{
+	{"3DMarkVAGT1", 10, 1920, 1200},
+	{"3DMarkVAGT2", 10, 1920, 1200},
+	{"AssnCreed", 10, 1680, 1050},
+	{"BioShock", 10, 1920, 1200},
+	{"DMC", 10, 1680, 1050},
+	{"Civilization", 11, 1920, 1200},
+	{"Dirt", 11, 1680, 1050},
+	{"HAWX", 11, 1920, 1200},
+	{"Heaven", 11, 2560, 1600},
+	{"LostPlanet", 11, 1920, 1200},
+	{"StalkerCOP", 11, 1680, 1050},
+	{"Unigine", 11, 1920, 1200},
+}
+
+func TestProfilesMatchTable1(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 12 {
+		t.Fatalf("profiles = %d, want 12", len(ps))
+	}
+	for i, want := range table1 {
+		p := ps[i]
+		if p.Abbrev != want.abbrev {
+			t.Errorf("profile %d = %s, want %s", i, p.Abbrev, want.abbrev)
+			continue
+		}
+		if p.DirectX != want.directx {
+			t.Errorf("%s DirectX = %d, want %d", p.Abbrev, p.DirectX, want.directx)
+		}
+		if p.Width != want.w || p.Height != want.h {
+			t.Errorf("%s resolution = %dx%d, want %dx%d", p.Abbrev, p.Width, p.Height, want.w, want.h)
+		}
+	}
+}
+
+func TestSuiteHas52Frames(t *testing.T) {
+	jobs := Suite()
+	if len(jobs) != 52 {
+		t.Fatalf("suite frames = %d, want 52", len(jobs))
+	}
+	perApp := map[string]int{}
+	for _, j := range jobs {
+		perApp[j.App.Abbrev]++
+	}
+	for _, p := range Profiles() {
+		if perApp[p.Abbrev] != p.Frames {
+			t.Errorf("%s frames = %d, want %d", p.Abbrev, perApp[p.Abbrev], p.Frames)
+		}
+	}
+}
+
+func TestProfileByAbbrev(t *testing.T) {
+	p, ok := ProfileByAbbrev("AssnCreed")
+	if !ok || p.Name != "Assassin's Creed" {
+		t.Errorf("lookup failed: %v %v", p, ok)
+	}
+	if _, ok := ProfileByAbbrev("NoSuchGame"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+func TestJobSeedsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, j := range Suite() {
+		s := j.Seed()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("seed collision: %s and %s", prev, j.ID())
+		}
+		seen[s] = j.ID()
+	}
+}
+
+func TestJobID(t *testing.T) {
+	j := Suite()[0]
+	if j.ID() != "3DMarkVAGT1/0" {
+		t.Errorf("ID = %q", j.ID())
+	}
+}
+
+func TestBuildFrameValid(t *testing.T) {
+	// Every suite frame must build into a structurally valid pipeline
+	// frame at a small scale.
+	for _, j := range Suite() {
+		f := j.Build(0.1)
+		if err := f.Validate(); err != nil {
+			t.Errorf("%s: %v", j.ID(), err)
+		}
+		if len(f.Passes) < 2 {
+			t.Errorf("%s: only %d passes", j.ID(), len(f.Passes))
+		}
+	}
+}
+
+func TestBuildFrameDeterministic(t *testing.T) {
+	j := Suite()[10]
+	a := j.Build(0.1)
+	b := j.Build(0.1)
+	if len(a.Passes) != len(b.Passes) || a.Seed != b.Seed {
+		t.Fatal("frame construction not deterministic")
+	}
+	for i := range a.Passes {
+		if len(a.Passes[i].Draws) != len(b.Passes[i].Draws) {
+			t.Fatalf("pass %d draw counts differ", i)
+		}
+	}
+}
+
+func TestFramesOfAppDiffer(t *testing.T) {
+	p := Profiles()[0]
+	f0 := p.BuildFrame(0, 0.1)
+	f1 := p.BuildFrame(1, 0.1)
+	if f0.Seed == f1.Seed {
+		t.Error("consecutive frames share a seed")
+	}
+}
+
+func TestScaleAffectsDimensions(t *testing.T) {
+	p := Profiles()[0] // 1920x1200
+	small := p.BuildFrame(0, 0.1)
+	big := p.BuildFrame(0, 0.25)
+	if small.Width >= big.Width {
+		t.Errorf("scaling broken: %d vs %d", small.Width, big.Width)
+	}
+	full := p.BuildFrame(0, 1.0)
+	if full.Width != 1920 || full.Height != 1200 {
+		t.Errorf("full scale = %dx%d", full.Width, full.Height)
+	}
+}
+
+func TestScaleDim(t *testing.T) {
+	if scaleDim(1920, 0.25) != 480 {
+		t.Errorf("scaleDim(1920, .25) = %d", scaleDim(1920, 0.25))
+	}
+	if v := scaleDim(100, 0.1); v != 64 {
+		t.Errorf("minimum dimension not enforced: %d", v)
+	}
+	if v := scaleDim(1000, 0.101); v%8 != 0 {
+		t.Errorf("dimension %d not a multiple of 8", v)
+	}
+}
+
+func TestDX11GeometryAmplification(t *testing.T) {
+	// A DX11 profile at the same nominal MeshTris gets tessellation
+	// amplification; compare two frames differing only in DirectX.
+	p10 := Profiles()[0] // DX10
+	p11 := p10
+	p11.DirectX = 11
+	f10 := p10.BuildFrame(0, 0.2)
+	f11 := p11.BuildFrame(0, 0.2)
+	t10 := f10.Passes[len(f10.Passes)-1]
+	t11 := f11.Passes[len(f11.Passes)-1]
+	_ = t10
+	_ = t11
+	// Compare mesh sizes through any draw that has a mesh.
+	m10 := f10.Passes[0].Draws[0].Mesh.TriCount
+	m11 := f11.Passes[0].Draws[0].Mesh.TriCount
+	if m11 <= m10 {
+		t.Errorf("DX11 tessellation should amplify geometry: %d vs %d", m11, m10)
+	}
+}
+
+func TestFrameStructure(t *testing.T) {
+	// A profile with shadow and post passes must produce render-to-
+	// texture structure: at least one pass sampling a dynamic texture.
+	j := FrameJob{App: Profiles()[2], Index: 0} // AssnCreed
+	f := j.Build(0.15)
+	dynamic := 0
+	for _, p := range f.Passes {
+		if p.SamplesDynamic {
+			dynamic++
+		}
+	}
+	if dynamic == 0 {
+		t.Error("no pass samples dynamic textures in a render-to-texture heavy profile")
+	}
+	// The last pass writes the back buffer.
+	last := f.Passes[len(f.Passes)-1]
+	if last.Target != f.BackBuffer {
+		t.Error("final pass does not write the back buffer")
+	}
+}
+
+func TestGeneratedStreamsPresent(t *testing.T) {
+	// Smoke: build and count raw stream presence via the pipeline's own
+	// validation path is covered in the pipeline package; here check the
+	// profile knobs produce the advertised pass structure.
+	for _, p := range Profiles() {
+		f := p.BuildFrame(0, 0.1)
+		geomPasses := 0
+		for _, pass := range f.Passes {
+			if pass.Depth != nil && pass.Target != nil && pass.Target.Width == f.Width {
+				geomPasses++
+			}
+		}
+		if geomPasses < p.GeomPasses {
+			t.Errorf("%s: %d full-res geometry passes, profile wants %d", p.Abbrev, geomPasses, p.GeomPasses)
+		}
+	}
+}
+
+func TestStencilOnlyWhereConfigured(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.StencilPassFrac > 0 {
+			continue
+		}
+		f := p.BuildFrame(0, 0.1)
+		for i, pass := range f.Passes {
+			if pass.Stencil != nil {
+				t.Errorf("%s pass %d has stencil but profile fraction is 0", p.Abbrev, i)
+			}
+		}
+	}
+}

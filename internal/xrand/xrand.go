@@ -1,0 +1,71 @@
+// Package xrand provides a small, fast, deterministic pseudo-random
+// number generator (xorshift*) used by the workload generator. The
+// simulator never uses math/rand's global state or wall-clock seeding:
+// every stochastic choice derives from an explicit seed so that identical
+// configurations reproduce identical traces and tables.
+package xrand
+
+// RNG is a xorshift1024-free, splitmix-seeded xorshift* generator.
+type RNG struct {
+	s uint64
+}
+
+// New returns a generator seeded with seed (zero is remapped so the
+// generator never degenerates).
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state.
+func (r *RNG) Seed(seed uint64) {
+	// SplitMix64 step decorrelates nearby seeds.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	r.s = z
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a uniform int in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Fork derives an independent generator from the current one, labelled by
+// id. Forks of the same parent with different ids are decorrelated; the
+// parent is not advanced.
+func (r *RNG) Fork(id uint64) *RNG {
+	return New(r.s ^ (id+1)*0xd1342543de82ef95)
+}
