@@ -1,0 +1,100 @@
+// Command gspcd serves the paper's experiments over HTTP: a bounded job
+// queue, a worker pool, request coalescing, and a result cache whose
+// eviction is handled by the repo's own LLC replacement policies.
+//
+// Usage:
+//
+//	gspcd [-addr :8080] [-queue 64] [-workers N] [-sim-workers N]
+//	      [-cache-entries 128] [-cache-policy lru|nru|drrip]
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness
+//	GET  /metricsz         counters: hits/misses, queue depth, latency percentiles
+//	GET  /v1/experiments   runnable experiment ids
+//	POST /v1/runs          {"experiment":"fig12","frames":1,...}; ?wait=0 queues
+//	GET  /v1/runs/{id}     job status and result
+//
+// SIGINT/SIGTERM drain in-flight jobs before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gspc/internal/harness"
+	"gspc/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		queue       = flag.Int("queue", 64, "job queue depth (beyond this, POSTs get 429)")
+		workers     = flag.Int("workers", 0, "concurrent experiment runners (0 = GOMAXPROCS)")
+		simWorkers  = flag.Int("sim-workers", 0, "default per-experiment trace-synthesis workers for requests that leave it unset (0 = harness default)")
+		cacheSize   = flag.Int("cache-entries", 128, "result cache capacity in entries (0 disables)")
+		cachePolicy = flag.String("cache-policy", "lru", "result cache eviction policy: "+strings.Join(service.CachePolicyNames(), "|"))
+		drain       = flag.Duration("drain-timeout", 5*time.Minute, "max time to drain in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		QueueDepth:   *queue,
+		Workers:      *workers,
+		CacheEntries: *cacheSize,
+		CachePolicy:  *cachePolicy,
+	}
+	if *simWorkers > 0 {
+		sw := *simWorkers
+		cfg.Run = func(r service.Request) (*harness.Result, error) {
+			o := r.Options()
+			if o.Workers == 0 {
+				o.Workers = sw
+			}
+			return harness.RunResult(r.Experiment, o)
+		}
+	}
+	engine, err := service.NewEngine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gspcd:", err)
+		os.Exit(2)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(engine)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("gspcd: listening on %s (queue %d, cache %d entries, policy %s)",
+		*addr, *queue, *cacheSize, *cachePolicy)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("gspcd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("gspcd: shutting down, draining in-flight jobs (timeout %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("gspcd: http shutdown: %v", err)
+	}
+	if err := engine.Shutdown(shutCtx); err != nil {
+		log.Printf("gspcd: engine drain: %v", err)
+		os.Exit(1)
+	}
+	m := engine.Metrics()
+	log.Printf("gspcd: drained; served %d requests (%d cache hits, %d coalesced, %d rejected)",
+		m.Requests, m.CacheHits, m.Coalesced, m.Rejected)
+}

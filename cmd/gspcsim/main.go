@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,15 +23,16 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		exp    = flag.String("exp", "", "experiment id (e.g. fig12), or 'all'")
-		scale  = flag.Float64("scale", 0.25, "linear frame scale (1.0 = paper resolutions)")
-		capf   = flag.Float64("capacity-factor", 0, "LLC capacity calibration factor (0 = default)")
-		frames = flag.Int("frames", 0, "max frames per application (0 = all)")
-		apps   = flag.String("apps", "", "comma-separated application abbreviations")
-		verb   = flag.Bool("v", false, "print per-frame progress")
-		report = flag.String("report", "", "write a full markdown report (all experiments) to this file")
-		chart  = flag.Bool("chart", false, "render each experiment as an ASCII bar chart as well")
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment id (e.g. fig12), or 'all'")
+		scale   = flag.Float64("scale", 0.25, "linear frame scale (1.0 = paper resolutions)")
+		capf    = flag.Float64("capacity-factor", 0, "LLC capacity calibration factor (0 = default)")
+		frames  = flag.Int("frames", 0, "max frames per application (0 = all)")
+		apps    = flag.String("apps", "", "comma-separated application abbreviations")
+		verb    = flag.Bool("v", false, "print per-frame progress")
+		report  = flag.String("report", "", "write a full markdown report (all experiments) to this file")
+		chart   = flag.Bool("chart", false, "render each experiment as an ASCII bar chart as well")
+		jsonOut = flag.Bool("json", false, "emit one structured JSON result per experiment (the objects gspcd serves) instead of text tables")
 	)
 	flag.Parse()
 
@@ -97,12 +99,23 @@ func main() {
 		}
 	}
 
+	enc := json.NewEncoder(os.Stdout)
 	for _, e := range selected {
 		start := time.Now()
 		tbl, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gspcsim: %s: %v\n", e.ID, err)
 			os.Exit(1)
+		}
+		if *jsonOut {
+			// One object per line (NDJSON), byte-identical to the bodies
+			// gspcd serves for the same options modulo encoder framing.
+			if err := enc.Encode(harness.BuildResult(e, opts, tbl)); err != nil {
+				fmt.Fprintf(os.Stderr, "gspcsim: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+			continue
 		}
 		tbl.Render(os.Stdout)
 		if *chart {

@@ -34,6 +34,12 @@ type Options struct {
 	MaxFramesPerApp int
 	// Apps restricts the run to the named applications (empty = all 12).
 	Apps []string
+	// Workers caps the trace-synthesis worker pool (0 = default of
+	// min(GOMAXPROCS, 4)). Each in-flight trace holds tens of MB, so
+	// deployments with memory headroom can raise it and constrained ones
+	// can set 1 for strictly sequential synthesis. Results are identical
+	// at any setting.
+	Workers int
 	// Progress, when non-nil, receives one line per completed frame.
 	Progress io.Writer
 }
@@ -54,8 +60,20 @@ func (o Options) normalized() Options {
 			o.CapacityFactor = 1.5
 		}
 	}
+	if o.MaxFramesPerApp < 0 {
+		o.MaxFramesPerApp = 0
+	}
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
 	return o
 }
+
+// Normalized returns the options with defaults applied: it is the exact
+// configuration an experiment runs with, so callers that derive cache
+// keys from options (internal/service) see the same canonical values for
+// every spelling of the defaults.
+func (o Options) Normalized() Options { return o.normalized() }
 
 // Geometry maps a paper LLC capacity (e.g. 8 MB) to the scaled model
 // geometry, keeping 16 ways and 64-byte blocks and quantizing to whole

@@ -20,9 +20,12 @@ import (
 // each frame so the full suite fits in modest memory.
 func forEachFrame(o Options, fn func(j workload.FrameJob, tr []stream.Access)) {
 	jobs := o.Jobs()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 4 {
-		workers = 4 // bounded: each in-flight trace holds tens of MB
+	workers := o.normalized().Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4 // bounded: each in-flight trace holds tens of MB
+		}
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestNormalizedDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Options
+		want Options
+	}{
+		{"zero options", Options{}, Options{Scale: 0.25, CapacityFactor: 1.5}},
+		{"negative scale", Options{Scale: -2}, Options{Scale: 0.25, CapacityFactor: 1.5}},
+		{"full scale gets unit capacity factor", Options{Scale: 1}, Options{Scale: 1, CapacityFactor: 1}},
+		{"above full scale", Options{Scale: 2}, Options{Scale: 2, CapacityFactor: 1}},
+		{"explicit factor survives", Options{Scale: 1, CapacityFactor: 1.5}, Options{Scale: 1, CapacityFactor: 1.5}},
+		{"negative frames clamp", Options{MaxFramesPerApp: -3}, Options{Scale: 0.25, CapacityFactor: 1.5}},
+		{"negative workers clamp", Options{Workers: -8}, Options{Scale: 0.25, CapacityFactor: 1.5}},
+		{"positive workers survive", Options{Workers: 2}, Options{Scale: 0.25, CapacityFactor: 1.5, Workers: 2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.in.normalized()
+			got.Progress = nil
+			got.Apps = nil
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("normalized(%+v) = %+v, want %+v", c.in, got, c.want)
+			}
+		})
+	}
+}
+
+func TestNormalizedIdempotent(t *testing.T) {
+	o := Options{Scale: -1, CapacityFactor: -1, MaxFramesPerApp: -1, Workers: -1}
+	once := o.normalized()
+	if twice := once.normalized(); !reflect.DeepEqual(twice, once) {
+		t.Errorf("normalized not idempotent: %+v then %+v", once, twice)
+	}
+	if exp := o.Normalized(); !reflect.DeepEqual(exp, once) {
+		t.Errorf("Normalized() = %+v, want %+v", exp, once)
+	}
+}
+
+func TestGeometryEdgeCases(t *testing.T) {
+	const paper8MB = 8 << 20
+
+	t.Run("zero scale uses default", func(t *testing.T) {
+		if g, d := (Options{}).Geometry(paper8MB), DefaultOptions().Geometry(paper8MB); g != d {
+			t.Errorf("zero-value geometry %v differs from default %v", g, d)
+		}
+	})
+
+	t.Run("negative scale uses default", func(t *testing.T) {
+		if g, d := (Options{Scale: -0.5}).Geometry(paper8MB), DefaultOptions().Geometry(paper8MB); g != d {
+			t.Errorf("negative-scale geometry %v differs from default %v", g, d)
+		}
+	})
+
+	t.Run("full scale is exact", func(t *testing.T) {
+		g := Options{Scale: 1}.Geometry(paper8MB)
+		if g.SizeBytes != paper8MB || g.Ways != 16 || g.BlockSize != 64 {
+			t.Errorf("full-scale geometry = %v, want 8MB/16w/64B", g)
+		}
+	})
+
+	t.Run("tiny scale floors at 16 sets", func(t *testing.T) {
+		g := Options{Scale: 0.01}.Geometry(paper8MB)
+		if got, want := g.Sets(), 16; got != want {
+			t.Errorf("tiny geometry has %d sets, want floor %d", got, want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("tiny geometry invalid: %v", err)
+		}
+	})
+
+	t.Run("tiny paper capacity floors at 16 sets", func(t *testing.T) {
+		g := DefaultOptions().Geometry(1024)
+		if got, want := g.Sets(), 16; got != want {
+			t.Errorf("1KB paper capacity gives %d sets, want floor %d", got, want)
+		}
+	})
+
+	t.Run("all scales quantize to whole sets", func(t *testing.T) {
+		for _, s := range []float64{0.1, 0.2, 0.25, 0.33, 0.5, 0.75, 1, 1.5} {
+			g := Options{Scale: s}.Geometry(paper8MB)
+			if err := g.Validate(); err != nil {
+				t.Errorf("scale %g: invalid geometry %v: %v", s, g, err)
+			}
+			if g.Ways != 16 || g.BlockSize != 64 {
+				t.Errorf("scale %g: geometry %v changed ways/block", s, g)
+			}
+		}
+	})
+}
+
+func TestBuildResultShape(t *testing.T) {
+	e := Experiment{ID: "x", Title: "test experiment"}
+	tbl := &Table{Title: "t", Columns: []string{"a", "b"}}
+	tbl.AddRow("App1", 1, 2)
+	tbl.AddRow("App2", 3) // short row: only present columns appear
+	tbl.AddRow("MEAN", 2, 2)
+	r := BuildResult(e, Options{}, tbl)
+	if r.Scale != 0.25 || r.CapacityFactor != 1.5 {
+		t.Errorf("result options not normalized: %+v", r)
+	}
+	if got := r.PerApp["App1"]["b"]; got != 2 {
+		t.Errorf("PerApp[App1][b] = %v, want 2", got)
+	}
+	if _, ok := r.PerApp["App2"]["b"]; ok {
+		t.Error("short row reported a value for missing column b")
+	}
+	if _, ok := r.PerApp["MEAN"]; ok {
+		t.Error("MEAN row leaked into PerApp")
+	}
+	if got := r.Mean["a"]; got != 2 {
+		t.Errorf("Mean[a] = %v, want 2", got)
+	}
+	if !strings.Contains(r.Rendered, "App1") {
+		t.Error("Rendered table missing rows")
+	}
+}

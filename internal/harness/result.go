@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"strings"
+)
+
+// Result is the serializable form of one experiment run: the full table,
+// a per-row metric map for scripted consumers, and the rendered text the
+// CLI prints. Its JSON encoding is deterministic (Go sorts map keys), so
+// identical options produce byte-identical payloads — the property the
+// service's result cache and the acceptance tests rely on.
+type Result struct {
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+
+	// The normalized configuration the experiment actually ran with.
+	Scale           float64  `json:"scale"`
+	CapacityFactor  float64  `json:"capacity_factor"`
+	MaxFramesPerApp int      `json:"max_frames_per_app,omitempty"`
+	Apps            []string `json:"apps,omitempty"`
+	// Geometry is the scaled model geometry the paper's 8 MB LLC maps to.
+	Geometry string `json:"geometry"`
+
+	Table *Table `json:"table"`
+	// PerApp maps each table row label (application abbreviation for the
+	// per-app figures, policy name for e.g. fig13) to its column values.
+	// The MEAN row is reported separately.
+	PerApp map[string]map[string]float64 `json:"per_app,omitempty"`
+	Mean   map[string]float64            `json:"mean,omitempty"`
+	// Rendered is the aligned text table, exactly as gspcsim prints it.
+	Rendered string `json:"rendered"`
+}
+
+// BuildResult assembles the serializable result for an experiment whose
+// table has already been computed under the given options.
+func BuildResult(e Experiment, o Options, t *Table) *Result {
+	o = o.normalized()
+	r := &Result{
+		Experiment:      e.ID,
+		Title:           e.Title,
+		Scale:           o.Scale,
+		CapacityFactor:  o.CapacityFactor,
+		MaxFramesPerApp: o.MaxFramesPerApp,
+		Apps:            o.Apps,
+		Geometry:        o.Geometry(paperLLCBytes).String(),
+		Table:           t,
+	}
+	for _, row := range t.Rows {
+		m := map[string]float64{}
+		for i, c := range t.Columns {
+			if i < len(row.Values) {
+				m[c] = row.Values[i]
+			}
+		}
+		if len(m) == 0 {
+			continue
+		}
+		if row.Label == "MEAN" {
+			r.Mean = m
+			continue
+		}
+		if r.PerApp == nil {
+			r.PerApp = map[string]map[string]float64{}
+		}
+		r.PerApp[row.Label] = m
+	}
+	var b strings.Builder
+	t.Render(&b)
+	r.Rendered = b.String()
+	return r
+}
+
+// RunResult runs the experiment with the given id (figures, tables, and
+// extensions all resolve) and returns its serializable result.
+func RunResult(id string, o Options) (*Result, error) {
+	e, ok := ByIDExt(id)
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	t, err := e.Run(o)
+	if err != nil {
+		return nil, err
+	}
+	return BuildResult(e, o, t), nil
+}
+
+// UnknownExperimentError reports a request for an experiment id that is
+// neither a paper figure nor an extension.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "harness: unknown experiment " + e.ID
+}

@@ -16,18 +16,19 @@ type analysisTracker = analysis.Tracker
 func attachTracker(c *cachesim.Cache) *analysis.Tracker { return analysis.Attach(c) }
 
 // Table is the text rendering of one experiment: one row per application
-// (plus a MEAN row) and one column per series.
+// (plus a MEAN row) and one column per series. The JSON form is part of
+// the service and -json CLI output, so the tags are load-bearing.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    []Row
-	Notes   []string
+	Title   string   `json:"title"`
+	Columns []string `json:"columns"`
+	Rows    []Row    `json:"rows"`
+	Notes   []string `json:"notes,omitempty"`
 }
 
 // Row is one labelled series of values; NaN-free by construction.
 type Row struct {
-	Label  string
-	Values []float64
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
 }
 
 // AddRow appends a row.

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"testing"
+
+	"gspc/internal/workload"
+)
+
+func TestRequestNormalizeAndKey(t *testing.T) {
+	base, err := Request{Experiment: "fig12"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Scale != 0.25 || base.CapacityFactor != 1.5 {
+		t.Fatalf("defaults not applied: %+v", base)
+	}
+
+	// Every spelling of the defaults shares the base key.
+	spellings := []Request{
+		{Experiment: "fig12", Scale: 0.25},
+		{Experiment: "fig12", Scale: 0.25, CapacityFactor: 1.5},
+		{Experiment: "fig12", Workers: 7}, // parallelism never changes results
+		{Experiment: "fig12", Frames: -1},
+	}
+	for _, r := range spellings {
+		n, err := r.Normalize()
+		if err != nil {
+			t.Fatalf("Normalize(%+v): %v", r, err)
+		}
+		if n.Key() != base.Key() {
+			t.Errorf("key for %+v = %s, want %s", r, n.Key(), base.Key())
+		}
+	}
+
+	// Different computations get different keys.
+	for _, r := range []Request{
+		{Experiment: "fig1"},
+		{Experiment: "fig12", Scale: 0.5},
+		{Experiment: "fig12", Frames: 1},
+		{Experiment: "fig12", Apps: []string{"Dirt"}},
+	} {
+		n, err := r.Normalize()
+		if err != nil {
+			t.Fatalf("Normalize(%+v): %v", r, err)
+		}
+		if n.Key() == base.Key() {
+			t.Errorf("distinct request %+v collided with base key", r)
+		}
+	}
+}
+
+func TestRequestNormalizeApps(t *testing.T) {
+	a, err := Request{Experiment: "fig1", Apps: []string{"Dirt", "AssnCreed", "Dirt", " "}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Request{Experiment: "fig1", Apps: []string{"AssnCreed", "Dirt"}}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Errorf("app order/duplicates changed the key: %v vs %v", a.Apps, b.Apps)
+	}
+
+	// Spelling out the full suite is the same computation as the default.
+	var all []string
+	for _, p := range workload.Profiles() {
+		all = append(all, p.Abbrev)
+	}
+	full, err := Request{Experiment: "fig1", Apps: all}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _ := Request{Experiment: "fig1"}.Normalize()
+	if full.Key() != def.Key() {
+		t.Error("explicit full app list did not collapse to the default key")
+	}
+
+	if _, err := (Request{Experiment: "fig1", Apps: []string{"NoSuchGame"}}).Normalize(); err == nil {
+		t.Error("unknown application accepted")
+	}
+	if _, err := (Request{Experiment: "nope"}).Normalize(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := (Request{Experiment: "fig1", Scale: 9}).Normalize(); err == nil {
+		t.Error("absurd scale accepted")
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c, err := newResultCache(2, "lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, vb, vc := &cached{runID: "a"}, &cached{runID: "b"}, &cached{runID: "c"}
+	c.Put("A", va)
+	c.Put("B", vb)
+	c.Get("A") // A becomes most recently used
+	c.Put("C", vc)
+
+	if _, ok := c.Get("B"); ok {
+		t.Error("LRU cache kept B, the least recently used entry")
+	}
+	if v, ok := c.Get("A"); !ok || v.runID != "a" {
+		t.Error("LRU cache evicted the recently touched A")
+	}
+	if v, ok := c.Get("C"); !ok || v.runID != "c" {
+		t.Error("LRU cache lost the newest entry C")
+	}
+	if _, _, ev := c.counters(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestResultCacheDRRIPStaysBounded(t *testing.T) {
+	c, err := newResultCache(4, "drrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h", "a", "b"}
+	for i, k := range keys {
+		c.Put(k, &cached{runID: k})
+		if got := c.Len(); got > 4 {
+			t.Fatalf("after %d puts: %d entries exceed capacity 4", i+1, got)
+		}
+	}
+	// Every resident key must round-trip.
+	resident := 0
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		if v, ok := c.Get(k); ok {
+			resident++
+			if v.runID != k {
+				t.Errorf("key %s returned value %s", k, v.runID)
+			}
+		}
+	}
+	h, m, ev := c.counters()
+	if int(ev)+c.Len() < 8-int(c.declined) {
+		t.Errorf("bookkeeping leak: %d evictions + %d resident + %d declined < 8 distinct puts", ev, c.Len(), c.declined)
+	}
+	if resident != c.Len() {
+		t.Errorf("found %d keys by Get but Len reports %d", resident, c.Len())
+	}
+	_ = h
+	_ = m
+}
+
+func TestResultCacheFirstValueWins(t *testing.T) {
+	c, err := newResultCache(2, "lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("A", &cached{runID: "first"})
+	c.Put("A", &cached{runID: "second"})
+	if v, _ := c.Get("A"); v.runID != "first" {
+		t.Errorf("re-Put replaced the deterministic original: got %s", v.runID)
+	}
+}
+
+func TestResultCacheDisabledAndBadPolicy(t *testing.T) {
+	c, err := newResultCache(0, "lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("A", &cached{})
+	if _, ok := c.Get("A"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.PolicyName() != "none" {
+		t.Errorf("disabled cache policy = %q", c.PolicyName())
+	}
+	if _, err := newResultCache(4, "belady"); err == nil {
+		t.Error("unknown cache policy accepted")
+	}
+}

@@ -1,0 +1,352 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gspc/internal/harness"
+)
+
+// Engine errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull signals backpressure: the job queue is at capacity
+	// (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrShuttingDown is returned for submissions after Shutdown began
+	// (HTTP 503).
+	ErrShuttingDown = errors.New("service: shutting down")
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Config sizes an Engine. The zero value gets sensible defaults.
+type Config struct {
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it fail with ErrQueueFull. Default 64.
+	QueueDepth int
+	// Workers is the number of concurrent experiment runners. Default
+	// GOMAXPROCS.
+	Workers int
+	// CacheEntries is the result cache capacity (0 disables caching,
+	// < 0 means default). Default 128.
+	CacheEntries int
+	// CachePolicy selects the eviction policy backing the result cache:
+	// one of CachePolicyNames. Default "lru".
+	CachePolicy string
+	// Run overrides the experiment runner (tests). Default: the harness.
+	Run func(Request) (*harness.Result, error)
+	// KeepFinished bounds how many finished jobs stay queryable via
+	// JobStatus. Default 1024.
+	KeepFinished int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 128
+	}
+	if c.CachePolicy == "" {
+		c.CachePolicy = "lru"
+	}
+	if c.Run == nil {
+		c.Run = func(r Request) (*harness.Result, error) {
+			return harness.RunResult(r.Experiment, r.Options())
+		}
+	}
+	if c.KeepFinished <= 0 {
+		c.KeepFinished = 1024
+	}
+	return c
+}
+
+// Job tracks one queued computation. Fields other than the immutable
+// ID/Req/Key are guarded by the engine mutex; readers use JobStatus.
+type Job struct {
+	ID  string
+	Req Request
+	Key string
+
+	done chan struct{}
+
+	status             Status
+	enqueued, started  time.Time
+	finished           time.Time
+	result             *cached
+	err                error
+	coalesced          int64
+	durationWhenCached time.Duration
+}
+
+// JobStatus is the queryable snapshot of a job (GET /v1/runs/{id}).
+type JobStatus struct {
+	ID         string          `json:"id"`
+	Experiment string          `json:"experiment"`
+	Key        string          `json:"key"`
+	Status     Status          `json:"status"`
+	Enqueued   time.Time       `json:"enqueued"`
+	Started    *time.Time      `json:"started,omitempty"`
+	Finished   *time.Time      `json:"finished,omitempty"`
+	DurationMs float64         `json:"duration_ms,omitempty"`
+	Coalesced  int64           `json:"coalesced,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// Reply is the outcome of a synchronous request: the exact result bytes
+// (identical across cache replays) plus serving metadata that travels in
+// headers, never in the body.
+type Reply struct {
+	Body      []byte
+	RunID     string
+	Cached    bool
+	Coalesced bool
+	Duration  time.Duration
+}
+
+// Engine owns the queue, the worker pool, the coalescing table, and the
+// policy-backed result cache.
+type Engine struct {
+	cfg   Config
+	cache *resultCache
+	queue chan *Job
+
+	mu       sync.Mutex
+	closing  bool
+	nextID   int64
+	jobs     map[string]*Job
+	order    []string // finished job ids, oldest first, for pruning
+	inflight map[string]*Job
+
+	wg    sync.WaitGroup
+	start time.Time
+
+	// counters, guarded by mu
+	requests, rejected, coalesced int64
+	completed, failed             int64
+	lat                           latencies
+}
+
+// NewEngine builds and starts an engine; callers must Shutdown it.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	cache, err := newResultCache(cfg.CacheEntries, cfg.CachePolicy)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		cache:    cache,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     map[string]*Job{},
+		inflight: map[string]*Job{},
+		start:    time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Do serves one request synchronously: a cache hit returns immediately,
+// otherwise the request is enqueued (coalescing onto an identical
+// in-flight job if one exists) and Do blocks until the job finishes or
+// ctx is done. The job keeps running if ctx expires first — a later
+// identical request will find its result in the cache.
+func (e *Engine) Do(ctx context.Context, req Request) (*Reply, error) {
+	job, rep, err := e.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	if rep != nil {
+		return rep, nil
+	}
+	select {
+	case <-job.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return e.replyFor(job)
+}
+
+// Submit validates and enqueues a request. Exactly one of the returns is
+// meaningful: a Reply for a cache hit (no job), otherwise the queued or
+// coalesced-onto Job whose done channel the caller may wait on.
+func (e *Engine) Submit(req Request) (*Job, *Reply, error) {
+	req, err := req.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	key := req.Key()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.requests++
+	if e.closing {
+		return nil, nil, ErrShuttingDown
+	}
+	if v, ok := e.cache.Get(key); ok {
+		return nil, &Reply{Body: v.body, RunID: v.runID, Cached: true}, nil
+	}
+	if job, ok := e.inflight[key]; ok {
+		job.coalesced++
+		e.coalesced++
+		return job, nil, nil
+	}
+	e.nextID++
+	job := &Job{
+		ID:       fmt.Sprintf("run-%06d", e.nextID),
+		Req:      req,
+		Key:      key,
+		done:     make(chan struct{}),
+		status:   StatusQueued,
+		enqueued: time.Now(),
+	}
+	select {
+	case e.queue <- job:
+	default:
+		e.rejected++
+		return nil, nil, ErrQueueFull
+	}
+	e.jobs[job.ID] = job
+	e.inflight[key] = job
+	return job, nil, nil
+}
+
+// replyFor builds the Reply for a finished job.
+func (e *Engine) replyFor(job *Job) (*Reply, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if job.err != nil {
+		return nil, job.err
+	}
+	return &Reply{
+		Body:      job.result.body,
+		RunID:     job.ID,
+		Coalesced: job.coalesced > 0,
+		Duration:  job.finished.Sub(job.started),
+	}, nil
+}
+
+// JobStatus returns the snapshot of a tracked job.
+func (e *Engine) JobStatus(id string) (JobStatus, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	job, ok := e.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	s := JobStatus{
+		ID:         job.ID,
+		Experiment: job.Req.Experiment,
+		Key:        job.Key,
+		Status:     job.status,
+		Enqueued:   job.enqueued,
+		Coalesced:  job.coalesced,
+	}
+	if !job.started.IsZero() {
+		t := job.started
+		s.Started = &t
+	}
+	if !job.finished.IsZero() {
+		t := job.finished
+		s.Finished = &t
+		s.DurationMs = float64(job.finished.Sub(job.started)) / float64(time.Millisecond)
+	}
+	if job.err != nil {
+		s.Error = job.err.Error()
+	}
+	if job.result != nil {
+		s.Result = json.RawMessage(job.result.body)
+	}
+	return s, true
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for job := range e.queue {
+		e.mu.Lock()
+		job.status = StatusRunning
+		job.started = time.Now()
+		e.mu.Unlock()
+
+		res, err := e.cfg.Run(job.Req)
+		var entry *cached
+		if err == nil {
+			var body []byte
+			body, err = json.Marshal(res)
+			if err == nil {
+				entry = &cached{body: body, runID: job.ID}
+			}
+		}
+
+		e.mu.Lock()
+		job.finished = time.Now()
+		if err != nil {
+			job.status = StatusFailed
+			job.err = err
+			e.failed++
+		} else {
+			job.status = StatusDone
+			job.result = entry
+			e.cache.Put(job.Key, entry)
+			e.completed++
+			e.lat.record(job.finished.Sub(job.started))
+		}
+		delete(e.inflight, job.Key)
+		e.pruneLocked(job.ID)
+		e.mu.Unlock()
+		close(job.done)
+	}
+}
+
+// pruneLocked records a finished job and drops the oldest finished jobs
+// beyond the retention bound. Callers hold e.mu.
+func (e *Engine) pruneLocked(id string) {
+	e.order = append(e.order, id)
+	for len(e.order) > e.cfg.KeepFinished {
+		delete(e.jobs, e.order[0])
+		e.order = e.order[1:]
+	}
+}
+
+// Shutdown stops accepting work, drains queued and running jobs, and
+// waits for the workers to exit or ctx to expire.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.closing {
+		e.closing = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

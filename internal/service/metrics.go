@@ -1,0 +1,92 @@
+package service
+
+import (
+	"sort"
+	"time"
+)
+
+// latencySamples bounds the completed-job duration window percentiles
+// are computed over.
+const latencySamples = 512
+
+// latencies is a fixed ring of recent job durations in milliseconds.
+type latencies struct {
+	ring  [latencySamples]float64
+	n     int // total recorded
+	count int // valid entries in ring
+}
+
+func (l *latencies) record(d time.Duration) {
+	l.ring[l.n%latencySamples] = float64(d) / float64(time.Millisecond)
+	l.n++
+	if l.count < latencySamples {
+		l.count++
+	}
+}
+
+// percentiles returns (p50, p95) over the window, zeros when empty.
+func (l *latencies) percentiles() (p50, p95 float64) {
+	if l.count == 0 {
+		return 0, 0
+	}
+	s := make([]float64, l.count)
+	copy(s, l.ring[:l.count])
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return at(0.50), at(0.95)
+}
+
+// Metrics is the counter snapshot served at /metricsz.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Requests  int64 `json:"requests"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+	Coalesced int64 `json:"coalesced"`
+
+	CacheHits      int64  `json:"cache_hits"`
+	CacheMisses    int64  `json:"cache_misses"`
+	CacheEvictions int64  `json:"cache_evictions"`
+	CacheEntries   int    `json:"cache_entries"`
+	CacheCapacity  int    `json:"cache_capacity"`
+	CachePolicy    string `json:"cache_policy"`
+
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Workers       int `json:"workers"`
+
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+}
+
+// Metrics snapshots the engine counters.
+func (e *Engine) Metrics() Metrics {
+	hits, misses, evictions := e.cache.counters()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p50, p95 := e.lat.percentiles()
+	return Metrics{
+		UptimeSeconds:  time.Since(e.start).Seconds(),
+		Requests:       e.requests,
+		Completed:      e.completed,
+		Failed:         e.failed,
+		Rejected:       e.rejected,
+		Coalesced:      e.coalesced,
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: evictions,
+		CacheEntries:   e.cache.Len(),
+		CacheCapacity:  e.cache.ways,
+		CachePolicy:    e.cache.PolicyName(),
+		QueueDepth:     len(e.queue),
+		QueueCapacity:  e.cfg.QueueDepth,
+		Workers:        e.cfg.Workers,
+		LatencyP50Ms:   p50,
+		LatencyP95Ms:   p95,
+	}
+}

@@ -1,0 +1,151 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server is the HTTP face of an Engine. Routes:
+//
+//	GET  /healthz          liveness
+//	GET  /metricsz         Metrics snapshot
+//	GET  /v1/experiments   runnable experiment ids and titles
+//	POST /v1/runs          run (or replay) an experiment; ?wait=0 queues
+//	GET  /v1/runs/{id}     job status and, when done, its result
+//
+// Successful POST bodies are the exact cached result bytes; serving
+// metadata (cache disposition, run id, duration) travels in X-Gspc-*
+// headers so replays stay byte-identical.
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// NewServer wires the routes for an engine.
+func NewServer(e *Engine) *Server {
+	s := &Server{engine: e, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRunStatus)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Metrics())
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": Experiments()})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if r.URL.Query().Get("wait") == "0" {
+		s.handleRunAsync(w, req)
+		return
+	}
+	rep, err := s.engine.Do(r.Context(), req)
+	if err != nil {
+		s.writeEngineError(w, r, err)
+		return
+	}
+	s.writeReply(w, http.StatusOK, rep)
+}
+
+// handleRunAsync queues the job and returns 202 with its id; a cache hit
+// still returns the result immediately.
+func (s *Server) handleRunAsync(w http.ResponseWriter, req Request) {
+	job, rep, err := s.engine.Submit(req)
+	if err != nil {
+		s.writeEngineErrorNoCtx(w, err)
+		return
+	}
+	if rep != nil {
+		s.writeReply(w, http.StatusOK, rep)
+		return
+	}
+	w.Header().Set("Location", "/v1/runs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID, "status": string(StatusQueued)})
+}
+
+func (s *Server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.engine.JobStatus(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run id")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// writeReply sends the exact result bytes with serving metadata in
+// headers only.
+func (s *Server) writeReply(w http.ResponseWriter, code int, rep *Reply) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	disposition := "miss"
+	switch {
+	case rep.Cached:
+		disposition = "hit"
+	case rep.Coalesced:
+		disposition = "coalesced"
+	}
+	h.Set("X-Gspc-Cache", disposition)
+	h.Set("X-Gspc-Run", rep.RunID)
+	h.Set("X-Gspc-Duration-Ms", strconv.FormatFloat(float64(rep.Duration)/float64(time.Millisecond), 'f', 3, 64))
+	w.WriteHeader(code)
+	w.Write(rep.Body)
+	if len(rep.Body) == 0 || rep.Body[len(rep.Body)-1] != '\n' {
+		fmt.Fprintln(w)
+	}
+}
+
+func (s *Server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+		// The client went away; the job keeps running for future replays.
+		writeError(w, http.StatusGatewayTimeout, "request cancelled while waiting: "+err.Error())
+		return
+	}
+	s.writeEngineErrorNoCtx(w, err)
+}
+
+func (s *Server) writeEngineErrorNoCtx(w http.ResponseWriter, err error) {
+	var bad *BadRequestError
+	switch {
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, bad.Reason)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}

@@ -1,0 +1,236 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gspc/internal/harness"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Engine) {
+	t.Helper()
+	e := newTestEngine(t, cfg)
+	ts := httptest.NewServer(NewServer(e))
+	t.Cleanup(ts.Close)
+	return ts, e
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postRun(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestServerBasicEndpoints(t *testing.T) {
+	var calls int64
+	ts, _ := newTestServer(t, Config{Workers: 1, CacheEntries: 8, Run: countingRunner(&calls)})
+
+	var health map[string]string
+	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != 200 || health["status"] != "ok" {
+		t.Errorf("healthz = %d %v", resp.StatusCode, health)
+	}
+
+	var exps struct {
+		Experiments []ExperimentInfo `json:"experiments"`
+	}
+	getJSON(t, ts.URL+"/v1/experiments", &exps)
+	if len(exps.Experiments) != len(harness.All())+len(harness.Extensions()) {
+		t.Errorf("experiments listed %d, want %d", len(exps.Experiments), len(harness.All())+len(harness.Extensions()))
+	}
+	found := false
+	for _, e := range exps.Experiments {
+		if e.ID == "fig12" && e.Kind == "paper" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("fig12 missing from experiment list")
+	}
+
+	if resp, body := postRun(t, ts.URL, `{"experiment":"nope"}`); resp.StatusCode != 400 {
+		t.Errorf("unknown experiment: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := postRun(t, ts.URL, `{broken`); resp.StatusCode != 400 {
+		t.Errorf("malformed body: %d %s", resp.StatusCode, body)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/runs/run-999999", nil); resp.StatusCode != 404 {
+		t.Errorf("unknown run id: %d", resp.StatusCode)
+	}
+
+	var m Metrics
+	getJSON(t, ts.URL+"/metricsz", &m)
+	if m.QueueCapacity == 0 || m.CachePolicy != "LRU" {
+		t.Errorf("metricsz = %+v", m)
+	}
+}
+
+func TestServerAsyncRunLifecycle(t *testing.T) {
+	var calls int64
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	ts, _ := newTestServer(t, Config{Workers: 1, CacheEntries: 8,
+		Run: gatedRunner(started, release, &calls)})
+
+	resp, body := func() (*http.Response, []byte) {
+		r, err := http.Post(ts.URL+"/v1/runs?wait=0", "application/json",
+			strings.NewReader(`{"experiment":"fig4","frames":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		return r, b
+	}()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async POST = %d %s", resp.StatusCode, body)
+	}
+	var acc map[string]string
+	if err := json.Unmarshal(body, &acc); err != nil || acc["id"] == "" {
+		t.Fatalf("async POST body %s: %v", body, err)
+	}
+	loc := resp.Header.Get("Location")
+	if loc != "/v1/runs/"+acc["id"] {
+		t.Errorf("Location = %q", loc)
+	}
+
+	<-started // the worker picked the job up
+	close(release)
+	deadline := time.After(5 * time.Second)
+	for {
+		var st JobStatus
+		getJSON(t, ts.URL+loc, &st)
+		if st.Status == StatusDone {
+			if len(st.Result) == 0 {
+				t.Error("done job status has no result")
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job never finished: %+v", st)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if got := atomic.LoadInt64(&calls); got != 1 {
+		t.Errorf("runner calls = %d, want 1", got)
+	}
+}
+
+// TestServerEndToEndCachedReplay is the acceptance flow: POST the same
+// real experiment twice and require a byte-identical, cache-served,
+// faster second response. tab1 needs no trace synthesis, so the real
+// harness stays fast enough for -race.
+func TestServerEndToEndCachedReplay(t *testing.T) {
+	ts, e := newTestServer(t, Config{Workers: 2, CacheEntries: 16})
+
+	body := `{"experiment":"tab1"}`
+	resp1, b1 := postRun(t, ts.URL, body)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("first POST = %d %s", resp1.StatusCode, b1)
+	}
+	if got := resp1.Header.Get("X-Gspc-Cache"); got != "miss" {
+		t.Errorf("first POST cache disposition = %q, want miss", got)
+	}
+	resp2, b2 := postRun(t, ts.URL, body)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("second POST = %d %s", resp2.StatusCode, b2)
+	}
+	if got := resp2.Header.Get("X-Gspc-Cache"); got != "hit" {
+		t.Errorf("second POST cache disposition = %q, want hit", got)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("cached replay not byte-identical:\n%s\n%s", b1, b2)
+	}
+	if resp2.Header.Get("X-Gspc-Run") != resp1.Header.Get("X-Gspc-Run") {
+		t.Error("cached replay names a different run")
+	}
+
+	var res harness.Result
+	if err := json.Unmarshal(b1, &res); err != nil {
+		t.Fatalf("result body not a harness.Result: %v", err)
+	}
+	if res.Experiment != "tab1" || len(res.Table.Rows) == 0 || res.Rendered == "" {
+		t.Errorf("result incomplete: %+v", res)
+	}
+
+	m := e.Metrics()
+	if m.CacheHits != 1 || m.Completed != 1 {
+		t.Errorf("metrics = %+v, want exactly one computation and one hit", m)
+	}
+	if m.LatencyP50Ms <= 0 {
+		t.Errorf("latency percentiles missing: %+v", m)
+	}
+}
+
+// TestServerEndToEndFig12 runs the full acceptance criterion — fig12 at
+// frames=1 twice — against the real harness. ~12s of simulation, so
+// -short skips it.
+func TestServerEndToEndFig12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 runs the full 12-app suite; skipped with -short")
+	}
+	ts, e := newTestServer(t, Config{Workers: 2, CacheEntries: 16})
+
+	body := `{"experiment":"fig12","frames":1}`
+	start := time.Now()
+	resp1, b1 := postRun(t, ts.URL, body)
+	coldLatency := time.Since(start)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("first POST = %d %s", resp1.StatusCode, b1)
+	}
+	start = time.Now()
+	resp2, b2 := postRun(t, ts.URL, body)
+	warmLatency := time.Since(start)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("second POST = %d %s", resp2.StatusCode, b2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("fig12 cached replay not byte-identical")
+	}
+	if got := resp2.Header.Get("X-Gspc-Cache"); got != "hit" {
+		t.Errorf("second POST disposition = %q, want hit", got)
+	}
+	if m := e.Metrics(); m.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", m.CacheHits)
+	}
+	if warmLatency > coldLatency/10 {
+		t.Errorf("cached replay latency %v not clearly below cold %v", warmLatency, coldLatency)
+	}
+	var res harness.Result
+	if err := json.Unmarshal(b1, &res); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Mean["GSPC+UCD"]; !ok {
+		t.Errorf("fig12 result missing GSPC+UCD mean: %v", res.Mean)
+	}
+}

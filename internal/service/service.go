@@ -1,0 +1,133 @@
+// Package service turns the one-shot experiment harness into a serving
+// system: a canonical request type with deterministic cache keys, a
+// bounded job queue with backpressure, a worker pool, coalescing of
+// concurrent identical requests, and an in-memory result cache whose
+// eviction is delegated to the repo's own LLC replacement policies
+// (internal/policy) — the reproduction dogfooding its subject matter.
+// cmd/gspcd exposes the engine over HTTP.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"gspc/internal/harness"
+	"gspc/internal/workload"
+)
+
+// Request names one experiment run: an experiment id plus the harness
+// options that shape it. It is the wire format of POST /v1/runs.
+type Request struct {
+	Experiment string `json:"experiment"`
+	// Scale is the linear frame scale (0 = harness default, 0.25).
+	Scale float64 `json:"scale,omitempty"`
+	// CapacityFactor calibrates the scaled LLC capacity (0 = default).
+	CapacityFactor float64 `json:"capacity_factor,omitempty"`
+	// Frames truncates each application's frame list (0 = all).
+	Frames int `json:"frames,omitempty"`
+	// Apps restricts the run to the named applications (empty = all).
+	Apps []string `json:"apps,omitempty"`
+	// Workers caps the harness trace-synthesis pool (0 = default). It
+	// changes wall-clock time only, never results, so it is excluded
+	// from the cache key.
+	Workers int `json:"workers,omitempty"`
+}
+
+// BadRequestError reports a request the engine refuses to run; HTTP
+// handlers map it to 400.
+type BadRequestError struct{ Reason string }
+
+func (e *BadRequestError) Error() string { return "service: bad request: " + e.Reason }
+
+// Normalize validates the request and folds every spelling of the
+// defaults onto one canonical form: harness defaults are applied, the
+// app list is de-duplicated, sorted, and checked against the workload
+// suite, and an explicit full app list collapses to "all apps". Two
+// requests for the same computation therefore normalize identically,
+// which is what makes Key a sound cache key.
+func (r Request) Normalize() (Request, error) {
+	if _, ok := harness.ByIDExt(r.Experiment); !ok {
+		return r, &BadRequestError{Reason: fmt.Sprintf("unknown experiment %q", r.Experiment)}
+	}
+	if r.Scale < 0 || r.Scale > 4 {
+		return r, &BadRequestError{Reason: fmt.Sprintf("scale %g out of range (0, 4]", r.Scale)}
+	}
+	o := harness.Options{
+		Scale:           r.Scale,
+		CapacityFactor:  r.CapacityFactor,
+		MaxFramesPerApp: r.Frames,
+		Workers:         r.Workers,
+	}.Normalized()
+	r.Scale = o.Scale
+	r.CapacityFactor = o.CapacityFactor
+	r.Frames = o.MaxFramesPerApp
+	r.Workers = o.Workers
+
+	if len(r.Apps) > 0 {
+		seen := map[string]bool{}
+		apps := make([]string, 0, len(r.Apps))
+		for _, a := range r.Apps {
+			a = strings.TrimSpace(a)
+			if a == "" || seen[a] {
+				continue
+			}
+			if _, ok := workload.ProfileByAbbrev(a); !ok {
+				return r, &BadRequestError{Reason: fmt.Sprintf("unknown application %q", a)}
+			}
+			seen[a] = true
+			apps = append(apps, a)
+		}
+		sort.Strings(apps)
+		if len(apps) == len(workload.Profiles()) {
+			apps = nil // the full suite, spelled out
+		}
+		r.Apps = apps
+	}
+	return r, nil
+}
+
+// Options maps the request to harness options. Call Normalize first.
+func (r Request) Options() harness.Options {
+	return harness.Options{
+		Scale:           r.Scale,
+		CapacityFactor:  r.CapacityFactor,
+		MaxFramesPerApp: r.Frames,
+		Apps:            r.Apps,
+		Workers:         r.Workers,
+	}
+}
+
+// Key returns the deterministic cache key of a normalized request: a
+// hash over every field that can change the result. Workers is excluded
+// (parallelism never changes experiment output) and so is any progress
+// sink. Identical computations — however their defaults were spelled —
+// share a key.
+func (r Request) Key() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "exp=%s|scale=%g|capf=%g|frames=%d|apps=%s",
+		r.Experiment, r.Scale, r.CapacityFactor, r.Frames, strings.Join(r.Apps, ","))
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// ExperimentInfo describes one runnable experiment for GET /v1/experiments.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Kind  string `json:"kind"` // "paper" or "extension"
+}
+
+// Experiments lists every runnable experiment: the paper's figures and
+// tables first, then the extensions and ablations.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range harness.All() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title, Kind: "paper"})
+	}
+	for _, e := range harness.Extensions() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title, Kind: "extension"})
+	}
+	return out
+}
