@@ -6,13 +6,18 @@
 //
 //	gspcd [-addr :8080] [-queue 64] [-workers N] [-sim-workers N]
 //	      [-cache-entries 128] [-cache-policy lru|nru|drrip]
+//	      [-job-timeout 0] [-max-retries 2] [-retry-backoff 50ms]
+//	      [-breaker-threshold 5] [-breaker-cooldown 30s]
+//	      [-serve-stale] [-max-work 0]
 //
 // Endpoints:
 //
 //	GET  /healthz          liveness
+//	GET  /readyz           readiness (503 while draining/saturated/broken)
 //	GET  /metricsz         counters: hits/misses, queue depth, latency percentiles
 //	GET  /v1/experiments   runnable experiment ids
-//	POST /v1/runs          {"experiment":"fig12","frames":1,...}; ?wait=0 queues
+//	POST /v1/runs          {"experiment":"fig12","frames":1,...}; ?wait=0 queues,
+//	                       ?timeout_ms=N caps the run deadline
 //	GET  /v1/runs/{id}     job status and result
 //
 // SIGINT/SIGTERM drain in-flight jobs before exiting.
@@ -44,23 +49,38 @@ func main() {
 		cacheSize   = flag.Int("cache-entries", 128, "result cache capacity in entries (0 disables)")
 		cachePolicy = flag.String("cache-policy", "lru", "result cache eviction policy: "+strings.Join(service.CachePolicyNames(), "|"))
 		drain       = flag.Duration("drain-timeout", 5*time.Minute, "max time to drain in-flight jobs on shutdown")
+
+		jobTimeout  = flag.Duration("job-timeout", 0, "engine-wide per-job deadline; request timeout_ms can only tighten it (0 = none)")
+		maxRetries  = flag.Int("max-retries", 2, "retries for transient failures (-1 disables)")
+		backoff     = flag.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff; attempt k waits base*2^k with jitter")
+		brkThresh   = flag.Int("breaker-threshold", 5, "consecutive failures before an experiment's circuit breaker opens (-1 disables)")
+		brkCooldown = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker fast-fails before probing")
+		serveStale  = flag.Bool("serve-stale", false, "while a breaker is open, answer with the experiment's last good result instead of 503")
+		maxWork     = flag.Float64("max-work", 0, "admission ceiling in frame-equivalents (frames × scale²) per request (0 = unlimited)")
 	)
 	flag.Parse()
 
 	cfg := service.Config{
-		QueueDepth:   *queue,
-		Workers:      *workers,
-		CacheEntries: *cacheSize,
-		CachePolicy:  *cachePolicy,
+		QueueDepth:       *queue,
+		Workers:          *workers,
+		CacheEntries:     *cacheSize,
+		CachePolicy:      *cachePolicy,
+		JobTimeout:       *jobTimeout,
+		MaxRetries:       *maxRetries,
+		RetryBackoff:     *backoff,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		ServeStale:       *serveStale,
+		MaxWork:          *maxWork,
 	}
 	if *simWorkers > 0 {
 		sw := *simWorkers
-		cfg.Run = func(r service.Request) (*harness.Result, error) {
+		cfg.Run = func(ctx context.Context, r service.Request) (*harness.Result, error) {
 			o := r.Options()
 			if o.Workers == 0 {
 				o.Workers = sw
 			}
-			return harness.RunResult(r.Experiment, o)
+			return harness.RunResultContext(ctx, r.Experiment, o)
 		}
 	}
 	engine, err := service.NewEngine(cfg)

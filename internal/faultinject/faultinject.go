@@ -1,0 +1,225 @@
+// Package faultinject provides deterministic, seedable fault injection
+// for exercising the serving stack's failure paths. An Injector decides,
+// per call, whether to panic, return a transient error, sleep, or let
+// the call proceed; the decision sequence is fully determined by the
+// seed (random mode) or the script (sequence mode), so chaos tests can
+// replay the exact same failure storm on every run.
+//
+// The package is dependency-free and knows nothing about the service
+// layer: callers wrap their own runner seam, e.g.
+//
+//	inj := faultinject.NewRandom(42, faultinject.Spec{PanicRate: 0.1, ErrorRate: 0.2})
+//	cfg.Run = func(ctx context.Context, r service.Request) (*harness.Result, error) {
+//		if err := inj.Apply(ctx); err != nil {
+//			return nil, err
+//		}
+//		return realRun(ctx, r)
+//	}
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// TransientError is an injected retryable failure. It implements
+// Retryable() so retry-aware callers (internal/service) classify it as
+// safe to re-attempt.
+type TransientError struct {
+	// N is the injection sequence number that produced the error, which
+	// makes storm logs attributable to a specific decision.
+	N int64
+}
+
+// Error implements error.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: transient failure #%d", e.N)
+}
+
+// Retryable marks the error as safe to retry.
+func (e *TransientError) Retryable() bool { return true }
+
+// PanicValue is the value injected panics carry, so recover sites can
+// attribute a panic to the injector rather than to a real bug.
+type PanicValue struct {
+	// N is the injection sequence number.
+	N int64
+}
+
+// String renders the panic value for stack traces and logs.
+func (p PanicValue) String() string {
+	return fmt.Sprintf("faultinject: injected panic #%d", p.N)
+}
+
+// Outcome is one scripted decision: at most one of Panic/Err is acted
+// on (Panic wins), after an optional context-aware Delay.
+type Outcome struct {
+	// Delay sleeps before anything else, honoring context cancellation.
+	Delay time.Duration
+	// Panic triggers panic(PanicValue{...}) when true.
+	Panic bool
+	// Err, when non-nil, is returned to the caller.
+	Err error
+}
+
+// Spec parameterizes a random injector. Rates are probabilities in
+// [0, 1] evaluated in order panic, error, delay per call; the remainder
+// passes through untouched.
+type Spec struct {
+	PanicRate float64
+	ErrorRate float64
+	DelayRate float64
+	// Delay is the sleep applied when a delay fires (default 1ms).
+	Delay time.Duration
+}
+
+// Injector decides and applies one fault per call.
+type Injector interface {
+	// Apply executes the next decision: it may sleep (bounded by ctx),
+	// panic with a PanicValue, return an injected error, or return nil
+	// for a pass-through. A cancelled sleep returns ctx.Err().
+	Apply(ctx context.Context) error
+}
+
+// Counts tallies applied decisions for test assertions.
+type Counts struct {
+	Calls   int64
+	Panics  int64
+	Errors  int64
+	Delays  int64
+	Passes  int64
+	Cancels int64
+}
+
+// Random injects faults following Spec probabilities from a seeded
+// source: the same seed yields the same decision sequence regardless of
+// wall-clock or scheduling (callers racing on one injector still each
+// get a deterministic multiset of outcomes).
+type Random struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	spec   Spec
+	n      int64
+	counts Counts
+}
+
+// NewRandom builds a seeded random injector.
+func NewRandom(seed int64, spec Spec) *Random {
+	if spec.Delay <= 0 {
+		spec.Delay = time.Millisecond
+	}
+	return &Random{rng: rand.New(rand.NewSource(seed)), spec: spec}
+}
+
+// Apply implements Injector.
+func (r *Random) Apply(ctx context.Context) error {
+	r.mu.Lock()
+	r.n++
+	n := r.n
+	r.counts.Calls++
+	roll := r.rng.Float64()
+	var out Outcome
+	switch {
+	case roll < r.spec.PanicRate:
+		out.Panic = true
+		r.counts.Panics++
+	case roll < r.spec.PanicRate+r.spec.ErrorRate:
+		out.Err = &TransientError{N: n}
+		r.counts.Errors++
+	case roll < r.spec.PanicRate+r.spec.ErrorRate+r.spec.DelayRate:
+		out.Delay = r.spec.Delay
+		r.counts.Delays++
+	default:
+		r.counts.Passes++
+	}
+	r.mu.Unlock()
+	return apply(ctx, out, n, &r.mu, &r.counts)
+}
+
+// Counts returns a snapshot of the tally.
+func (r *Random) Counts() Counts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts
+}
+
+// Seq replays a fixed script of outcomes in order; calls beyond the
+// script pass through. It gives breaker and retry tests exact control:
+// "fail three times, then succeed".
+type Seq struct {
+	mu     sync.Mutex
+	outs   []Outcome
+	n      int64
+	counts Counts
+}
+
+// NewSequence builds a scripted injector.
+func NewSequence(outs ...Outcome) *Seq {
+	return &Seq{outs: outs}
+}
+
+// Fail is a convenience Outcome returning a TransientError.
+func Fail() Outcome { return Outcome{Err: &TransientError{}} }
+
+// Panic is a convenience Outcome triggering an injected panic.
+func Panic() Outcome { return Outcome{Panic: true} }
+
+// Pass is a convenience no-op Outcome.
+func Pass() Outcome { return Outcome{} }
+
+// Apply implements Injector.
+func (s *Seq) Apply(ctx context.Context) error {
+	s.mu.Lock()
+	s.n++
+	n := s.n
+	s.counts.Calls++
+	var out Outcome
+	if int(n) <= len(s.outs) {
+		out = s.outs[n-1]
+	}
+	switch {
+	case out.Panic:
+		s.counts.Panics++
+	case out.Err != nil:
+		s.counts.Errors++
+		if te, ok := out.Err.(*TransientError); ok && te.N == 0 {
+			out.Err = &TransientError{N: n}
+		}
+	case out.Delay > 0:
+		s.counts.Delays++
+	default:
+		s.counts.Passes++
+	}
+	s.mu.Unlock()
+	return apply(ctx, out, n, &s.mu, &s.counts)
+}
+
+// Counts returns a snapshot of the tally.
+func (s *Seq) Counts() Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts
+}
+
+// apply executes an outcome: sleep, then panic or return the error.
+func apply(ctx context.Context, out Outcome, n int64, mu *sync.Mutex, counts *Counts) error {
+	if out.Delay > 0 {
+		t := time.NewTimer(out.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			mu.Lock()
+			counts.Cancels++
+			mu.Unlock()
+			return ctx.Err()
+		}
+	}
+	if out.Panic {
+		panic(PanicValue{N: n})
+	}
+	return out.Err
+}

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// applyOne runs Apply and folds a panic back into a labelled outcome.
+func applyOne(inj Injector, ctx context.Context) (outcome string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(PanicValue); !ok {
+				panic(r) // not ours: real bug, re-raise
+			}
+			outcome = "panic"
+		}
+	}()
+	err = inj.Apply(ctx)
+	switch {
+	case err == nil:
+		return "pass", nil
+	default:
+		return "error", err
+	}
+}
+
+func TestRandomDeterministicSequence(t *testing.T) {
+	spec := Spec{PanicRate: 0.2, ErrorRate: 0.3, DelayRate: 0.1, Delay: time.Microsecond}
+	run := func() []string {
+		inj := NewRandom(1234, spec)
+		var seq []string
+		for i := 0; i < 200; i++ {
+			o, _ := applyOne(inj, context.Background())
+			seq = append(seq, o)
+		}
+		return seq
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// All outcome kinds must appear at these rates over 200 calls.
+	saw := map[string]bool{}
+	for _, o := range a {
+		saw[o] = true
+	}
+	for _, want := range []string{"pass", "error", "panic"} {
+		if !saw[want] {
+			t.Errorf("outcome %q never injected in 200 calls", want)
+		}
+	}
+}
+
+func TestRandomCountsConsistent(t *testing.T) {
+	inj := NewRandom(7, Spec{PanicRate: 0.25, ErrorRate: 0.25, DelayRate: 0.25, Delay: time.Microsecond})
+	const n = 400
+	for i := 0; i < n; i++ {
+		applyOne(inj, context.Background())
+	}
+	c := inj.Counts()
+	if c.Calls != n {
+		t.Errorf("calls = %d, want %d", c.Calls, n)
+	}
+	if got := c.Panics + c.Errors + c.Delays + c.Passes; got != n {
+		t.Errorf("outcome tallies sum to %d, want %d (%+v)", got, n, c)
+	}
+}
+
+func TestTransientErrorIsRetryable(t *testing.T) {
+	inj := NewSequence(Fail())
+	err := inj.Apply(context.Background())
+	var te *TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TransientError", err)
+	}
+	if !te.Retryable() {
+		t.Error("TransientError not retryable")
+	}
+	if te.N != 1 {
+		t.Errorf("sequence number = %d, want 1", te.N)
+	}
+}
+
+func TestSequenceScriptThenPassThrough(t *testing.T) {
+	inj := NewSequence(Fail(), Panic(), Pass(), Fail())
+	want := []string{"error", "panic", "pass", "error", "pass", "pass"}
+	for i, w := range want {
+		if o, _ := applyOne(inj, context.Background()); o != w {
+			t.Errorf("call %d outcome = %q, want %q", i+1, o, w)
+		}
+	}
+	c := inj.Counts()
+	if c.Errors != 2 || c.Panics != 1 || c.Passes != 3 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	inj := NewSequence(Outcome{Delay: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := inj.Apply(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancelled delay slept anyway")
+	}
+	if c := inj.Counts(); c.Cancels != 1 {
+		t.Errorf("cancels = %d, want 1", c.Cancels)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"gspc/internal/cachesim"
@@ -67,10 +68,14 @@ func RunExtWarm(o Options) (*Table, error) {
 	}
 	ratios := map[string][]float64{}
 	var order []string
+	ctx := o.ctx()
 	for _, ab := range apps {
 		p, ok := workload.ProfileByAbbrev(ab)
 		if !ok || p.Frames < 2 {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		tr0 := trace.GenerateFrame(workload.FrameJob{App: p, Index: 0}, o.Scale)
 		tr1 := trace.GenerateFrame(workload.FrameJob{App: p, Index: 1}, o.Scale)
@@ -81,8 +86,8 @@ func RunExtWarm(o Options) (*Table, error) {
 			if s.ucd {
 				cold.SetBypass(stream.Display, true)
 			}
-			for _, a := range tr1 {
-				cold.Access(a)
+			if err := cachesim.Replay(ctx, cold, tr1, 0); err != nil {
+				return nil, err
 			}
 			// Warm: frame 0 then frame 1 on the same cache; count only
 			// frame 1's misses.
@@ -90,12 +95,12 @@ func RunExtWarm(o Options) (*Table, error) {
 			if s.ucd {
 				warm.SetBypass(stream.Display, true)
 			}
-			for _, a := range tr0 {
-				warm.Access(a)
+			if err := cachesim.Replay(ctx, warm, tr0, 0); err != nil {
+				return nil, err
 			}
 			before := warm.Stats.Misses
-			for _, a := range tr1 {
-				warm.Access(a)
+			if err := cachesim.Replay(ctx, warm, tr1, 0); err != nil {
+				return nil, err
 			}
 			warmMisses := warm.Stats.Misses - before
 			vals[i] = float64(warmMisses) / float64(cold.Stats.Misses)
@@ -210,7 +215,11 @@ func RunAblFrontCache(o Options) (*Table, error) {
 	order := appOrder(o.Jobs())
 	perApp := map[string]*[4]float64{}
 	counts := map[string]int{}
+	ctx := o.ctx()
 	for _, j := range o.Jobs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lin := trace.GenerateFrameWithCaches(j, o.Scale, rendercache.DefaultConfig().Scaled(o.Scale))
 		area := trace.GenerateFrameWithCaches(j, o.Scale, rendercache.DefaultConfig().Scaled(o.Scale*o.Scale))
 		row := perApp[j.App.Abbrev]
@@ -218,10 +227,18 @@ func RunAblFrontCache(o Options) (*Table, error) {
 			row = &[4]float64{}
 			perApp[j.App.Abbrev] = row
 		}
+		linR, err := missRatio(ctx, lin, geom)
+		if err != nil {
+			return nil, err
+		}
+		areaR, err := missRatio(ctx, area, geom)
+		if err != nil {
+			return nil, err
+		}
 		row[0] += float64(len(lin))
 		row[1] += float64(len(area))
-		row[2] += missRatio(lin, geom)
-		row[3] += missRatio(area, geom)
+		row[2] += linR
+		row[3] += areaR
 		counts[j.App.Abbrev]++
 		o.progressf("  %s done\n", j.ID())
 	}
@@ -243,32 +260,28 @@ func RunAblFrontCache(o Options) (*Table, error) {
 
 // missRatio replays tr under GSPC+UCD and DRRIP and returns their miss
 // ratio.
-func missRatio(tr []stream.Access, geom cachesim.Geometry) float64 {
-	d := runOffline(tr, specDRRIP(), geom).stats.Misses
-	g := runOffline(tr, specGSPC(core.VariantGSPC, 8, true), geom).stats.Misses
-	if d == 0 {
-		return 1
+func missRatio(ctx context.Context, tr []stream.Access, geom cachesim.Geometry) (float64, error) {
+	rd, err := runOffline(ctx, tr, specDRRIP(), geom)
+	if err != nil {
+		return 0, err
 	}
-	return float64(g) / float64(d)
+	rg, err := runOffline(ctx, tr, specGSPC(core.VariantGSPC, 8, true), geom)
+	if err != nil {
+		return 0, err
+	}
+	if rd.stats.Misses == 0 {
+		return 1, nil
+	}
+	return float64(rg.stats.Misses) / float64(rd.stats.Misses), nil
 }
 
 // normalizedMissTable runs specs over the suite and tabulates per-app
 // miss counts normalized to DRRIP.
 func normalizedMissTable(o Options, geom cachesim.Geometry, title string, specs []policySpec, note string) (*Table, error) {
-	missD := map[string]int64{}
-	miss := map[string][]int64{}
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
-		ab := j.App.Abbrev
-		missD[ab] += runOffline(tr, specDRRIP(), geom).stats.Misses
-		a := miss[ab]
-		if a == nil {
-			a = make([]int64, len(specs))
-		}
-		for i, s := range specs {
-			a[i] += runOffline(tr, s, geom).stats.Misses
-		}
-		miss[ab] = a
-	})
+	missD, miss, err := missSweep(o, geom, specs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{Title: title}
 	for _, s := range specs {
 		t.Columns = append(t.Columns, s.name)
@@ -309,7 +322,11 @@ func RunAblMorton(o Options) (*Table, error) {
 	order := appOrder(o.Jobs())
 	perApp := map[string]*[4]float64{}
 	counts := map[string]int{}
+	ctx := o.ctx()
 	for _, j := range o.Jobs() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := rendercache.DefaultConfig().Scaled(o.Scale)
 		rowTr := traceForLayout(j, o.Scale, cfg, memmap.LayoutRowMajor)
 		morTr := traceForLayout(j, o.Scale, cfg, memmap.LayoutMorton)
@@ -318,10 +335,18 @@ func RunAblMorton(o Options) (*Table, error) {
 			row = &[4]float64{}
 			perApp[j.App.Abbrev] = row
 		}
+		rowR, err := missRatio(ctx, rowTr, geom)
+		if err != nil {
+			return nil, err
+		}
+		morR, err := missRatio(ctx, morTr, geom)
+		if err != nil {
+			return nil, err
+		}
 		row[0] += float64(len(rowTr))
 		row[1] += float64(len(morTr))
-		row[2] += missRatio(rowTr, geom)
-		row[3] += missRatio(morTr, geom)
+		row[2] += rowR
+		row[3] += morR
 		counts[j.App.Abbrev]++
 		o.progressf("  %s done\n", j.ID())
 	}

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -42,6 +43,14 @@ type Options struct {
 	Workers int
 	// Progress, when non-nil, receives one line per completed frame.
 	Progress io.Writer
+	// Context, when non-nil, bounds the run: trace synthesis checks it
+	// between frames and the simulation loops poll it every
+	// cachesim.DefaultCheckStride accesses, so cancelling it (or letting
+	// its deadline expire) stops an experiment mid-flight instead of
+	// after the full suite. Nil means context.Background(). The context
+	// never affects results, only whether the run finishes, so it is
+	// excluded from cache-key derivation exactly like Workers.
+	Context context.Context
 }
 
 // DefaultOptions returns the standard scaled configuration.
@@ -74,6 +83,14 @@ func (o Options) normalized() Options {
 // keys from options (internal/service) see the same canonical values for
 // every spelling of the defaults.
 func (o Options) Normalized() Options { return o.normalized() }
+
+// ctx returns the run's context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
 
 // Geometry maps a paper LLC capacity (e.g. 8 MB) to the scaled model
 // geometry, keeping 16 ways and 64-byte blocks and quantizing to whole
@@ -197,16 +214,18 @@ type drripFillStats struct {
 	fills, distant [stream.NumKinds]int64
 }
 
-// runOffline replays tr through the policy on the given geometry.
-func runOffline(tr []stream.Access, spec policySpec, geom cachesim.Geometry) frameResult {
+// runOffline replays tr through the policy on the given geometry,
+// polling ctx inside the access loop so cancellation stops a frame
+// mid-trace.
+func runOffline(ctx context.Context, tr []stream.Access, spec policySpec, geom cachesim.Geometry) (frameResult, error) {
 	pol := spec.make()
 	c := cachesim.New(geom, pol)
 	if spec.ucd {
 		c.SetBypass(stream.Display, true)
 	}
 	tk := attachTracker(c)
-	for _, a := range tr {
-		c.Access(a)
+	if err := cachesim.Replay(ctx, c, tr, 0); err != nil {
+		return frameResult{}, err
 	}
 	res := frameResult{stats: c.Stats, tracker: tk}
 	if g, ok := pol.(*core.Policy); ok {
@@ -215,18 +234,37 @@ func runOffline(tr []stream.Access, spec policySpec, geom cachesim.Geometry) fra
 	if d, ok := pol.(*policy.DRRIP); ok {
 		res.drrip = drripFillStats{fills: d.FillsByKind, distant: d.DistantFillsByKind}
 	}
-	return res
+	return res, nil
+}
+
+// runBDN replays tr under Belady, DRRIP, and NRU in that order — the
+// reference trio the characterization figures share.
+func runBDN(ctx context.Context, tr []stream.Access, geom cachesim.Geometry) ([3]frameResult, error) {
+	var out [3]frameResult
+	b, err := runBelady(ctx, tr, geom)
+	if err != nil {
+		return out, err
+	}
+	d, err := runOffline(ctx, tr, specDRRIP(), geom)
+	if err != nil {
+		return out, err
+	}
+	n, err := runOffline(ctx, tr, specNRU(), geom)
+	if err != nil {
+		return out, err
+	}
+	return [3]frameResult{b, d, n}, nil
 }
 
 // runBelady replays tr under Belady's optimal policy.
-func runBelady(tr []stream.Access, geom cachesim.Geometry) frameResult {
+func runBelady(ctx context.Context, tr []stream.Access, geom cachesim.Geometry) (frameResult, error) {
 	next := belady.NextUse(tr, blockShift(geom.BlockSize))
 	c := cachesim.New(geom, belady.NewOPT(next))
 	tk := attachTracker(c)
-	for _, a := range tr {
-		c.Access(a)
+	if err := cachesim.Replay(ctx, c, tr, 0); err != nil {
+		return frameResult{}, err
 	}
-	return frameResult{stats: c.Stats, tracker: tk}
+	return frameResult{stats: c.Stats, tracker: tk}, nil
 }
 
 func blockShift(block int) uint {

@@ -18,7 +18,16 @@ import (
 // accumulators need no locking) and all accumulation is commutative, so
 // results are identical to a sequential run. Traces are released after
 // each frame so the full suite fits in modest memory.
-func forEachFrame(o Options, fn func(j workload.FrameJob, tr []stream.Access)) {
+//
+// The options' context is checked before each frame is synthesized and
+// again before fn runs; the first fn error (typically a cancellation
+// surfaced by the per-access polls in cachesim.Replay) stops the sweep.
+// Pool workers that observe a dead context stop synthesizing and send
+// nil placeholders, so an early return never strands a goroutine: every
+// send goes into a buffered channel and every worker exits once the
+// shared index passes the job list.
+func forEachFrame(o Options, fn func(j workload.FrameJob, tr []stream.Access) error) error {
+	ctx := o.ctx()
 	jobs := o.Jobs()
 	workers := o.normalized().Workers
 	if workers <= 0 {
@@ -32,11 +41,16 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr []stream.Access)) {
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			tr := genTrace(o, j)
-			fn(j, tr)
+			if err := fn(j, tr); err != nil {
+				return err
+			}
 			o.progressf("  %s: %d LLC accesses\n", j.ID(), len(tr))
 		}
-		return
+		return nil
 	}
 
 	traces := make([]chan []stream.Access, len(jobs))
@@ -51,15 +65,25 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr []stream.Access)) {
 				if i >= len(jobs) {
 					return
 				}
+				if ctx.Err() != nil {
+					traces[i] <- nil // cancelled: unblock the consumer cheaply
+					continue
+				}
 				traces[i] <- genTrace(o, jobs[i])
 			}
 		}()
 	}
 	for i, j := range jobs {
 		tr := <-traces[i]
-		fn(j, tr)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := fn(j, tr); err != nil {
+			return err
+		}
 		o.progressf("  %s: %d LLC accesses\n", j.ID(), len(tr))
 	}
+	return nil
 }
 
 // RunTable1 reproduces Table 1: the application suite.
@@ -101,16 +125,33 @@ func RunTable6(o Options) (*Table, error) {
 // RunFig1 reproduces Figure 1: NRU and Belady's optimal LLC miss counts
 // normalized to two-bit DRRIP on the 8 MB LLC.
 func RunFig1(o Options) (*Table, error) {
+	ctx := o.ctx()
 	geom := o.Geometry(paperLLCBytes)
 	missD := map[string]int64{}
 	missN := map[string]int64{}
 	missO := map[string]int64{}
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
+	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
 		ab := j.App.Abbrev
-		missD[ab] += runOffline(tr, specDRRIP(), geom).stats.Misses
-		missN[ab] += runOffline(tr, specNRU(), geom).stats.Misses
-		missO[ab] += runBelady(tr, geom).stats.Misses
+		rd, err := runOffline(ctx, tr, specDRRIP(), geom)
+		if err != nil {
+			return err
+		}
+		rn, err := runOffline(ctx, tr, specNRU(), geom)
+		if err != nil {
+			return err
+		}
+		ro, err := runBelady(ctx, tr, geom)
+		if err != nil {
+			return err
+		}
+		missD[ab] += rd.stats.Misses
+		missN[ab] += rn.stats.Misses
+		missO[ab] += ro.stats.Misses
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 1: LLC misses normalized to DRRIP (LLC %s)", geom),
 		Columns: []string{"NRU", "Belady"},
@@ -131,13 +172,17 @@ func RunFig1(o Options) (*Table, error) {
 // accesses.
 func RunFig4(o Options) (*Table, error) {
 	mix := map[string][stream.NumKinds]int64{}
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
+	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
 		m := mix[j.App.Abbrev]
 		for _, a := range tr {
 			m[a.Kind]++
 		}
 		mix[j.App.Abbrev] = m
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{Title: "Figure 4: stream-wise distribution of LLC accesses (percent)"}
 	for _, k := range stream.Kinds() {
 		t.Columns = append(t.Columns, k.String())
@@ -173,16 +218,15 @@ func RunFig5(o Options) (*Table, error) {
 	type acc struct{ hit, tot [3][3]int64 } // [policy][stream]
 	per := map[string]*acc{}
 	kinds := []stream.Kind{stream.Texture, stream.RT, stream.Z}
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
+	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
 			per[j.App.Abbrev] = a
 		}
-		results := []frameResult{
-			runBelady(tr, geom),
-			runOffline(tr, specDRRIP(), geom),
-			runOffline(tr, specNRU(), geom),
+		results, err := runBDN(o.ctx(), tr, geom)
+		if err != nil {
+			return err
 		}
 		for pi, r := range results {
 			for si, k := range kinds {
@@ -190,7 +234,11 @@ func RunFig5(o Options) (*Table, error) {
 				a.tot[pi][si] += r.tracker.KindAccesses(k)
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: fmt.Sprintf("Figure 5: per-stream hit rates, percent (LLC %s)", geom),
 		Columns: []string{
@@ -236,16 +284,15 @@ func RunFig6(o Options) (*Table, error) {
 		prod, cons   [3]int64
 	}
 	per := map[string]*acc{}
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
+	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
 			per[j.App.Abbrev] = a
 		}
-		results := []frameResult{
-			runBelady(tr, geom),
-			runOffline(tr, specDRRIP(), geom),
-			runOffline(tr, specNRU(), geom),
+		results, err := runBDN(o.ctx(), tr, geom)
+		if err != nil {
+			return err
 		}
 		for pi, r := range results {
 			a.inter[pi] += r.tracker.InterTexHits
@@ -253,7 +300,11 @@ func RunFig6(o Options) (*Table, error) {
 			a.prod[pi] += r.tracker.RTProduced
 			a.cons[pi] += r.tracker.RTConsumed
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: fmt.Sprintf("Figure 6: texture reuse split (%% of Belady hits) and RT consumption %% (LLC %s)", geom),
 		Columns: []string{
@@ -299,20 +350,27 @@ func RunFig7(o Options) (*Table, error) {
 		entries [5]int64
 	}
 	per := map[string]*acc{}
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
+	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
 			per[j.App.Abbrev] = a
 		}
-		r := runBelady(tr, geom)
+		r, err := runBelady(o.ctx(), tr, geom)
+		if err != nil {
+			return err
+		}
 		for e := 0; e < 4; e++ {
 			a.hits[e] += r.tracker.TexEpochHits[e]
 		}
 		for e := 0; e < 5; e++ {
 			a.entries[e] += r.tracker.TexEntries[e]
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: fmt.Sprintf("Figure 7: texture epochs under Belady (LLC %s)", geom),
 		Columns: []string{
@@ -365,18 +423,25 @@ func RunFig8(o Options) (*Table, error) {
 	geom := o.Geometry(paperLLCBytes)
 	type acc struct{ rtF, rtD, txF, txD int64 }
 	per := map[string]*acc{}
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
+	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
 			per[j.App.Abbrev] = a
 		}
-		r := runOffline(tr, specDRRIP(), geom)
+		r, err := runOffline(o.ctx(), tr, specDRRIP(), geom)
+		if err != nil {
+			return err
+		}
 		a.rtF += r.drrip.fills[stream.RT] + r.drrip.fills[stream.Display]
 		a.rtD += r.drrip.distant[stream.RT] + r.drrip.distant[stream.Display]
 		a.txF += r.drrip.fills[stream.Texture]
 		a.txD += r.drrip.distant[stream.Texture]
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 8: %% of fills with RRPV=3 under DRRIP (LLC %s)", geom),
 		Columns: []string{"RT", "texture"},
@@ -398,17 +463,24 @@ func RunFig8(o Options) (*Table, error) {
 func RunFig9(o Options) (*Table, error) {
 	geom := o.Geometry(paperLLCBytes)
 	per := map[string]*[5]int64{}
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
+	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &[5]int64{}
 			per[j.App.Abbrev] = a
 		}
-		r := runBelady(tr, geom)
+		r, err := runBelady(o.ctx(), tr, geom)
+		if err != nil {
+			return err
+		}
 		for e := 0; e < 5; e++ {
 			a[e] += r.tracker.ZEntries[e]
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 9: Z epoch death ratios under Belady (LLC %s)", geom),
 		Columns: []string{"death E0", "death E1", "death E2"},
@@ -434,16 +506,24 @@ func RunFig11(o Options) (*Table, error) {
 	geom := o.Geometry(paperLLCBytes)
 	ts := []int{2, 4, 8, 16}
 	miss := map[string][]int64{}
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
+	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
 		a := miss[j.App.Abbrev]
 		if a == nil {
 			a = make([]int64, len(ts))
 		}
 		for i, tv := range ts {
-			a[i] += runOffline(tr, specGSPC(core.VariantGSPZTC, tv, false), geom).stats.Misses
+			r, err := runOffline(o.ctx(), tr, specGSPC(core.VariantGSPZTC, tv, false), geom)
+			if err != nil {
+				return err
+			}
+			a[i] += r.stats.Misses
 		}
 		miss[j.App.Abbrev] = a
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 11: GSPZTC misses, %% change vs t=16 (LLC %s)", geom),
 		Columns: []string{"t=2", "t=4", "t=8"},
@@ -487,20 +567,10 @@ func fig12Specs() []policySpec {
 func RunFig12(o Options) (*Table, error) {
 	geom := o.Geometry(paperLLCBytes)
 	specs := fig12Specs()
-	missD := map[string]int64{}
-	miss := map[string][]int64{}
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
-		ab := j.App.Abbrev
-		missD[ab] += runOffline(tr, specDRRIP(), geom).stats.Misses
-		a := miss[ab]
-		if a == nil {
-			a = make([]int64, len(specs))
-		}
-		for i, s := range specs {
-			a[i] += runOffline(tr, s, geom).stats.Misses
-		}
-		miss[ab] = a
-	})
+	missD, miss, err := missSweep(o, geom, specs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{Title: fmt.Sprintf("Figure 12: LLC misses normalized to DRRIP (LLC %s)", geom)}
 	for _, s := range specs {
 		t.Columns = append(t.Columns, s.name)
@@ -538,13 +608,24 @@ func RunFig13(o Options) (*Table, error) {
 		specGSPC(core.VariantGSPC, 8, true),
 	}
 	accs := make([]fig13Acc, len(specs)+1) // +1 for Belady
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
+	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
 		for i := range specs {
-			r := runOffline(tr, specs[i], geom)
+			r, err := runOffline(o.ctx(), tr, specs[i], geom)
+			if err != nil {
+				return err
+			}
 			collect13(&accs[i], r)
 		}
-		collect13(&accs[len(specs)], runBelady(tr, geom))
+		rb, err := runBelady(o.ctx(), tr, geom)
+		if err != nil {
+			return err
+		}
+		collect13(&accs[len(specs)], rb)
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 13: suite-average stream metrics, percent (LLC %s)", geom),
 		Columns: []string{"tex hit", "rt->tex cons", "rt read hit", "z hit"},
@@ -593,20 +674,10 @@ func RunFig14(o Options) (*Table, error) {
 		{name: "GS-DRRIP-4", make: func() cachesim.Policy { return policy.NewGSDRRIP(4) }},
 		specGSPC(core.VariantGSPC, 8, true),
 	}
-	missD := map[string]int64{}
-	miss := map[string][]int64{}
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
-		ab := j.App.Abbrev
-		missD[ab] += runOffline(tr, specDRRIP(), geom).stats.Misses
-		a := miss[ab]
-		if a == nil {
-			a = make([]int64, len(specs))
-		}
-		for i, s := range specs {
-			a[i] += runOffline(tr, s, geom).stats.Misses
-		}
-		miss[ab] = a
-	})
+	missD, miss, err := missSweep(o, geom, specs)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{Title: fmt.Sprintf("Figure 14: iso-overhead policies vs 2-bit DRRIP (LLC %s)", geom)}
 	for _, s := range specs {
 		t.Columns = append(t.Columns, s.name)
@@ -628,6 +699,37 @@ func RunFig14(o Options) (*Table, error) {
 	t.AddRow("MEAN", means...)
 	t.Notes = append(t.Notes, "paper means: LRU 1.072, DRRIP-4 0.996, GS-DRRIP-4 0.983, GSPC 0.882")
 	return t, nil
+}
+
+// missSweep replays every selected frame under the DRRIP baseline and
+// each spec, accumulating per-app miss counts. It is the shared first
+// half of every normalized-miss figure, and it stops at the first
+// cancellation surfaced by the replay loops.
+func missSweep(o Options, geom cachesim.Geometry, specs []policySpec) (missD map[string]int64, miss map[string][]int64, err error) {
+	missD = map[string]int64{}
+	miss = map[string][]int64{}
+	err = forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+		ab := j.App.Abbrev
+		rd, err := runOffline(o.ctx(), tr, specDRRIP(), geom)
+		if err != nil {
+			return err
+		}
+		missD[ab] += rd.stats.Misses
+		a := miss[ab]
+		if a == nil {
+			a = make([]int64, len(specs))
+		}
+		for i, s := range specs {
+			r, err := runOffline(o.ctx(), tr, s, geom)
+			if err != nil {
+				return err
+			}
+			a[i] += r.stats.Misses
+		}
+		miss[ab] = a
+		return nil
+	})
+	return missD, miss, err
 }
 
 func ratioPct(num, den int64) float64 {

@@ -33,7 +33,8 @@ func runPerf(o Options, title string, cfg gpu.Config) (*Table, error) {
 	var framesD, framesTot int64
 	var cycSumD int64
 	cycSum := make([]int64, len(specs))
-	forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) {
+	ctx := o.ctx()
+	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
 		ab := j.App.Abbrev
 		cfgRun := cfg
 		cfgRun.UncachedDisplay = true
@@ -45,14 +46,23 @@ func runPerf(o Options, title string, cfg gpu.Config) (*Table, error) {
 		if a == nil {
 			a = make([]int64, len(specs))
 		}
+		// The timing simulator runs one whole trace per call; checking
+		// between policy runs bounds cancellation latency to one replay.
 		for i, s := range specs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			r := gpu.Simulate(tr, cfgRun, s.make())
 			a[i] += r.Cycles
 			cycSum[i] += r.Cycles
 		}
 		cyc[ab] = a
 		framesTot++
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{Title: title}
 	for _, s := range specs {

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"fmt"
 	"strings"
 )
 
@@ -73,12 +75,25 @@ func BuildResult(e Experiment, o Options, t *Table) *Result {
 // RunResult runs the experiment with the given id (figures, tables, and
 // extensions all resolve) and returns its serializable result.
 func RunResult(id string, o Options) (*Result, error) {
+	return RunResultContext(context.Background(), id, o)
+}
+
+// RunResultContext is RunResult bounded by ctx: the context is threaded
+// into the trace-synthesis and cache-simulation loops, so cancelling it
+// (or letting its deadline expire) stops the experiment promptly. The
+// returned error wraps ctx.Err() when the run was cut short, so callers
+// can errors.Is it against context.DeadlineExceeded / context.Canceled.
+func RunResultContext(ctx context.Context, id string, o Options) (*Result, error) {
 	e, ok := ByIDExt(id)
 	if !ok {
 		return nil, &UnknownExperimentError{ID: id}
 	}
+	o.Context = ctx
 	t, err := e.Run(o)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("harness: experiment %s interrupted: %w", id, ctx.Err())
+		}
 		return nil, err
 	}
 	return BuildResult(e, o, t), nil

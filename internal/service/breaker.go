@@ -1,0 +1,113 @@
+package service
+
+import "time"
+
+// breakerState is a circuit breaker's position.
+type breakerState int
+
+// Breaker states: closed passes traffic, open fast-fails it, half-open
+// admits a single probe whose outcome decides the next state.
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String names the state for metrics and logs.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-experiment circuit breaker. All fields are guarded
+// by the engine mutex; the breaker itself carries no lock.
+//
+// Lifecycle: closed counts consecutive failures and opens at the
+// threshold; open fast-fails submissions until the cooldown elapses;
+// the first submission after the cooldown transitions to half-open and
+// runs as a probe while everything else keeps fast-failing; the probe's
+// success closes the breaker, its failure re-opens it for another
+// cooldown.
+type breaker struct {
+	state    breakerState
+	failures int       // consecutive failures while closed
+	until    time.Time // while open: earliest probe time
+	probing  bool      // while half-open: a probe job is outstanding
+}
+
+// admit decides whether a new job for the breaker's experiment may
+// start. It returns the wait a rejected caller should apply before
+// retrying, and probe=true when the admitted job is the half-open probe
+// (callers that fail to enqueue the job must undo the probe with
+// unprobe).
+func (b *breaker) admit(now time.Time, cooldown time.Duration) (ok bool, retryAfter time.Duration, probe bool) {
+	switch b.state {
+	case breakerOpen:
+		if now.Before(b.until) {
+			return false, b.until.Sub(now), false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0, true
+	case breakerHalfOpen:
+		if b.probing {
+			return false, cooldown, false
+		}
+		b.probing = true
+		return true, 0, true
+	default:
+		return true, 0, false
+	}
+}
+
+// unprobe rolls back an admit that returned probe=true but whose job
+// never made it into the queue, so the next submission can probe.
+func (b *breaker) unprobe() {
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// record folds one finished job into the breaker and reports whether
+// the breaker tripped open on this outcome.
+func (b *breaker) record(succeeded bool, now time.Time, threshold int, cooldown time.Duration) (tripped bool) {
+	if succeeded {
+		b.state = breakerClosed
+		b.failures = 0
+		b.probing = false
+		return false
+	}
+	if b.state == breakerHalfOpen {
+		// The probe (or a straggler from before the trip) failed: back to open.
+		b.state = breakerOpen
+		b.probing = false
+		b.until = now.Add(cooldown)
+		return true
+	}
+	b.failures++
+	if b.state == breakerClosed && b.failures >= threshold {
+		b.state = breakerOpen
+		b.failures = 0
+		b.until = now.Add(cooldown)
+		return true
+	}
+	return false
+}
+
+// openNow reports whether the breaker is fast-failing at now.
+func (b *breaker) openNow(now time.Time) bool {
+	switch b.state {
+	case breakerOpen:
+		return now.Before(b.until)
+	case breakerHalfOpen:
+		return b.probing
+	default:
+		return false
+	}
+}

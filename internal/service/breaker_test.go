@@ -1,0 +1,78 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	const threshold = 3
+	cooldown := time.Minute
+	t0 := time.Unix(1000, 0)
+	var b breaker
+
+	// Closed passes traffic; failures below the threshold stay closed.
+	for i := 0; i < threshold-1; i++ {
+		if ok, _, probe := b.admit(t0, cooldown); !ok || probe {
+			t.Fatalf("closed admit %d = (%v, probe %v), want plain pass", i, ok, probe)
+		}
+		if b.record(false, t0, threshold, cooldown) {
+			t.Fatalf("tripped after %d failures, threshold %d", i+1, threshold)
+		}
+	}
+	// A success resets the consecutive-failure count.
+	b.record(true, t0, threshold, cooldown)
+	if b.failures != 0 {
+		t.Fatalf("failures = %d after success, want 0", b.failures)
+	}
+
+	// The threshold-th consecutive failure trips the breaker.
+	for i := 0; i < threshold-1; i++ {
+		b.record(false, t0, threshold, cooldown)
+	}
+	if !b.record(false, t0, threshold, cooldown) {
+		t.Fatal("threshold-th consecutive failure did not trip")
+	}
+	if ok, retryAfter, _ := b.admit(t0.Add(cooldown/2), cooldown); ok || retryAfter <= 0 {
+		t.Fatalf("open breaker admitted traffic (retryAfter %v)", retryAfter)
+	}
+
+	// Past the cooldown: exactly one probe, everyone else keeps waiting.
+	t1 := t0.Add(cooldown + time.Second)
+	if ok, _, probe := b.admit(t1, cooldown); !ok || !probe {
+		t.Fatal("post-cooldown admit did not grant the probe")
+	}
+	if ok, _, _ := b.admit(t1, cooldown); ok {
+		t.Fatal("second admit ran alongside the outstanding probe")
+	}
+	if !b.openNow(t1) {
+		t.Error("half-open with outstanding probe should report open")
+	}
+
+	// A probe that never enqueued is rolled back; the slot frees up.
+	b.unprobe()
+	if ok, _, probe := b.admit(t1, cooldown); !ok || !probe {
+		t.Fatal("admit after unprobe did not grant a fresh probe")
+	}
+
+	// Failed probe reopens for another full cooldown.
+	if !b.record(false, t1, threshold, cooldown) {
+		t.Fatal("failed probe did not count as a trip")
+	}
+	if ok, _, _ := b.admit(t1.Add(cooldown/2), cooldown); ok {
+		t.Fatal("reopened breaker admitted traffic inside the new cooldown")
+	}
+
+	// Successful probe closes fully.
+	t2 := t1.Add(2 * cooldown)
+	if ok, _, probe := b.admit(t2, cooldown); !ok || !probe {
+		t.Fatal("second post-cooldown admit did not grant the probe")
+	}
+	b.record(true, t2, threshold, cooldown)
+	if b.state != breakerClosed || b.openNow(t2) {
+		t.Fatalf("state after successful probe = %v, want closed", b.state)
+	}
+	if ok, _, probe := b.admit(t2, cooldown); !ok || probe {
+		t.Fatal("closed breaker after recovery should pass plain traffic")
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -27,10 +29,11 @@ type Status string
 
 // Job lifecycle states.
 const (
-	StatusQueued  Status = "queued"
-	StatusRunning Status = "running"
-	StatusDone    Status = "done"
-	StatusFailed  Status = "failed"
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
 )
 
 // Config sizes an Engine. The zero value gets sensible defaults.
@@ -47,11 +50,50 @@ type Config struct {
 	// CachePolicy selects the eviction policy backing the result cache:
 	// one of CachePolicyNames. Default "lru".
 	CachePolicy string
-	// Run overrides the experiment runner (tests). Default: the harness.
-	Run func(Request) (*harness.Result, error)
+	// Run overrides the experiment runner (tests, fault injection). The
+	// context carries the per-job deadline and must be honored for
+	// deadlines to actually stop work. Default: the harness with context
+	// threading (harness.RunResultContext).
+	Run func(ctx context.Context, r Request) (*harness.Result, error)
 	// KeepFinished bounds how many finished jobs stay queryable via
 	// JobStatus. Default 1024.
 	KeepFinished int
+
+	// JobTimeout bounds one experiment run; a request's TimeoutMS can
+	// only tighten it, never extend it. 0 = no engine-wide deadline.
+	JobTimeout time.Duration
+	// MaxRetries is how many times a retryable (transient) failure is
+	// re-attempted before the job fails. Deterministic failures —
+	// invalid requests, timeouts, panics — are never retried.
+	// Default 2; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the wait before the first retry; attempt k waits
+	// RetryBackoff×2^k with ±50% jitter, aborted early by shutdown or
+	// the job deadline. Default 50ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold opens an experiment's circuit breaker after this
+	// many consecutive failures; while open, submissions for that
+	// experiment fast-fail with CircuitOpenError instead of burning a
+	// worker. Default 5; negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fast-fails before
+	// letting a single probe through (half-open). Default 30s.
+	BreakerCooldown time.Duration
+	// ServeStale degrades instead of failing: while an experiment's
+	// breaker is open, requests for it are answered with the most recent
+	// successful result of that experiment (any parameters), flagged
+	// stale, rather than rejected.
+	ServeStale bool
+	// MaxWork is the admission ceiling in frame-equivalents of
+	// simulation per request (selected frames × scale²; the full
+	// 52-frame suite at the default 0.25 scale is 3.25). Requests above
+	// it are rejected with 400 up front instead of burning a worker for
+	// minutes. 0 = unlimited.
+	MaxWork float64
+	// ReadyHighWater is the queued-job count at which /readyz starts
+	// reporting unready (load shedding hint for balancers); admission
+	// itself still accepts work until QueueDepth. Default QueueDepth.
+	ReadyHighWater int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,12 +110,33 @@ func (c Config) withDefaults() Config {
 		c.CachePolicy = "lru"
 	}
 	if c.Run == nil {
-		c.Run = func(r Request) (*harness.Result, error) {
-			return harness.RunResult(r.Experiment, r.Options())
+		c.Run = func(ctx context.Context, r Request) (*harness.Result, error) {
+			return harness.RunResultContext(ctx, r.Experiment, r.Options())
 		}
 	}
 	if c.KeepFinished <= 0 {
 		c.KeepFinished = 1024
+	}
+	switch {
+	case c.MaxRetries == 0:
+		c.MaxRetries = 2
+	case c.MaxRetries < 0:
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	switch {
+	case c.BreakerThreshold == 0:
+		c.BreakerThreshold = 5
+	case c.BreakerThreshold < 0:
+		c.BreakerThreshold = 0 // disabled
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.ReadyHighWater <= 0 || c.ReadyHighWater > c.QueueDepth {
+		c.ReadyHighWater = c.QueueDepth
 	}
 	return c
 }
@@ -87,28 +150,34 @@ type Job struct {
 
 	done chan struct{}
 
-	status             Status
-	enqueued, started  time.Time
-	finished           time.Time
-	result             *cached
-	err                error
-	coalesced          int64
-	durationWhenCached time.Duration
+	status            Status
+	enqueued, started time.Time
+	finished          time.Time
+	result            *cached
+	err               error
+	coalesced         int64
+	attempts          int
+	timeout           time.Duration // effective run deadline (0 = none)
+	waiters           int           // Do callers blocked on done
+	abandonable       bool          // every interested party is a waiting Do caller
 }
 
 // JobStatus is the queryable snapshot of a job (GET /v1/runs/{id}).
 type JobStatus struct {
-	ID         string          `json:"id"`
-	Experiment string          `json:"experiment"`
-	Key        string          `json:"key"`
-	Status     Status          `json:"status"`
-	Enqueued   time.Time       `json:"enqueued"`
-	Started    *time.Time      `json:"started,omitempty"`
-	Finished   *time.Time      `json:"finished,omitempty"`
-	DurationMs float64         `json:"duration_ms,omitempty"`
-	Coalesced  int64           `json:"coalesced,omitempty"`
-	Error      string          `json:"error,omitempty"`
-	Result     json.RawMessage `json:"result,omitempty"`
+	ID            string          `json:"id"`
+	Experiment    string          `json:"experiment"`
+	Key           string          `json:"key"`
+	Status        Status          `json:"status"`
+	Enqueued      time.Time       `json:"enqueued"`
+	Started       *time.Time      `json:"started,omitempty"`
+	Finished      *time.Time      `json:"finished,omitempty"`
+	DurationMs    float64         `json:"duration_ms,omitempty"`
+	Coalesced     int64           `json:"coalesced,omitempty"`
+	Attempts      int             `json:"attempts,omitempty"`
+	Error         string          `json:"error,omitempty"`
+	ErrorCategory Category        `json:"error_category,omitempty"`
+	ErrorStack    string          `json:"error_stack,omitempty"`
+	Result        json.RawMessage `json:"result,omitempty"`
 }
 
 // Reply is the outcome of a synchronous request: the exact result bytes
@@ -119,7 +188,11 @@ type Reply struct {
 	RunID     string
 	Cached    bool
 	Coalesced bool
-	Duration  time.Duration
+	// Stale marks a degraded answer: the experiment's breaker was open
+	// and the body is its most recent successful result rather than a
+	// run of the exact requested parameters.
+	Stale    bool
+	Duration time.Duration
 }
 
 // Engine owns the queue, the worker pool, the coalescing table, and the
@@ -128,6 +201,7 @@ type Engine struct {
 	cfg   Config
 	cache *resultCache
 	queue chan *Job
+	stop  chan struct{} // closed when Shutdown begins; aborts retry backoffs
 
 	mu       sync.Mutex
 	closing  bool
@@ -135,6 +209,8 @@ type Engine struct {
 	jobs     map[string]*Job
 	order    []string // finished job ids, oldest first, for pruning
 	inflight map[string]*Job
+	breakers map[string]*breaker // per-experiment circuit breakers
+	lastGood map[string]*cached  // last successful result per experiment (serve-stale)
 
 	wg    sync.WaitGroup
 	start time.Time
@@ -142,6 +218,9 @@ type Engine struct {
 	// counters, guarded by mu
 	requests, rejected, coalesced int64
 	completed, failed             int64
+	cancelled, retries, panics    int64
+	timeouts, breakerTrips        int64
+	breakerFastFails, staleServed int64
 	lat                           latencies
 }
 
@@ -156,8 +235,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg:      cfg,
 		cache:    cache,
 		queue:    make(chan *Job, cfg.QueueDepth),
+		stop:     make(chan struct{}),
 		jobs:     map[string]*Job{},
 		inflight: map[string]*Job{},
+		breakers: map[string]*breaker{},
+		lastGood: map[string]*cached{},
 		start:    time.Now(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -170,10 +252,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 // Do serves one request synchronously: a cache hit returns immediately,
 // otherwise the request is enqueued (coalescing onto an identical
 // in-flight job if one exists) and Do blocks until the job finishes or
-// ctx is done. The job keeps running if ctx expires first — a later
-// identical request will find its result in the cache.
+// ctx is done. A running job keeps running if ctx expires first — a
+// later identical request will find its result in the cache — but a job
+// still queued whose every waiting caller has left is cancelled in
+// place instead of burning a worker for nobody.
 func (e *Engine) Do(ctx context.Context, req Request) (*Reply, error) {
-	job, rep, err := e.Submit(req)
+	job, rep, err := e.submit(req, true)
 	if err != nil {
 		return nil, err
 	}
@@ -182,18 +266,28 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Reply, error) {
 	}
 	select {
 	case <-job.done:
+		return e.replyFor(job)
 	case <-ctx.Done():
+		e.abandon(job)
 		return nil, ctx.Err()
 	}
-	return e.replyFor(job)
 }
 
 // Submit validates and enqueues a request. Exactly one of the returns is
 // meaningful: a Reply for a cache hit (no job), otherwise the queued or
-// coalesced-onto Job whose done channel the caller may wait on.
+// coalesced-onto Job whose done channel the caller may wait on. Jobs
+// submitted through Submit are never auto-cancelled: some poller is
+// assumed to want the result.
 func (e *Engine) Submit(req Request) (*Job, *Reply, error) {
+	return e.submit(req, false)
+}
+
+func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 	req, err := req.Normalize()
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := e.admitWork(req); err != nil {
 		return nil, nil, err
 	}
 	key := req.Key()
@@ -210,26 +304,122 @@ func (e *Engine) Submit(req Request) (*Job, *Reply, error) {
 	if job, ok := e.inflight[key]; ok {
 		job.coalesced++
 		e.coalesced++
+		if sync {
+			job.waiters++
+		} else {
+			// An async poller now depends on this job: it must run even if
+			// every synchronous waiter leaves.
+			job.abandonable = false
+		}
 		return job, nil, nil
 	}
-	e.nextID++
-	job := &Job{
-		ID:       fmt.Sprintf("run-%06d", e.nextID),
-		Req:      req,
-		Key:      key,
-		done:     make(chan struct{}),
-		status:   StatusQueued,
-		enqueued: time.Now(),
-	}
-	select {
-	case e.queue <- job:
-	default:
+	// Backpressure first: a full queue rejects before the breaker is
+	// consulted, so a probe slot is never consumed by a doomed submit.
+	// Only submitters (all holding e.mu) send on the queue, so this
+	// capacity check guarantees the send below cannot block.
+	if len(e.queue) == cap(e.queue) {
 		e.rejected++
 		return nil, nil, ErrQueueFull
 	}
+	var b *breaker
+	if e.cfg.BreakerThreshold > 0 {
+		b = e.breakerFor(req.Experiment)
+		ok, retryAfter, _ := b.admit(time.Now(), e.cfg.BreakerCooldown)
+		if !ok {
+			if e.cfg.ServeStale {
+				if v, ok := e.lastGood[req.Experiment]; ok {
+					e.staleServed++
+					return nil, &Reply{Body: v.body, RunID: v.runID, Cached: true, Stale: true}, nil
+				}
+			}
+			e.breakerFastFails++
+			return nil, nil, &CircuitOpenError{Experiment: req.Experiment, RetryAfter: retryAfter}
+		}
+	}
+	e.nextID++
+	job := &Job{
+		ID:          fmt.Sprintf("run-%06d", e.nextID),
+		Req:         req,
+		Key:         key,
+		done:        make(chan struct{}),
+		status:      StatusQueued,
+		enqueued:    time.Now(),
+		timeout:     e.effectiveTimeout(req),
+		abandonable: sync,
+	}
+	if sync {
+		job.waiters = 1
+	}
+	e.queue <- job
 	e.jobs[job.ID] = job
 	e.inflight[key] = job
 	return job, nil, nil
+}
+
+// admitWork rejects requests whose selected geometry implies more
+// simulation than the configured ceiling, before any worker is
+// committed: a pathological sweep gets a 400 in microseconds, not a
+// timeout after minutes.
+func (e *Engine) admitWork(req Request) error {
+	if e.cfg.MaxWork <= 0 {
+		return nil
+	}
+	work := float64(len(req.Options().Jobs())) * req.Scale * req.Scale
+	if work > e.cfg.MaxWork {
+		return &BadRequestError{Reason: fmt.Sprintf(
+			"request implies %.2f frame-equivalents of simulation (frames × scale²), above the admission ceiling %.2f; lower scale, frames, or apps",
+			work, e.cfg.MaxWork)}
+	}
+	return nil
+}
+
+// effectiveTimeout resolves the run deadline: the engine-wide JobTimeout
+// tightened (never loosened) by the request's TimeoutMS.
+func (e *Engine) effectiveTimeout(req Request) time.Duration {
+	t := e.cfg.JobTimeout
+	if req.TimeoutMS > 0 {
+		rt := time.Duration(req.TimeoutMS) * time.Millisecond
+		if t == 0 || rt < t {
+			t = rt
+		}
+	}
+	return t
+}
+
+// breakerFor returns (allocating on first use) the experiment's breaker.
+// Callers hold e.mu.
+func (e *Engine) breakerFor(experiment string) *breaker {
+	b, ok := e.breakers[experiment]
+	if !ok {
+		b = &breaker{}
+		e.breakers[experiment] = b
+	}
+	return b
+}
+
+// abandon is called by a Do caller whose ctx died while waiting. If the
+// job is still queued and no one else wants it — no other waiter, no
+// async poller — it is cancelled in place: the worker that eventually
+// dequeues it skips the run entirely.
+func (e *Engine) abandon(job *Job) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if job.waiters > 0 {
+		job.waiters--
+	}
+	if job.waiters > 0 || !job.abandonable || job.status != StatusQueued {
+		return
+	}
+	job.status = StatusCancelled
+	job.err = &Error{Category: CategoryCanceled,
+		Message: "job cancelled: every waiting caller left before it started"}
+	job.finished = time.Now()
+	e.cancelled++
+	if e.inflight[job.Key] == job {
+		// Unblock identical future requests immediately: they start a
+		// fresh job rather than coalescing onto this dead one.
+		delete(e.inflight, job.Key)
+	}
 }
 
 // replyFor builds the Reply for a finished job.
@@ -262,6 +452,7 @@ func (e *Engine) JobStatus(id string) (JobStatus, bool) {
 		Status:     job.status,
 		Enqueued:   job.enqueued,
 		Coalesced:  job.coalesced,
+		Attempts:   job.attempts,
 	}
 	if !job.started.IsZero() {
 		t := job.started
@@ -274,6 +465,11 @@ func (e *Engine) JobStatus(id string) (JobStatus, bool) {
 	}
 	if job.err != nil {
 		s.Error = job.err.Error()
+		var se *Error
+		if errors.As(job.err, &se) {
+			s.ErrorCategory = se.Category
+			s.ErrorStack = se.Stack
+		}
 	}
 	if job.result != nil {
 		s.Result = json.RawMessage(job.result.body)
@@ -285,38 +481,128 @@ func (e *Engine) worker() {
 	defer e.wg.Done()
 	for job := range e.queue {
 		e.mu.Lock()
+		if job.status == StatusCancelled {
+			// Abandoned while queued: skip the run, finalize bookkeeping.
+			e.pruneLocked(job.ID)
+			e.mu.Unlock()
+			close(job.done)
+			continue
+		}
 		job.status = StatusRunning
 		job.started = time.Now()
 		e.mu.Unlock()
 
-		res, err := e.cfg.Run(job.Req)
+		res, attempts, serr := e.runWithRetry(job)
 		var entry *cached
-		if err == nil {
-			var body []byte
-			body, err = json.Marshal(res)
-			if err == nil {
+		if serr == nil {
+			body, merr := json.Marshal(res)
+			if merr != nil {
+				serr = &Error{Category: CategoryInternal, Message: "encode result: " + merr.Error()}
+			} else {
 				entry = &cached{body: body, runID: job.ID}
 			}
 		}
 
 		e.mu.Lock()
 		job.finished = time.Now()
-		if err != nil {
+		job.attempts = attempts
+		if serr != nil {
 			job.status = StatusFailed
-			job.err = err
+			job.err = serr
 			e.failed++
+			if serr.Category == CategoryTimeout {
+				e.timeouts++
+			}
 		} else {
 			job.status = StatusDone
 			job.result = entry
 			e.cache.Put(job.Key, entry)
+			e.lastGood[job.Req.Experiment] = entry
 			e.completed++
 			e.lat.record(job.finished.Sub(job.started))
 		}
-		delete(e.inflight, job.Key)
+		if e.cfg.BreakerThreshold > 0 {
+			b := e.breakerFor(job.Req.Experiment)
+			if b.record(serr == nil, time.Now(), e.cfg.BreakerThreshold, e.cfg.BreakerCooldown) {
+				e.breakerTrips++
+			}
+		}
+		if e.inflight[job.Key] == job {
+			delete(e.inflight, job.Key)
+		}
 		e.pruneLocked(job.ID)
 		e.mu.Unlock()
 		close(job.done)
 	}
+}
+
+// runWithRetry executes the job under its deadline, retrying transient
+// failures with exponential backoff and jitter. Backoffs abort early
+// when the engine shuts down or the deadline expires. It returns the
+// result, the number of attempts made, and the final typed error.
+func (e *Engine) runWithRetry(job *Job) (*harness.Result, int, *Error) {
+	ctx := context.Background()
+	if job.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, job.timeout)
+		defer cancel()
+	}
+	attempts := 0
+	for {
+		attempts++
+		res, serr := e.runOnce(ctx, job)
+		if serr == nil {
+			return res, attempts, nil
+		}
+		if !serr.Retryable() || attempts > e.cfg.MaxRetries {
+			return nil, attempts, serr
+		}
+		// Exponential backoff with ±50% jitter: base×2^k on attempt k+1.
+		d := e.cfg.RetryBackoff << (attempts - 1)
+		d = d/2 + time.Duration(rand.Int63n(int64(d)))
+		e.mu.Lock()
+		e.retries++
+		e.mu.Unlock()
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-e.stop:
+			t.Stop()
+			return nil, attempts, serr
+		case <-ctx.Done():
+			t.Stop()
+			return nil, attempts, classify(ctx.Err())
+		}
+	}
+}
+
+// runOnce executes the runner exactly once, converting a panic into a
+// typed failure with the recovered stack — the worker goroutine and the
+// process always survive a panicking experiment.
+func (e *Engine) runOnce(ctx context.Context, job *Job) (res *harness.Result, serr *Error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.mu.Lock()
+			e.panics++
+			e.mu.Unlock()
+			serr = &Error{
+				Category: CategoryPanic,
+				Message:  fmt.Sprintf("experiment %s panicked: %v", job.Req.Experiment, r),
+				Stack:    string(debug.Stack()),
+			}
+		}
+	}()
+	r, err := e.cfg.Run(ctx, job.Req)
+	if err != nil {
+		serr := classify(err)
+		// The deadline outranks whatever error the runner surfaced while
+		// dying: a run cut short by its timeout is a timeout.
+		if serr.Category == CategoryInternal && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			serr = &Error{Category: CategoryTimeout, Message: err.Error(), cause: err}
+		}
+		return nil, serr
+	}
+	return r, nil
 }
 
 // pruneLocked records a finished job and drops the oldest finished jobs
@@ -329,12 +615,43 @@ func (e *Engine) pruneLocked(id string) {
 	}
 }
 
+// Readiness reports whether the engine should receive new work and, when
+// it should not, why: draining, queue beyond the high-water mark, or
+// every known experiment breaker open. Liveness is not Readiness — a
+// draining engine is alive but unready.
+func (e *Engine) Readiness() (ready bool, reason string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closing {
+		return false, "draining"
+	}
+	if len(e.queue) >= e.cfg.ReadyHighWater {
+		return false, fmt.Sprintf("queue saturated (%d/%d)", len(e.queue), e.cfg.QueueDepth)
+	}
+	if e.cfg.BreakerThreshold > 0 && len(e.breakers) > 0 {
+		now := time.Now()
+		open := 0
+		for _, b := range e.breakers {
+			if b.openNow(now) {
+				open++
+			}
+		}
+		if open == len(e.breakers) {
+			return false, "all circuit breakers open"
+		}
+	}
+	return true, "ready"
+}
+
 // Shutdown stops accepting work, drains queued and running jobs, and
-// waits for the workers to exit or ctx to expire.
+// waits for the workers to exit or ctx to expire. In-flight retry
+// backoffs are cut short: their jobs fail with the last observed error
+// rather than holding the drain hostage.
 func (e *Engine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	if !e.closing {
 		e.closing = true
+		close(e.stop)
 		close(e.queue)
 	}
 	e.mu.Unlock()

@@ -14,8 +14,8 @@ import (
 
 // countingRunner returns a stub Run that counts invocations and produces
 // a deterministic result per request.
-func countingRunner(calls *int64) func(Request) (*harness.Result, error) {
-	return func(r Request) (*harness.Result, error) {
+func countingRunner(calls *int64) func(context.Context, Request) (*harness.Result, error) {
+	return func(_ context.Context, r Request) (*harness.Result, error) {
 		atomic.AddInt64(calls, 1)
 		return &harness.Result{Experiment: r.Experiment, Title: "stub", Scale: r.Scale}, nil
 	}
@@ -23,8 +23,8 @@ func countingRunner(calls *int64) func(Request) (*harness.Result, error) {
 
 // gatedRunner blocks each run until release is closed; started is
 // signalled once per run as it begins.
-func gatedRunner(started chan<- string, release <-chan struct{}, calls *int64) func(Request) (*harness.Result, error) {
-	return func(r Request) (*harness.Result, error) {
+func gatedRunner(started chan<- string, release <-chan struct{}, calls *int64) func(context.Context, Request) (*harness.Result, error) {
+	return func(_ context.Context, r Request) (*harness.Result, error) {
 		atomic.AddInt64(calls, 1)
 		if started != nil {
 			started <- r.Experiment
@@ -36,6 +36,7 @@ func gatedRunner(started chan<- string, release <-chan struct{}, calls *int64) f
 
 func newTestEngine(t *testing.T, cfg Config) *Engine {
 	t.Helper()
+	leakCheck(t)
 	e, err := NewEngine(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -271,7 +272,7 @@ func TestGracefulDrain(t *testing.T) {
 func TestFailedJobPropagatesError(t *testing.T) {
 	boom := errors.New("trace synthesis exploded")
 	e := newTestEngine(t, Config{Workers: 1, CacheEntries: 8,
-		Run: func(r Request) (*harness.Result, error) { return nil, boom }})
+		Run: func(context.Context, Request) (*harness.Result, error) { return nil, boom }})
 
 	job, _, err := e.Submit(Request{Experiment: "fig1"})
 	if err != nil {

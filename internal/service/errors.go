@@ -1,0 +1,100 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"gspc/internal/harness"
+)
+
+// Category partitions job failures into the classes clients act on
+// differently: fix the request (invalid), retry later (timeout,
+// internal), or report a server bug (panic). Categories are stable wire
+// strings; server.go maps each to one HTTP status code.
+type Category string
+
+// Failure categories.
+const (
+	// CategoryInvalid: the request can never succeed as written (400).
+	CategoryInvalid Category = "invalid"
+	// CategoryTimeout: the job's deadline expired before it finished (504).
+	CategoryTimeout Category = "timeout"
+	// CategoryCanceled: every interested caller left before the job ran (504).
+	CategoryCanceled Category = "canceled"
+	// CategoryPanic: the experiment panicked; the worker recovered (500).
+	CategoryPanic Category = "panic"
+	// CategoryInternal: any other runner failure (500).
+	CategoryInternal Category = "internal"
+)
+
+// Error is the typed, JSON-serializable form of a job failure. It is
+// shared verbatim by every coalesced caller of the job — the category
+// describes the job's fate, never one caller's context — and it travels
+// in JobStatus so async pollers see the same classification synchronous
+// callers do.
+type Error struct {
+	Category Category `json:"category"`
+	Message  string   `json:"message"`
+	// Stack is the recovered goroutine stack for panic failures.
+	Stack string `json:"stack,omitempty"`
+
+	retryable bool
+	cause     error
+}
+
+// Error implements error.
+func (e *Error) Error() string { return "service: " + string(e.Category) + ": " + e.Message }
+
+// Unwrap exposes the originating error so errors.Is/As see through the
+// classification.
+func (e *Error) Unwrap() error { return e.cause }
+
+// Retryable reports whether re-running the job could plausibly succeed
+// (transient faults). Deterministic failures — invalid requests,
+// deadline overruns, panics — are never retried.
+func (e *Error) Retryable() bool { return e.retryable }
+
+// retryabler is the marker interface transient errors implement (e.g.
+// internal/faultinject.TransientError).
+type retryabler interface{ Retryable() bool }
+
+// classify folds an arbitrary runner error into a typed Error. It is
+// idempotent: an already-typed error passes through unchanged.
+func classify(err error) *Error {
+	var se *Error
+	if errors.As(err, &se) {
+		return se
+	}
+	var bad *BadRequestError
+	var unknown *harness.UnknownExperimentError
+	switch {
+	case errors.As(err, &bad), errors.As(err, &unknown):
+		return &Error{Category: CategoryInvalid, Message: err.Error(), cause: err}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &Error{Category: CategoryTimeout, Message: err.Error(), cause: err}
+	case errors.Is(err, context.Canceled):
+		return &Error{Category: CategoryCanceled, Message: err.Error(), cause: err}
+	}
+	var r retryabler
+	if errors.As(err, &r) && r.Retryable() {
+		return &Error{Category: CategoryInternal, Message: err.Error(), retryable: true, cause: err}
+	}
+	return &Error{Category: CategoryInternal, Message: err.Error(), cause: err}
+}
+
+// CircuitOpenError fast-fails a submission while the experiment's
+// circuit breaker is open: the engine refuses to burn a worker on a
+// request that has been failing consistently. HTTP handlers map it to
+// 503 with a Retry-After of RetryAfter rounded up to whole seconds.
+type CircuitOpenError struct {
+	Experiment string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *CircuitOpenError) Error() string {
+	return fmt.Sprintf("service: circuit breaker open for experiment %q (retry after %s)",
+		e.Experiment, e.RetryAfter)
+}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// gspcStacks returns the stacks of live goroutines that run code from
+// this module (any gspc/internal/ frame), excluding the calling
+// goroutine. It is a dependency-free leak probe: stdlib helpers
+// (net/http keep-alives, test machinery) are invisible to it, so a
+// non-empty delta means the engine itself leaked.
+func gspcStacks() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for i, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if i == 0 {
+			continue // first stack is the calling goroutine
+		}
+		if strings.Contains(g, "gspc/internal/") {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// leakCheck snapshots the module-owned goroutine count and registers a
+// cleanup that fails the test if, after a drain window, more of them are
+// alive than at the start. Call it before constructing the engine so the
+// cleanup runs after the engine's own Shutdown cleanup (t.Cleanup is
+// LIFO).
+func leakCheck(t *testing.T) {
+	t.Helper()
+	base := len(gspcStacks())
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var extra []string
+		for {
+			stacks := gspcStacks()
+			if len(stacks) <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				extra = stacks
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		var b strings.Builder
+		for _, g := range extra {
+			fmt.Fprintf(&b, "%s\n\n", g)
+		}
+		t.Errorf("goroutine leak: %d gspc goroutines alive, baseline %d:\n%s",
+			len(extra), base, b.String())
+	})
+}

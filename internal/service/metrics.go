@@ -48,6 +48,17 @@ type Metrics struct {
 	Failed    int64 `json:"failed"`
 	Rejected  int64 `json:"rejected"`
 	Coalesced int64 `json:"coalesced"`
+	Cancelled int64 `json:"cancelled"`
+
+	Retries  int64 `json:"retries"`
+	Panics   int64 `json:"panics"`
+	Timeouts int64 `json:"timeouts"`
+
+	BreakerTrips     int64             `json:"breaker_trips"`
+	BreakerFastFails int64             `json:"breaker_fast_fails"`
+	BreakersOpen     int               `json:"breakers_open"`
+	BreakerStates    map[string]string `json:"breaker_states,omitempty"`
+	StaleServed      int64             `json:"stale_served"`
 
 	CacheHits      int64  `json:"cache_hits"`
 	CacheMisses    int64  `json:"cache_misses"`
@@ -70,13 +81,37 @@ func (e *Engine) Metrics() Metrics {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	p50, p95 := e.lat.percentiles()
+	now := time.Now()
+	var open int
+	var states map[string]string
+	if len(e.breakers) > 0 {
+		states = make(map[string]string, len(e.breakers))
+		for id, b := range e.breakers {
+			states[id] = b.state.String()
+			if b.openNow(now) {
+				open++
+			}
+		}
+	}
 	return Metrics{
-		UptimeSeconds:  time.Since(e.start).Seconds(),
-		Requests:       e.requests,
-		Completed:      e.completed,
-		Failed:         e.failed,
-		Rejected:       e.rejected,
-		Coalesced:      e.coalesced,
+		UptimeSeconds: time.Since(e.start).Seconds(),
+		Requests:      e.requests,
+		Completed:     e.completed,
+		Failed:        e.failed,
+		Rejected:      e.rejected,
+		Coalesced:     e.coalesced,
+		Cancelled:     e.cancelled,
+
+		Retries:  e.retries,
+		Panics:   e.panics,
+		Timeouts: e.timeouts,
+
+		BreakerTrips:     e.breakerTrips,
+		BreakerFastFails: e.breakerFastFails,
+		BreakersOpen:     open,
+		BreakerStates:    states,
+		StaleServed:      e.staleServed,
+
 		CacheHits:      hits,
 		CacheMisses:    misses,
 		CacheEvictions: evictions,

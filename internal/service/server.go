@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -11,10 +12,12 @@ import (
 
 // Server is the HTTP face of an Engine. Routes:
 //
-//	GET  /healthz          liveness
+//	GET  /healthz          liveness: the process is up and serving
+//	GET  /readyz           readiness: the engine should receive new work
 //	GET  /metricsz         Metrics snapshot
 //	GET  /v1/experiments   runnable experiment ids and titles
-//	POST /v1/runs          run (or replay) an experiment; ?wait=0 queues
+//	POST /v1/runs          run (or replay) an experiment; ?wait=0 queues,
+//	                       ?timeout_ms=N caps the run's deadline
 //	GET  /v1/runs/{id}     job status and, when done, its result
 //
 // Successful POST bodies are the exact cached result bytes; serving
@@ -29,6 +32,7 @@ type Server struct {
 func NewServer(e *Engine) *Server {
 	s := &Server{engine: e, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
@@ -46,11 +50,38 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+	writeErrorCategory(w, code, "", msg)
 }
 
+// writeErrorCategory emits the error envelope; category is included when
+// known so clients can branch on the stable string instead of parsing
+// messages.
+func writeErrorCategory(w http.ResponseWriter, code int, category Category, msg string) {
+	body := map[string]string{"error": msg}
+	if category != "" {
+		body["category"] = string(category)
+	}
+	writeJSON(w, code, body)
+}
+
+// handleHealth is liveness only: it answers 200 whenever the process can
+// serve HTTP, even while draining or degraded. Deployment orchestrators
+// should restart on failed liveness and stop routing on failed
+// readiness — conflating the two turns a saturated queue into a crash
+// loop.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready, reason := s.engine.Readiness()
+	code := http.StatusOK
+	status := "ready"
+	if !ready {
+		code = http.StatusServiceUnavailable
+		status = "unready"
+	}
+	writeJSON(w, code, map[string]string{"status": status, "reason": reason})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -64,8 +95,20 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		writeErrorCategory(w, http.StatusBadRequest, CategoryInvalid, "invalid JSON body: "+err.Error())
 		return
+	}
+	if q := r.URL.Query().Get("timeout_ms"); q != "" {
+		ms, err := strconv.ParseInt(q, 10, 64)
+		if err != nil || ms <= 0 {
+			writeErrorCategory(w, http.StatusBadRequest, CategoryInvalid,
+				fmt.Sprintf("timeout_ms %q must be a positive integer", q))
+			return
+		}
+		// The query cap tightens whatever the body asked for.
+		if req.TimeoutMS == 0 || ms < req.TimeoutMS {
+			req.TimeoutMS = ms
+		}
 	}
 	if r.URL.Query().Get("wait") == "0" {
 		s.handleRunAsync(w, req)
@@ -111,6 +154,8 @@ func (s *Server) writeReply(w http.ResponseWriter, code int, rep *Reply) {
 	h.Set("Content-Type", "application/json")
 	disposition := "miss"
 	switch {
+	case rep.Stale:
+		disposition = "stale"
 	case rep.Cached:
 		disposition = "hit"
 	case rep.Coalesced:
@@ -126,10 +171,27 @@ func (s *Server) writeReply(w http.ResponseWriter, code int, rep *Reply) {
 	}
 }
 
+// statusFor maps a typed job failure to its HTTP status code. The table
+// is the wire contract documented in README.md: invalid → 400, timeout
+// and canceled → 504, panic and internal → 500.
+func statusFor(c Category) int {
+	switch c {
+	case CategoryInvalid:
+		return http.StatusBadRequest
+	case CategoryTimeout, CategoryCanceled:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 func (s *Server) writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
-		// The client went away; the job keeps running for future replays.
-		writeError(w, http.StatusGatewayTimeout, "request cancelled while waiting: "+err.Error())
+		// The client went away. A still-queued job with no other waiters
+		// was cancelled by the engine; a running one keeps going for
+		// future replays.
+		writeErrorCategory(w, http.StatusGatewayTimeout, CategoryCanceled,
+			"request cancelled while waiting: "+err.Error())
 		return
 	}
 	s.writeEngineErrorNoCtx(w, err)
@@ -137,9 +199,20 @@ func (s *Server) writeEngineError(w http.ResponseWriter, r *http.Request, err er
 
 func (s *Server) writeEngineErrorNoCtx(w http.ResponseWriter, err error) {
 	var bad *BadRequestError
+	var typed *Error
+	var open *CircuitOpenError
 	switch {
 	case errors.As(err, &bad):
-		writeError(w, http.StatusBadRequest, bad.Reason)
+		writeErrorCategory(w, http.StatusBadRequest, CategoryInvalid, bad.Reason)
+	case errors.As(err, &open):
+		secs := int(math.Ceil(open.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.As(err, &typed):
+		writeErrorCategory(w, statusFor(typed.Category), typed.Category, typed.Message)
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err.Error())

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"gspc/internal/faultinject"
 	"gspc/internal/harness"
 )
 
@@ -232,5 +234,172 @@ func TestServerEndToEndFig12(t *testing.T) {
 	}
 	if _, ok := res.Mean["GSPC+UCD"]; !ok {
 		t.Errorf("fig12 result missing GSPC+UCD mean: %v", res.Mean)
+	}
+}
+
+// --- fault-tolerance surface ---
+
+func postRunURL(t *testing.T, url, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func errCategory(t *testing.T, body []byte) string {
+	t.Helper()
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body %s: %v", body, err)
+	}
+	return e["category"]
+}
+
+func TestServerReadyzLifecycle(t *testing.T) {
+	var calls int64
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	ts, e := newTestServer(t, Config{Workers: 1, QueueDepth: 2, ReadyHighWater: 1,
+		CacheEntries: 8, Run: gatedRunner(started, release, &calls)})
+
+	var st map[string]string
+	if resp := getJSON(t, ts.URL+"/readyz", &st); resp.StatusCode != 200 || st["status"] != "ready" {
+		t.Fatalf("idle readyz = %d %v", resp.StatusCode, st)
+	}
+
+	// One running + one queued job puts the queue at the high-water mark.
+	if _, _, err := e.Submit(Request{Experiment: "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, _, err := e.Submit(Request{Experiment: "fig4"}); err != nil {
+		t.Fatal(err)
+	}
+	if resp := getJSON(t, ts.URL+"/readyz", &st); resp.StatusCode != 503 || st["status"] != "unready" {
+		t.Errorf("saturated readyz = %d %v, want 503 unready", resp.StatusCode, st)
+	}
+	// Liveness is unaffected by saturation.
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != 200 {
+		t.Errorf("healthz under load = %d, want 200", resp.StatusCode)
+	}
+
+	close(release)
+	waitFor(t, func() bool {
+		resp := getJSON(t, ts.URL+"/readyz", nil)
+		return resp.StatusCode == 200
+	})
+
+	// A draining engine is unready but alive.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if resp := getJSON(t, ts.URL+"/readyz", &st); resp.StatusCode != 503 || st["reason"] != "draining" {
+		t.Errorf("draining readyz = %d %v, want 503 draining", resp.StatusCode, st)
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != 200 {
+		t.Errorf("healthz while draining = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestServerTimeoutQueryMapsTo504(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1, CacheEntries: 8, Run: sleepyRunner(time.Hour)})
+
+	resp, body := postRunURL(t, ts.URL, "/v1/runs?timeout_ms=200", `{"experiment":"fig1"}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out run = %d %s, want 504", resp.StatusCode, body)
+	}
+	if got := errCategory(t, body); got != "timeout" {
+		t.Errorf("category = %q, want timeout", got)
+	}
+	resp, body = postRunURL(t, ts.URL, "/v1/runs?timeout_ms=banana", `{"experiment":"fig1"}`)
+	if resp.StatusCode != http.StatusBadRequest || errCategory(t, body) != "invalid" {
+		t.Errorf("bad timeout_ms = %d %s, want 400 invalid", resp.StatusCode, body)
+	}
+	resp, body = postRunURL(t, ts.URL, "/v1/runs", `{"experiment":"fig1","timeout_ms":-5}`)
+	if resp.StatusCode != http.StatusBadRequest || errCategory(t, body) != "invalid" {
+		t.Errorf("negative body timeout_ms = %d %s, want 400 invalid", resp.StatusCode, body)
+	}
+}
+
+func TestServerPanicMapsTo500(t *testing.T) {
+	inj := faultinject.NewSequence(faultinject.Panic())
+	ts, _ := newTestServer(t, Config{Workers: 1, CacheEntries: 8, MaxRetries: -1,
+		Run: injectedRunner(inj, nil)})
+
+	resp, body := postRun(t, ts.URL, `{"experiment":"fig1"}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicked run = %d %s, want 500", resp.StatusCode, body)
+	}
+	if got := errCategory(t, body); got != "panic" {
+		t.Errorf("category = %q, want panic", got)
+	}
+	var m Metrics
+	getJSON(t, ts.URL+"/metricsz", &m)
+	if m.Panics != 1 {
+		t.Errorf("metricsz panics = %d, want 1", m.Panics)
+	}
+	// The server survived the panic.
+	if resp, b := postRun(t, ts.URL, `{"experiment":"fig4"}`); resp.StatusCode != 200 {
+		t.Errorf("post-panic run = %d %s, want 200", resp.StatusCode, b)
+	}
+}
+
+func TestServerBreakerMapsTo503RetryAfter(t *testing.T) {
+	inj := faultinject.NewSequence(faultinject.Fail())
+	ts, _ := newTestServer(t, Config{Workers: 1, CacheEntries: 8, MaxRetries: -1,
+		BreakerThreshold: 1, BreakerCooldown: time.Minute, Run: injectedRunner(inj, nil)})
+
+	if resp, body := postRun(t, ts.URL, `{"experiment":"fig1"}`); resp.StatusCode != 500 {
+		t.Fatalf("tripping run = %d %s, want 500", resp.StatusCode, body)
+	}
+	resp, body := postRun(t, ts.URL, `{"experiment":"fig1","frames":2}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-breaker run = %d %s, want 503", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive whole-second hint", ra)
+	}
+}
+
+func TestServerStaleDisposition(t *testing.T) {
+	inj := faultinject.NewSequence(faultinject.Pass(), faultinject.Fail())
+	ts, _ := newTestServer(t, Config{Workers: 1, CacheEntries: 8, MaxRetries: -1,
+		BreakerThreshold: 1, BreakerCooldown: time.Minute, ServeStale: true,
+		Run: injectedRunner(inj, nil)})
+
+	_, good := postRun(t, ts.URL, `{"experiment":"fig1"}`)
+	postRun(t, ts.URL, `{"experiment":"fig1","frames":2}`) // opens the breaker
+	resp, body := postRun(t, ts.URL, `{"experiment":"fig1","frames":3}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stale-served run = %d %s, want 200", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Gspc-Cache"); got != "stale" {
+		t.Errorf("disposition = %q, want stale", got)
+	}
+	if !bytes.Equal(body, good) {
+		t.Error("stale body differs from the last good result")
+	}
+}
+
+func TestServerAdmissionControl(t *testing.T) {
+	var calls int64
+	ts, _ := newTestServer(t, Config{Workers: 1, CacheEntries: 8, MaxWork: 0.0001,
+		Run: countingRunner(&calls)})
+
+	resp, body := postRun(t, ts.URL, `{"experiment":"fig1"}`)
+	if resp.StatusCode != http.StatusBadRequest || errCategory(t, body) != "invalid" {
+		t.Errorf("over-ceiling run = %d %s, want 400 invalid", resp.StatusCode, body)
+	}
+	if atomic.LoadInt64(&calls) != 0 {
+		t.Error("rejected request reached the runner")
 	}
 }

@@ -34,6 +34,12 @@ type Request struct {
 	// changes wall-clock time only, never results, so it is excluded
 	// from the cache key.
 	Workers int `json:"workers,omitempty"`
+	// TimeoutMS caps this run's wall-clock in milliseconds, on top of
+	// (never beyond) the engine-wide job timeout; 0 means no extra cap.
+	// Like Workers it shapes execution, not the result, so it is
+	// excluded from the cache key: a replay under a generous timeout may
+	// be served from a run submitted under a tight one.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // BadRequestError reports a request the engine refuses to run; HTTP
@@ -54,6 +60,9 @@ func (r Request) Normalize() (Request, error) {
 	}
 	if r.Scale < 0 || r.Scale > 4 {
 		return r, &BadRequestError{Reason: fmt.Sprintf("scale %g out of range (0, 4]", r.Scale)}
+	}
+	if r.TimeoutMS < 0 {
+		return r, &BadRequestError{Reason: fmt.Sprintf("timeout_ms %d must be non-negative", r.TimeoutMS)}
 	}
 	o := harness.Options{
 		Scale:           r.Scale,
