@@ -8,7 +8,7 @@
 //	      [-cache-entries 128] [-cache-policy lru|nru|drrip]
 //	      [-job-timeout 0] [-max-retries 2] [-retry-backoff 50ms]
 //	      [-breaker-threshold 5] [-breaker-cooldown 30s]
-//	      [-serve-stale] [-max-work 0]
+//	      [-serve-stale] [-max-work 0] [-expose-stacks]
 //
 // Endpoints:
 //
@@ -50,13 +50,14 @@ func main() {
 		cachePolicy = flag.String("cache-policy", "lru", "result cache eviction policy: "+strings.Join(service.CachePolicyNames(), "|"))
 		drain       = flag.Duration("drain-timeout", 5*time.Minute, "max time to drain in-flight jobs on shutdown")
 
-		jobTimeout  = flag.Duration("job-timeout", 0, "engine-wide per-job deadline; request timeout_ms can only tighten it (0 = none)")
-		maxRetries  = flag.Int("max-retries", 2, "retries for transient failures (-1 disables)")
-		backoff     = flag.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff; attempt k waits base*2^k with jitter")
-		brkThresh   = flag.Int("breaker-threshold", 5, "consecutive failures before an experiment's circuit breaker opens (-1 disables)")
-		brkCooldown = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker fast-fails before probing")
-		serveStale  = flag.Bool("serve-stale", false, "while a breaker is open, answer with the experiment's last good result instead of 503")
-		maxWork     = flag.Float64("max-work", 0, "admission ceiling in frame-equivalents (frames × scale²) per request (0 = unlimited)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "engine-wide per-job deadline; request timeout_ms can only tighten it (0 = none)")
+		maxRetries   = flag.Int("max-retries", 2, "retries for transient failures (-1 disables)")
+		backoff      = flag.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff; attempt k waits base*2^k with jitter")
+		brkThresh    = flag.Int("breaker-threshold", 5, "consecutive failures before an experiment's circuit breaker opens (-1 disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker fast-fails before probing")
+		serveStale   = flag.Bool("serve-stale", false, "while a breaker is open, answer with the experiment's last good result instead of 503")
+		maxWork      = flag.Float64("max-work", 0, "admission ceiling in frame-equivalents (frames × scale²) per request (0 = unlimited)")
+		exposeStacks = flag.Bool("expose-stacks", false, "include recovered panic stacks in GET /v1/runs/{id} responses (debugging aid; stacks are always logged server-side)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 		BreakerCooldown:  *brkCooldown,
 		ServeStale:       *serveStale,
 		MaxWork:          *maxWork,
+		ExposeStacks:     *exposeStacks,
 	}
 	if *simWorkers > 0 {
 		sw := *simWorkers

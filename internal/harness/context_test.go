@@ -80,3 +80,28 @@ func TestForEachFrameWorkerPoolCancellation(t *testing.T) {
 		t.Errorf("fn ran for %d frames after mid-sweep cancel, want exactly 2", frames)
 	}
 }
+
+// TestForEachFrameFnErrorStopsPool: when fn fails while the caller's
+// context is still live, the pool-local context must be cancelled so the
+// workers stop synthesizing traces nobody will consume.
+func TestForEachFrameFnErrorStopsPool(t *testing.T) {
+	o := Options{Scale: 0.05, MaxFramesPerApp: 2, Workers: 2}
+	total := len(o.Jobs())
+	if total < 4 {
+		t.Fatalf("suite yields only %d jobs; too few to observe the pool", total)
+	}
+	boom := errors.New("accumulator exploded")
+	start := poolSynths.Load()
+	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+		return boom // first frame fails; the run context stays live
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the fn error", err)
+	}
+	// forEachFrame joins its pool before returning, so the counter is
+	// final: only the frames already in flight when fn failed may have
+	// been synthesized, never the whole remaining job list.
+	if n := poolSynths.Load() - start; n >= int64(total) {
+		t.Errorf("pool synthesized all %d traces after fn failed on the first frame", n)
+	}
+}

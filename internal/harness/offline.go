@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"gspc/internal/cachesim"
@@ -12,6 +14,12 @@ import (
 	"gspc/internal/workload"
 )
 
+// poolSynths counts traces synthesized by forEachFrame worker pools;
+// tests read it (after the pool is joined) to assert that an early
+// return stops the workers instead of letting them synthesize every
+// remaining frame for a consumer that is gone.
+var poolSynths atomic.Int64
+
 // forEachFrame generates each selected frame's LLC trace and hands it to
 // fn. Trace synthesis — the expensive half of an experiment — runs on a
 // small worker pool; fn itself is called serially (experiment
@@ -19,15 +27,17 @@ import (
 // results are identical to a sequential run. Traces are released after
 // each frame so the full suite fits in modest memory.
 //
-// The options' context is checked before each frame is synthesized and
+// The run's context is checked before each frame is synthesized and
 // again before fn runs; the first fn error (typically a cancellation
 // surfaced by the per-access polls in cachesim.Replay) stops the sweep.
-// Pool workers that observe a dead context stop synthesizing and send
-// nil placeholders, so an early return never strands a goroutine: every
-// send goes into a buffered channel and every worker exits once the
-// shared index passes the job list.
+// The pool works under a local context cancelled on every return — even
+// when fn fails while the caller's context is still live — so workers
+// never keep synthesizing for a consumer that is gone: they send nil
+// placeholders into the buffered channels and exit, and forEachFrame
+// joins them before returning, stranding no goroutine.
 func forEachFrame(o Options, fn func(j workload.FrameJob, tr []stream.Access) error) error {
-	ctx := o.ctx()
+	ctx, cancel := context.WithCancel(o.ctx())
+	defer cancel()
 	jobs := o.Jobs()
 	workers := o.normalized().Workers
 	if workers <= 0 {
@@ -58,8 +68,19 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr []stream.Access) er
 		traces[i] = make(chan []stream.Access, 1)
 	}
 	var next int64 = -1
+	var wg sync.WaitGroup
+	// Cancel before joining: the workers drain the remaining indices with
+	// nil placeholder sends (never blocking — each buffered channel takes
+	// exactly one send), so the join is prompt and bounded by at most one
+	// in-flight synthesis per worker.
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
 	for w := 0; w < workers; w++ {
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(jobs) {
@@ -69,6 +90,7 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr []stream.Access) er
 					traces[i] <- nil // cancelled: unblock the consumer cheaply
 					continue
 				}
+				poolSynths.Add(1)
 				traces[i] <- genTrace(o, jobs[i])
 			}
 		}()

@@ -88,6 +88,32 @@ func TestChaosPanicIsolation(t *testing.T) {
 	}
 }
 
+// TestPanicStackExposureGated: the recovered stack stays out of the
+// JobStatus wire snapshot unless ExposeStacks is set — internal code
+// paths are not disclosed to HTTP clients by default.
+func TestPanicStackExposureGated(t *testing.T) {
+	for _, expose := range []bool{false, true} {
+		inj := faultinject.NewSequence(faultinject.Panic())
+		e := newTestEngine(t, Config{Workers: 1, CacheEntries: 8, MaxRetries: -1,
+			ExposeStacks: expose, Run: injectedRunner(inj, nil)})
+		job, _, err := e.Submit(Request{Experiment: "fig1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-job.done
+		st, ok := e.JobStatus(job.ID)
+		if !ok || st.ErrorCategory != CategoryPanic {
+			t.Fatalf("expose=%v: status %+v, want a panic failure", expose, st)
+		}
+		if expose && st.ErrorStack == "" {
+			t.Error("ExposeStacks=true but JobStatus carries no stack")
+		}
+		if !expose && st.ErrorStack != "" {
+			t.Error("ExposeStacks=false but JobStatus leaks the recovered stack")
+		}
+	}
+}
+
 func TestChaosRetryTransientThenSuccess(t *testing.T) {
 	inj := faultinject.NewSequence(faultinject.Fail(), faultinject.Fail())
 	e := newTestEngine(t, Config{Workers: 1, CacheEntries: 8,
@@ -223,6 +249,76 @@ func TestChaosBreakerProbeFailureReopens(t *testing.T) {
 	}
 	if m := e.Metrics(); m.BreakerTrips != 2 {
 		t.Errorf("breaker trips = %d, want 2 (initial + failed probe)", m.BreakerTrips)
+	}
+}
+
+// TestChaosAbandonedProbeReleasesBreaker: a half-open probe abandoned
+// while queued must hand its slot back to the breaker. Without the
+// rollback the probe never reaches breaker.record, probing stays true
+// forever, and every future submission for the experiment fast-fails
+// until restart.
+func TestChaosAbandonedProbeReleasesBreaker(t *testing.T) {
+	var calls int64
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	inj := faultinject.NewSequence(faultinject.Fail())
+	e := newTestEngine(t, Config{Workers: 1, QueueDepth: 4, CacheEntries: 8, MaxRetries: -1,
+		BreakerThreshold: 1, BreakerCooldown: 30 * time.Millisecond,
+		Run: func(ctx context.Context, r Request) (*harness.Result, error) {
+			if r.Experiment == "fig4" {
+				started <- r.Experiment
+				<-release
+				return &harness.Result{Experiment: r.Experiment, Title: "gate"}, nil
+			}
+			atomic.AddInt64(&calls, 1)
+			if err := inj.Apply(ctx); err != nil {
+				return nil, err
+			}
+			return &harness.Result{Experiment: r.Experiment, Title: "probe"}, nil
+		}})
+
+	doErr(t, e, Request{Experiment: "fig1", Frames: 1}) // trips immediately
+
+	// Occupy the only worker so the upcoming probe stays queued.
+	if _, _, err := e.Submit(Request{Experiment: "fig4"}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	time.Sleep(60 * time.Millisecond) // cooldown elapses; next fig1 submission is the probe
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.Do(ctx, Request{Experiment: "fig1", Frames: 2})
+		errc <- err
+	}()
+	waitFor(t, func() bool { return e.Metrics().Requests >= 3 })
+	cancel() // abandon the queued probe
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned probe Do returned %v, want context.Canceled", err)
+	}
+
+	// The half-open slot must be free again: a fresh submission is
+	// admitted as the new probe rather than fast-failing.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := e.Do(context.Background(), Request{Experiment: "fig1", Frames: 3}); err != nil {
+			t.Errorf("fresh probe after abandonment: %v", err)
+		}
+	}()
+	waitFor(t, func() bool { return e.Metrics().Requests >= 4 })
+	close(release) // drain the gate; the worker skips the corpse, runs the probe
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("breaker never released the abandoned probe's slot")
+	}
+	if got := atomic.LoadInt64(&calls); got != 2 {
+		t.Errorf("fig1 ran %d times, want 2 (initial failure + successful probe; the corpse never runs)", got)
+	}
+	if m := e.Metrics(); m.Cancelled != 1 || m.BreakersOpen != 0 {
+		t.Errorf("metrics = %+v, want 1 cancelled job and no open breakers", m)
 	}
 }
 

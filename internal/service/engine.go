@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"runtime"
 	"runtime/debug"
@@ -68,8 +69,8 @@ type Config struct {
 	// Default 2; negative disables retries.
 	MaxRetries int
 	// RetryBackoff is the wait before the first retry; attempt k waits
-	// RetryBackoff×2^k with ±50% jitter, aborted early by shutdown or
-	// the job deadline. Default 50ms.
+	// RetryBackoff×2^k with ±50% jitter, capped at maxRetryBackoff and
+	// aborted early by shutdown or the job deadline. Default 50ms.
 	RetryBackoff time.Duration
 	// BreakerThreshold opens an experiment's circuit breaker after this
 	// many consecutive failures; while open, submissions for that
@@ -94,7 +95,18 @@ type Config struct {
 	// reporting unready (load shedding hint for balancers); admission
 	// itself still accepts work until QueueDepth. Default QueueDepth.
 	ReadyHighWater int
+	// ExposeStacks includes recovered panic stacks in JobStatus wire
+	// responses (GET /v1/runs/{id}). Off by default: stacks disclose
+	// internal code paths, so they are only logged server-side via Logf.
+	ExposeStacks bool
+	// Logf sinks the engine's operational log lines (recovered panic
+	// stacks). Default log.Printf; tests may silence it.
+	Logf func(format string, args ...any)
 }
+
+// maxRetryBackoff caps the exponential retry backoff so large MaxRetries
+// values cannot overflow the doubling into a zero or negative wait.
+const maxRetryBackoff = 30 * time.Second
 
 func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
@@ -138,6 +150,9 @@ func (c Config) withDefaults() Config {
 	if c.ReadyHighWater <= 0 || c.ReadyHighWater > c.QueueDepth {
 		c.ReadyHighWater = c.QueueDepth
 	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
@@ -160,6 +175,7 @@ type Job struct {
 	timeout           time.Duration // effective run deadline (0 = none)
 	waiters           int           // Do callers blocked on done
 	abandonable       bool          // every interested party is a waiting Do caller
+	probe             bool          // the job is its breaker's half-open probe
 }
 
 // JobStatus is the queryable snapshot of a job (GET /v1/runs/{id}).
@@ -321,10 +337,11 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 		e.rejected++
 		return nil, nil, ErrQueueFull
 	}
-	var b *breaker
+	var probe bool
 	if e.cfg.BreakerThreshold > 0 {
-		b = e.breakerFor(req.Experiment)
-		ok, retryAfter, _ := b.admit(time.Now(), e.cfg.BreakerCooldown)
+		b := e.breakerFor(req.Experiment)
+		ok, retryAfter, pr := b.admit(time.Now(), e.cfg.BreakerCooldown)
+		probe = pr
 		if !ok {
 			if e.cfg.ServeStale {
 				if v, ok := e.lastGood[req.Experiment]; ok {
@@ -346,6 +363,7 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 		enqueued:    time.Now(),
 		timeout:     e.effectiveTimeout(req),
 		abandonable: sync,
+		probe:       probe,
 	}
 	if sync {
 		job.waiters = 1
@@ -397,6 +415,20 @@ func (e *Engine) breakerFor(experiment string) *breaker {
 	return b
 }
 
+// unprobeLocked gives a cancelled probe job's half-open slot back to its
+// breaker. Without this rollback an abandoned probe — the only admission
+// while half-open — would never reach breaker.record, leaving probing
+// stuck true and the breaker wedged open until restart. Callers hold
+// e.mu; clearing job.probe makes the rollback idempotent across the
+// abandon and worker-skip paths.
+func (e *Engine) unprobeLocked(job *Job) {
+	if !job.probe {
+		return
+	}
+	job.probe = false
+	e.breakerFor(job.Req.Experiment).unprobe()
+}
+
 // abandon is called by a Do caller whose ctx died while waiting. If the
 // job is still queued and no one else wants it — no other waiter, no
 // async poller — it is cancelled in place: the worker that eventually
@@ -415,6 +447,7 @@ func (e *Engine) abandon(job *Job) {
 		Message: "job cancelled: every waiting caller left before it started"}
 	job.finished = time.Now()
 	e.cancelled++
+	e.unprobeLocked(job)
 	if e.inflight[job.Key] == job {
 		// Unblock identical future requests immediately: they start a
 		// fresh job rather than coalescing onto this dead one.
@@ -468,7 +501,11 @@ func (e *Engine) JobStatus(id string) (JobStatus, bool) {
 		var se *Error
 		if errors.As(job.err, &se) {
 			s.ErrorCategory = se.Category
-			s.ErrorStack = se.Stack
+			// Stacks disclose internal code paths; they stay server-side
+			// (logged at recovery) unless exposure is explicitly enabled.
+			if e.cfg.ExposeStacks {
+				s.ErrorStack = se.Stack
+			}
 		}
 	}
 	if job.result != nil {
@@ -483,6 +520,7 @@ func (e *Engine) worker() {
 		e.mu.Lock()
 		if job.status == StatusCancelled {
 			// Abandoned while queued: skip the run, finalize bookkeeping.
+			e.unprobeLocked(job)
 			e.pruneLocked(job.ID)
 			e.mu.Unlock()
 			close(job.done)
@@ -558,7 +596,16 @@ func (e *Engine) runWithRetry(job *Job) (*harness.Result, int, *Error) {
 			return nil, attempts, serr
 		}
 		// Exponential backoff with ±50% jitter: base×2^k on attempt k+1.
-		d := e.cfg.RetryBackoff << (attempts - 1)
+		// The doubling stops at maxRetryBackoff — an unbounded shift
+		// overflows int64 past ~40 attempts, and rand.Int63n panics on
+		// the resulting non-positive duration.
+		d := e.cfg.RetryBackoff
+		for k := 1; k < attempts && d < maxRetryBackoff; k++ {
+			d *= 2
+		}
+		if d > maxRetryBackoff {
+			d = maxRetryBackoff
+		}
 		d = d/2 + time.Duration(rand.Int63n(int64(d)))
 		e.mu.Lock()
 		e.retries++
@@ -585,10 +632,13 @@ func (e *Engine) runOnce(ctx context.Context, job *Job) (res *harness.Result, se
 			e.mu.Lock()
 			e.panics++
 			e.mu.Unlock()
+			stack := string(debug.Stack())
+			e.cfg.Logf("service: job %s: experiment %s panicked: %v\n%s",
+				job.ID, job.Req.Experiment, r, stack)
 			serr = &Error{
 				Category: CategoryPanic,
 				Message:  fmt.Sprintf("experiment %s panicked: %v", job.Req.Experiment, r),
-				Stack:    string(debug.Stack()),
+				Stack:    stack,
 			}
 		}
 	}()

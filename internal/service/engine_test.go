@@ -37,6 +37,9 @@ func gatedRunner(started chan<- string, release <-chan struct{}, calls *int64) f
 func newTestEngine(t *testing.T, cfg Config) *Engine {
 	t.Helper()
 	leakCheck(t)
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {} // keep injected-panic stacks out of test output
+	}
 	e, err := NewEngine(cfg)
 	if err != nil {
 		t.Fatal(err)
