@@ -1,0 +1,28 @@
+# Developer entry points for the gspc reproduction.
+
+GO ?= go
+
+# Benchmarks captured by `make bench` into BENCH_PR3.json. Fig1 runs
+# first so the figure benches that follow measure the warm-trace-cache
+# path (the deployment steady state); the micro benches isolate the
+# synthesis, replay, and cache-lookup stages.
+BENCHES = BenchmarkFig1$$|BenchmarkFig12$$|BenchmarkFig15$$|BenchmarkTraceGeneration$$|BenchmarkTraceGenerationPacked$$|BenchmarkLLCAccessDRRIP$$|BenchmarkLLCAccessDRRIPPacked$$|BenchmarkTraceCacheWarm$$
+
+.PHONY: all build test race bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/tracecache/ ./internal/harness/ ./internal/service/
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 3x . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -label "$(shell git rev-parse --short HEAD 2>/dev/null)" \
+		> BENCH_PR3.json

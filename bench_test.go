@@ -10,6 +10,7 @@
 package gspc_test
 
 import (
+	"context"
 	"testing"
 
 	"gspc/internal/belady"
@@ -18,8 +19,10 @@ import (
 	"gspc/internal/gpu"
 	"gspc/internal/harness"
 	"gspc/internal/policy"
+	"gspc/internal/rendercache"
 	"gspc/internal/stream"
 	"gspc/internal/trace"
+	"gspc/internal/tracecache"
 	"gspc/internal/workload"
 	"gspc/internal/xrand"
 )
@@ -287,6 +290,68 @@ func BenchmarkTraceGeneration(b *testing.B) {
 			b.Fatal("empty trace")
 		}
 	}
+}
+
+// benchPackedCache holds the packed variant of benchTrace, built once.
+var benchPackedCache *stream.Trace
+
+func benchPacked(b *testing.B) *stream.Trace {
+	if benchPackedCache == nil {
+		benchPackedCache = stream.Pack(benchTrace(b))
+	}
+	return benchPackedCache
+}
+
+// BenchmarkLLCAccessDRRIPPacked is BenchmarkLLCAccessDRRIP over the
+// packed trace representation via cachesim.ReplaySource — the replay
+// path every harness experiment now uses.
+func BenchmarkLLCAccessDRRIPPacked(b *testing.B) {
+	tr := benchPacked(b)
+	geom := cachesim.Geometry{SizeBytes: 256 << 10, Ways: 16, BlockSize: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cachesim.New(geom, policy.NewDRRIP(2))
+		if err := cachesim.ReplaySource(context.Background(), c, tr, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "accesses/op")
+}
+
+// BenchmarkTraceGenerationPacked measures synthesis straight into the
+// packed representation (no []stream.Access intermediate), reusing one
+// buffer across iterations the way the ablation sweeps do.
+func BenchmarkTraceGenerationPacked(b *testing.B) {
+	job := workload.Suite()[14]
+	cfg := rendercache.DefaultConfig().Scaled(0.15)
+	t := stream.NewTrace(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace.GeneratePackedInto(t, job, 0.15, cfg)
+		if t.Len() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// BenchmarkTraceCacheWarm measures a warm lookup in the shared frame
+// trace cache — the cost every repeat experiment now pays per frame in
+// place of full synthesis.
+func BenchmarkTraceCacheWarm(b *testing.B) {
+	c := tracecache.New(64 << 20)
+	k := tracecache.Key{Job: "bench", Scale: 0.15, Config: "bench"}
+	synth := func(context.Context) (*stream.Trace, error) { return benchPacked(b), nil }
+	if _, err := c.Get(context.Background(), k, synth); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Get(context.Background(), k, synth); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	b.ReportMetric(float64(s.Hits), "hits/run")
 }
 
 // BenchmarkGPUSimulate measures the event-driven timing simulator.

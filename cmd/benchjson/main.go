@@ -1,0 +1,100 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON document, so benchmark runs can be checked in and diffed
+// (make bench writes BENCH_PR3.json this way).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 3x . | benchjson -label after > BENCH.json
+//
+// Each benchmark line ("BenchmarkFig12-4  3  1101518978 ns/op  0.90 x")
+// becomes one entry with ns_per_op, iterations, and every extra reported
+// metric keyed by its unit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	MsPerOp    float64            `json:"ms_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type doc struct {
+	Label      string           `json:"label,omitempty"`
+	Go         string           `json:"go,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "free-form label recorded in the output (e.g. a commit or 'seed')")
+	flag.Parse()
+
+	out := doc{Label: *label, Benchmarks: map[string]entry{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"), strings.HasPrefix(line, "pkg:"):
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		// Strip the -GOMAXPROCS suffix from the name.
+		name := f[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := entry{Iterations: iters}
+		// The remainder alternates value/unit pairs.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			unit := f[i+1]
+			if unit == "ns/op" {
+				e.NsPerOp = v
+				e.MsPerOp = v / 1e6
+				continue
+			}
+			if e.Metrics == nil {
+				e.Metrics = map[string]float64{}
+			}
+			e.Metrics[unit] = v
+		}
+		out.Benchmarks[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -58,8 +58,10 @@ func main() {
 		serveStale   = flag.Bool("serve-stale", false, "while a breaker is open, answer with the experiment's last good result instead of 503")
 		maxWork      = flag.Float64("max-work", 0, "admission ceiling in frame-equivalents (frames × scale²) per request (0 = unlimited)")
 		exposeStacks = flag.Bool("expose-stacks", false, "include recovered panic stacks in GET /v1/runs/{id} responses (debugging aid; stacks are always logged server-side)")
+		traceCacheMB = flag.Int64("trace-cache-mb", harness.DefaultTraceCacheBytes>>20, "byte budget of the shared frame-trace cache in MiB (0 disables retention; synthesis is still deduplicated)")
 	)
 	flag.Parse()
+	harness.SharedTraceCache().SetBudget(*traceCacheMB << 20)
 
 	cfg := service.Config{
 		QueueDepth:       *queue,

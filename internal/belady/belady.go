@@ -35,6 +35,25 @@ func NextUse(trace []stream.Access, blockShift uint) []int64 {
 	return out
 }
 
+// NextUseTrace is NextUse over a packed trace, reading only the address
+// column — no access materialization, no Seq dependence (positions are
+// the sequence numbers by construction).
+func NextUseTrace(t *stream.Trace, blockShift uint) []int64 {
+	n := t.Len()
+	out := make([]int64, n)
+	last := make(map[uint64]int64, n/4+1)
+	for i := n - 1; i >= 0; i-- {
+		bn := t.Addr(i) >> blockShift
+		if j, ok := last[bn]; ok {
+			out[i] = j
+		} else {
+			out[i] = Never
+		}
+		last[bn] = int64(i)
+	}
+	return out
+}
+
 // OPT is Belady's optimal policy. Each access presented to the cache must
 // carry its trace position in Access.Seq, and the policy must have been
 // constructed from the NextUse chain of the exact trace being replayed.

@@ -33,3 +33,36 @@ func Replay(ctx context.Context, c *Cache, tr []stream.Access, stride int) error
 	}
 	return nil
 }
+
+// ReplaySource is Replay over any positional trace view — most
+// importantly the packed stream.Trace that the shared frame-trace cache
+// hands out. The packed fast path avoids an interface call per access;
+// other Source implementations go through the generic loop. Outcomes
+// are identical to Replay on the materialized slice.
+func ReplaySource(ctx context.Context, c *Cache, src stream.Source, stride int) error {
+	if stride <= 0 {
+		stride = DefaultCheckStride
+	}
+	if t, ok := src.(*stream.Trace); ok {
+		addrs, meta := t.Records()
+		for i := range addrs {
+			if i%stride == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			k, w := stream.UnpackMeta(meta[i])
+			c.Access(stream.Access{Addr: addrs[i], Seq: int64(i), Kind: k, Write: w})
+		}
+		return nil
+	}
+	for i, n := 0, src.Len(); i < n; i++ {
+		if i%stride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		c.Access(src.At(i))
+	}
+	return nil
+}

@@ -143,6 +143,15 @@ func (h *eventHeap) Pop() interface{} {
 // GPU with the given LLC replacement policy and returns the timing
 // result. The policy's state is reset by the embedded cache model.
 func Simulate(tr []stream.Access, cfg Config, pol cachesim.Policy) Result {
+	return SimulateSource(stream.Slice(tr), cfg, pol)
+}
+
+// SimulateSource is Simulate over any positional trace view, most
+// importantly the packed stream.Trace shared by the frame-trace cache.
+// Threads read the trace positionally (chunk-interleaved), so the view
+// is only ever indexed — never mutated — and one packed trace can feed
+// any number of concurrent simulations.
+func SimulateSource(tr stream.Source, cfg Config, pol cachesim.Policy) Result {
 	if cfg.Cores <= 0 || cfg.ThreadsPerCore <= 0 {
 		panic(fmt.Sprintf("gpu: invalid shader array %dx%d", cfg.Cores, cfg.ThreadsPerCore))
 	}
@@ -199,7 +208,7 @@ func Simulate(tr []stream.Access, cfg Config, pol cachesim.Policy) Result {
 	})
 
 	nThreads := cfg.Cores * cfg.ThreadsPerCore
-	nChunks := (len(tr) + cfg.ChunkSize - 1) / cfg.ChunkSize
+	nChunks := (tr.Len() + cfg.ChunkSize - 1) / cfg.ChunkSize
 
 	// Thread k owns chunks k, k+T, k+2T, ... ; pos tracks each thread's
 	// place within its current chunk.
@@ -236,7 +245,7 @@ func Simulate(tr []stream.Access, cfg Config, pol cachesim.Policy) Result {
 		pos := -1
 		for chunkOf[th] < nChunks {
 			p := chunkOf[th]*cfg.ChunkSize + idx[th]
-			if idx[th] < cfg.ChunkSize && p < len(tr) {
+			if idx[th] < cfg.ChunkSize && p < tr.Len() {
 				pos = p
 				break
 			}
@@ -249,7 +258,7 @@ func Simulate(tr []stream.Access, cfg Config, pol cachesim.Policy) Result {
 			}
 			continue // thread retires
 		}
-		a := tr[pos]
+		a := tr.At(pos)
 		idx[th]++
 		accesses++
 

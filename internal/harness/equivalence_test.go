@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"gspc/internal/belady"
+	"gspc/internal/cachesim"
+	"gspc/internal/stream"
+	"gspc/internal/trace"
+	"gspc/internal/workload"
+)
+
+// TestPackedReplayEquivalence proves the packed trace representation is
+// behavior-preserving: for one synthesized frame, replaying the packed
+// trace through every evaluated policy produces exactly the per-stream
+// hit and miss counts of the classic []stream.Access replay. This is the
+// seam the whole perf layer rests on — if packing dropped or reordered a
+// single record, or mispacked a kind/write bit, a policy would diverge
+// here first.
+func TestPackedReplayEquivalence(t *testing.T) {
+	o := Options{Scale: 0.1}.normalized()
+	j := workload.Suite()[0]
+	slice := trace.GenerateFrame(j, o.Scale)
+	packed := trace.GeneratePacked(j, o.Scale)
+
+	if packed.Len() != len(slice) {
+		t.Fatalf("packed.Len() = %d, slice len = %d", packed.Len(), len(slice))
+	}
+	for i, a := range slice {
+		if got := packed.At(i); got != a {
+			t.Fatalf("record %d: packed %+v != slice %+v", i, got, a)
+		}
+	}
+
+	specs := append([]policySpec{specDRRIP(), specNRU()}, fig12Specs()...)
+	geom := o.Geometry(paperLLCBytes)
+	ctx := context.Background()
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.name, func(t *testing.T) {
+			a := replayStats(ctx, t, spec, geom, stream.Slice(slice))
+			b := replayStats(ctx, t, spec, geom, packed)
+			if a.stats != b.stats {
+				t.Errorf("stats diverge: slice %+v, packed %+v", a.stats, b.stats)
+			}
+			for _, k := range stream.Kinds() {
+				if a.tracker.KindHits(k) != b.tracker.KindHits(k) ||
+					a.tracker.KindAccesses(k) != b.tracker.KindAccesses(k) {
+					t.Errorf("%s: slice %d/%d hits/accesses, packed %d/%d", k,
+						a.tracker.KindHits(k), a.tracker.KindAccesses(k),
+						b.tracker.KindHits(k), b.tracker.KindAccesses(k))
+				}
+			}
+		})
+	}
+
+	// Belady consumes the trace twice (next-use preprocessing + replay),
+	// so it exercises both NextUse paths.
+	t.Run("Belady", func(t *testing.T) {
+		a := beladyStats(ctx, t, geom, slice)
+		b, err := runBelady(ctx, packed, geom)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.stats != b.stats {
+			t.Errorf("stats diverge: slice %+v, packed %+v", a.stats, b.stats)
+		}
+	})
+}
+
+// replayStats replays src through one policy and returns the result.
+func replayStats(ctx context.Context, t *testing.T, spec policySpec, geom cachesim.Geometry, src stream.Source) frameResult {
+	t.Helper()
+	c := cachesim.New(geom, spec.make())
+	if spec.ucd {
+		c.SetBypass(stream.Display, true)
+	}
+	tk := attachTracker(c)
+	if err := cachesim.ReplaySource(ctx, c, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	return frameResult{stats: c.Stats, tracker: tk}
+}
+
+// beladyStats is the classic slice-based Belady replay, kept inline so
+// the test compares against the pre-refactor formulation.
+func beladyStats(ctx context.Context, t *testing.T, geom cachesim.Geometry, tr []stream.Access) frameResult {
+	t.Helper()
+	next := belady.NextUse(tr, blockShift(geom.BlockSize))
+	c := cachesim.New(geom, belady.NewOPT(next))
+	tk := attachTracker(c)
+	if err := cachesim.Replay(ctx, c, tr, 0); err != nil {
+		t.Fatal(err)
+	}
+	return frameResult{stats: c.Stats, tracker: tk}
+}
+
+// TestTraceRoundTrip checks Pack/Materialize and the packed disk format
+// against the slice-based container format byte-for-byte.
+func TestTraceRoundTrip(t *testing.T) {
+	o := Options{Scale: 0.05}.normalized()
+	slice := trace.GenerateFrame(workload.Suite()[1], o.Scale)
+	packed := stream.Pack(slice)
+	back := packed.Materialize()
+	if len(back) != len(slice) {
+		t.Fatalf("materialized %d records, want %d", len(back), len(slice))
+	}
+	for i := range slice {
+		if back[i] != slice[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], slice[i])
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// replayWorkers resolves the concurrency budget an experiment may spend,
+// shared by the trace-synthesis pool and the per-frame policy fan-out:
+// Options.Workers when set, otherwise min(GOMAXPROCS, 4).
+func (o Options) replayWorkers() int {
+	w := o.normalized().Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > 4 {
+			w = 4
+		}
+	}
+	return w
+}
+
+// fanOut runs jobs 0..n-1 on up to workers goroutines and joins them all
+// before returning. Callers collect results positionally (each job writes
+// its own slot), so accumulation order — and therefore every floating
+// point sum downstream — is identical to a sequential loop no matter how
+// the goroutines interleave.
+//
+// The first job error cancels the derived context, stopping the other
+// jobs at their next poll; fanOut reports a real failure in preference to
+// the cancellations it caused, and a parent-context death (Canceled or
+// DeadlineExceeded) surfaces as itself.
+func fanOut(ctx context.Context, workers, n int, run func(ctx context.Context, i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := fctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := run(fctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// stageClock accumulates wall-clock nanoseconds and invocation counts for
+// one experiment stage, process-wide. Stages overlap under fan-out, so
+// the totals are summed per-invocation wall time (comparable to CPU
+// time), not elapsed time.
+type stageClock struct {
+	ns    atomic.Int64
+	count atomic.Int64
+}
+
+// track starts a timer; the returned func stops it and folds the elapsed
+// time into the clock. Use as: defer clock.track()().
+func (s *stageClock) track() func() {
+	start := time.Now()
+	return func() {
+		s.ns.Add(time.Since(start).Nanoseconds())
+		s.count.Add(1)
+	}
+}
+
+var (
+	stageSynth  stageClock // frame synthesis (trace-cache misses)
+	stageReplay stageClock // offline policy replays, incl. Belady
+	stageTiming stageClock // gpu timing-model simulations
+)
+
+// StageTimings snapshots the per-stage accumulators: how the process has
+// spent its experiment time, split into trace synthesis, offline policy
+// replay, and timing simulation. Served by gspcd's /metricsz.
+type StageTimings struct {
+	SynthCount  int64   `json:"synth_count"`
+	SynthMs     float64 `json:"synth_ms"`
+	ReplayCount int64   `json:"replay_count"`
+	ReplayMs    float64 `json:"replay_ms"`
+	TimingCount int64   `json:"timing_count"`
+	TimingMs    float64 `json:"timing_ms"`
+}
+
+// Timings returns the process-wide stage timing snapshot.
+func Timings() StageTimings {
+	return StageTimings{
+		SynthCount:  stageSynth.count.Load(),
+		SynthMs:     float64(stageSynth.ns.Load()) / 1e6,
+		ReplayCount: stageReplay.count.Load(),
+		ReplayMs:    float64(stageReplay.ns.Load()) / 1e6,
+		TimingCount: stageTiming.count.Load(),
+		TimingMs:    float64(stageTiming.ns.Load()) / 1e6,
+	}
+}

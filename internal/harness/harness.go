@@ -14,8 +14,10 @@ import (
 	"gspc/internal/cachesim"
 	"gspc/internal/core"
 	"gspc/internal/policy"
+	"gspc/internal/rendercache"
 	"gspc/internal/stream"
 	"gspc/internal/trace"
+	"gspc/internal/tracecache"
 	"gspc/internal/workload"
 )
 
@@ -51,6 +53,12 @@ type Options struct {
 	// never affects results, only whether the run finishes, so it is
 	// excluded from cache-key derivation exactly like Workers.
 	Context context.Context
+	// TraceCache, when non-nil, overrides the process-wide shared frame
+	// trace cache for this run. Tests use private caches; production
+	// runs share one so concurrent experiments and gspcd jobs coalesce
+	// their synthesis. Like Workers and Context it never affects
+	// results, so it is excluded from result-cache keys.
+	TraceCache *tracecache.Cache
 }
 
 // DefaultOptions returns the standard scaled configuration.
@@ -216,15 +224,17 @@ type drripFillStats struct {
 
 // runOffline replays tr through the policy on the given geometry,
 // polling ctx inside the access loop so cancellation stops a frame
-// mid-trace.
-func runOffline(ctx context.Context, tr []stream.Access, spec policySpec, geom cachesim.Geometry) (frameResult, error) {
+// mid-trace. The trace is shared and read-only: any number of policy
+// replays may run over the same packed trace concurrently.
+func runOffline(ctx context.Context, tr *stream.Trace, spec policySpec, geom cachesim.Geometry) (frameResult, error) {
+	defer stageReplay.track()()
 	pol := spec.make()
 	c := cachesim.New(geom, pol)
 	if spec.ucd {
 		c.SetBypass(stream.Display, true)
 	}
 	tk := attachTracker(c)
-	if err := cachesim.Replay(ctx, c, tr, 0); err != nil {
+	if err := cachesim.ReplaySource(ctx, c, tr, 0); err != nil {
 		return frameResult{}, err
 	}
 	res := frameResult{stats: c.Stats, tracker: tk}
@@ -237,31 +247,34 @@ func runOffline(ctx context.Context, tr []stream.Access, spec policySpec, geom c
 	return res, nil
 }
 
-// runBDN replays tr under Belady, DRRIP, and NRU in that order — the
-// reference trio the characterization figures share.
-func runBDN(ctx context.Context, tr []stream.Access, geom cachesim.Geometry) ([3]frameResult, error) {
+// runBDN replays tr under Belady, DRRIP, and NRU — the reference trio
+// the characterization figures share — fanning the three replays out
+// over the options' worker budget. Results are positional, so the
+// output is identical to the former sequential run.
+func runBDN(o Options, tr *stream.Trace, geom cachesim.Geometry) ([3]frameResult, error) {
 	var out [3]frameResult
-	b, err := runBelady(ctx, tr, geom)
-	if err != nil {
-		return out, err
-	}
-	d, err := runOffline(ctx, tr, specDRRIP(), geom)
-	if err != nil {
-		return out, err
-	}
-	n, err := runOffline(ctx, tr, specNRU(), geom)
-	if err != nil {
-		return out, err
-	}
-	return [3]frameResult{b, d, n}, nil
+	err := fanOut(o.ctx(), o.replayWorkers(), 3, func(ctx context.Context, i int) error {
+		var err error
+		switch i {
+		case 0:
+			out[0], err = runBelady(ctx, tr, geom)
+		case 1:
+			out[1], err = runOffline(ctx, tr, specDRRIP(), geom)
+		case 2:
+			out[2], err = runOffline(ctx, tr, specNRU(), geom)
+		}
+		return err
+	})
+	return out, err
 }
 
 // runBelady replays tr under Belady's optimal policy.
-func runBelady(ctx context.Context, tr []stream.Access, geom cachesim.Geometry) (frameResult, error) {
-	next := belady.NextUse(tr, blockShift(geom.BlockSize))
+func runBelady(ctx context.Context, tr *stream.Trace, geom cachesim.Geometry) (frameResult, error) {
+	defer stageReplay.track()()
+	next := belady.NextUseTrace(tr, blockShift(geom.BlockSize))
 	c := cachesim.New(geom, belady.NewOPT(next))
 	tk := attachTracker(c)
-	if err := cachesim.Replay(ctx, c, tr, 0); err != nil {
+	if err := cachesim.ReplaySource(ctx, c, tr, 0); err != nil {
 		return frameResult{}, err
 	}
 	return frameResult{stats: c.Stats, tracker: tk}, nil
@@ -275,9 +288,46 @@ func blockShift(block int) uint {
 	return s
 }
 
-// genTrace builds the LLC trace for a job at the options' scale.
-func genTrace(o Options, j workload.FrameJob) []stream.Access {
-	return trace.GenerateFrame(j, o.normalized().Scale)
+// DefaultTraceCacheBytes is the byte budget of the process-wide frame
+// trace cache: enough for the whole 52-frame suite at the default 0.25
+// scale (~9 MB of packed records per frame at most) with headroom, small
+// enough to coexist with a few in-flight experiments.
+const DefaultTraceCacheBytes = 256 << 20
+
+// sharedCache deduplicates and retains synthesized frame traces across
+// every experiment and every concurrent gspcd job in the process.
+var sharedCache = tracecache.New(DefaultTraceCacheBytes)
+
+// SharedTraceCache exposes the process-wide frame-trace cache so servers
+// can resize its budget (gspcd -trace-cache-mb) and report its counters.
+func SharedTraceCache() *tracecache.Cache { return sharedCache }
+
+// traceCache resolves the cache an experiment uses: the per-run override
+// or the shared process-wide one.
+func (o Options) traceCache() *tracecache.Cache {
+	if o.TraceCache != nil {
+		return o.TraceCache
+	}
+	return sharedCache
+}
+
+// genTrace returns the packed LLC trace for a job at the options' scale,
+// through the frame-trace cache: hits are free, misses synthesize once
+// even under concurrent identical requests. The returned trace is shared
+// and must not be mutated.
+func genTrace(ctx context.Context, o Options, j workload.FrameJob) (*stream.Trace, error) {
+	o = o.normalized()
+	cfg := rendercache.DefaultConfig().Scaled(o.Scale)
+	key := tracecache.Key{Job: j.ID(), Scale: o.Scale, Config: cfg.Digest()}
+	return o.traceCache().Get(ctx, key, func(ctx context.Context) (*stream.Trace, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		defer stageSynth.track()()
+		t := stream.NewTrace(trace.EstimateAccesses(j, o.Scale))
+		trace.GeneratePackedInto(t, j, o.Scale, cfg)
+		return t, nil
+	})
 }
 
 // appOrder returns the distinct application abbreviations of jobs, in

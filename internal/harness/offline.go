@@ -3,7 +3,6 @@ package harness
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -14,58 +13,54 @@ import (
 	"gspc/internal/workload"
 )
 
-// poolSynths counts traces synthesized by forEachFrame worker pools;
+// poolSynths counts trace acquisitions by forEachFrame worker pools;
 // tests read it (after the pool is joined) to assert that an early
-// return stops the workers instead of letting them synthesize every
+// return stops the workers instead of letting them acquire every
 // remaining frame for a consumer that is gone.
 var poolSynths atomic.Int64
 
-// forEachFrame generates each selected frame's LLC trace and hands it to
-// fn. Trace synthesis — the expensive half of an experiment — runs on a
-// small worker pool; fn itself is called serially (experiment
-// accumulators need no locking) and all accumulation is commutative, so
-// results are identical to a sequential run. Traces are released after
-// each frame so the full suite fits in modest memory.
+// forEachFrame acquires each selected frame's packed LLC trace — from
+// the shared frame-trace cache, synthesizing on a miss — and hands it to
+// fn. Acquisition runs on a small worker pool; fn itself is called
+// serially in suite order (experiment accumulators need no locking), so
+// results are identical to a sequential run. Traces are shared with the
+// cache and other runs: fn must treat them as read-only.
 //
-// The run's context is checked before each frame is synthesized and
-// again before fn runs; the first fn error (typically a cancellation
-// surfaced by the per-access polls in cachesim.Replay) stops the sweep.
+// The run's context is checked before each frame is acquired and again
+// before fn runs; the first fn error (typically a cancellation surfaced
+// by the per-access polls in cachesim.ReplaySource) stops the sweep.
 // The pool works under a local context cancelled on every return — even
 // when fn fails while the caller's context is still live — so workers
 // never keep synthesizing for a consumer that is gone: they send nil
 // placeholders into the buffered channels and exit, and forEachFrame
-// joins them before returning, stranding no goroutine.
-func forEachFrame(o Options, fn func(j workload.FrameJob, tr []stream.Access) error) error {
+// joins them before returning, stranding no goroutine. A worker's
+// cancelled cache lookup likewise yields a nil placeholder; the consumer
+// translates any nil into the context's error.
+func forEachFrame(o Options, fn func(j workload.FrameJob, tr *stream.Trace) error) error {
 	ctx, cancel := context.WithCancel(o.ctx())
 	defer cancel()
 	jobs := o.Jobs()
-	workers := o.normalized().Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > 4 {
-			workers = 4 // bounded: each in-flight trace holds tens of MB
-		}
-	}
+	workers := o.replayWorkers()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
-			if err := ctx.Err(); err != nil {
+			tr, err := genTrace(ctx, o, j)
+			if err != nil {
 				return err
 			}
-			tr := genTrace(o, j)
 			if err := fn(j, tr); err != nil {
 				return err
 			}
-			o.progressf("  %s: %d LLC accesses\n", j.ID(), len(tr))
+			o.progressf("  %s: %d LLC accesses\n", j.ID(), tr.Len())
 		}
 		return nil
 	}
 
-	traces := make([]chan []stream.Access, len(jobs))
+	traces := make([]chan *stream.Trace, len(jobs))
 	for i := range traces {
-		traces[i] = make(chan []stream.Access, 1)
+		traces[i] = make(chan *stream.Trace, 1)
 	}
 	var next int64 = -1
 	var wg sync.WaitGroup
@@ -91,7 +86,11 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr []stream.Access) er
 					continue
 				}
 				poolSynths.Add(1)
-				traces[i] <- genTrace(o, jobs[i])
+				tr, err := genTrace(ctx, o, jobs[i])
+				if err != nil {
+					tr = nil
+				}
+				traces[i] <- tr
 			}
 		}()
 	}
@@ -100,10 +99,19 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr []stream.Access) er
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if tr == nil {
+			// The worker's acquisition failed without the run context
+			// dying first (e.g. a cancellation race); surface whichever
+			// error the context now carries.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("harness: trace acquisition failed for %s", j.ID())
+		}
 		if err := fn(j, tr); err != nil {
 			return err
 		}
-		o.progressf("  %s: %d LLC accesses\n", j.ID(), len(tr))
+		o.progressf("  %s: %d LLC accesses\n", j.ID(), tr.Len())
 	}
 	return nil
 }
@@ -147,28 +155,31 @@ func RunTable6(o Options) (*Table, error) {
 // RunFig1 reproduces Figure 1: NRU and Belady's optimal LLC miss counts
 // normalized to two-bit DRRIP on the 8 MB LLC.
 func RunFig1(o Options) (*Table, error) {
-	ctx := o.ctx()
 	geom := o.Geometry(paperLLCBytes)
 	missD := map[string]int64{}
 	missN := map[string]int64{}
 	missO := map[string]int64{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
 		ab := j.App.Abbrev
-		rd, err := runOffline(ctx, tr, specDRRIP(), geom)
+		var rs [3]frameResult
+		err := fanOut(o.ctx(), o.replayWorkers(), 3, func(ctx context.Context, i int) error {
+			var err error
+			switch i {
+			case 0:
+				rs[0], err = runOffline(ctx, tr, specDRRIP(), geom)
+			case 1:
+				rs[1], err = runOffline(ctx, tr, specNRU(), geom)
+			case 2:
+				rs[2], err = runBelady(ctx, tr, geom)
+			}
+			return err
+		})
 		if err != nil {
 			return err
 		}
-		rn, err := runOffline(ctx, tr, specNRU(), geom)
-		if err != nil {
-			return err
-		}
-		ro, err := runBelady(ctx, tr, geom)
-		if err != nil {
-			return err
-		}
-		missD[ab] += rd.stats.Misses
-		missN[ab] += rn.stats.Misses
-		missO[ab] += ro.stats.Misses
+		missD[ab] += rs[0].stats.Misses
+		missN[ab] += rs[1].stats.Misses
+		missO[ab] += rs[2].stats.Misses
 		return nil
 	})
 	if err != nil {
@@ -194,10 +205,10 @@ func RunFig1(o Options) (*Table, error) {
 // accesses.
 func RunFig4(o Options) (*Table, error) {
 	mix := map[string][stream.NumKinds]int64{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
 		m := mix[j.App.Abbrev]
-		for _, a := range tr {
-			m[a.Kind]++
+		for i, n := 0, tr.Len(); i < n; i++ {
+			m[tr.KindAt(i)]++
 		}
 		mix[j.App.Abbrev] = m
 		return nil
@@ -240,13 +251,13 @@ func RunFig5(o Options) (*Table, error) {
 	type acc struct{ hit, tot [3][3]int64 } // [policy][stream]
 	per := map[string]*acc{}
 	kinds := []stream.Kind{stream.Texture, stream.RT, stream.Z}
-	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
 			per[j.App.Abbrev] = a
 		}
-		results, err := runBDN(o.ctx(), tr, geom)
+		results, err := runBDN(o, tr, geom)
 		if err != nil {
 			return err
 		}
@@ -306,13 +317,13 @@ func RunFig6(o Options) (*Table, error) {
 		prod, cons   [3]int64
 	}
 	per := map[string]*acc{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
 			per[j.App.Abbrev] = a
 		}
-		results, err := runBDN(o.ctx(), tr, geom)
+		results, err := runBDN(o, tr, geom)
 		if err != nil {
 			return err
 		}
@@ -372,7 +383,7 @@ func RunFig7(o Options) (*Table, error) {
 		entries [5]int64
 	}
 	per := map[string]*acc{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
@@ -445,7 +456,7 @@ func RunFig8(o Options) (*Table, error) {
 	geom := o.Geometry(paperLLCBytes)
 	type acc struct{ rtF, rtD, txF, txD int64 }
 	per := map[string]*acc{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
@@ -485,7 +496,7 @@ func RunFig8(o Options) (*Table, error) {
 func RunFig9(o Options) (*Table, error) {
 	geom := o.Geometry(paperLLCBytes)
 	per := map[string]*[5]int64{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &[5]int64{}
@@ -528,17 +539,22 @@ func RunFig11(o Options) (*Table, error) {
 	geom := o.Geometry(paperLLCBytes)
 	ts := []int{2, 4, 8, 16}
 	miss := map[string][]int64{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
 		a := miss[j.App.Abbrev]
 		if a == nil {
 			a = make([]int64, len(ts))
 		}
-		for i, tv := range ts {
-			r, err := runOffline(o.ctx(), tr, specGSPC(core.VariantGSPZTC, tv, false), geom)
-			if err != nil {
-				return err
-			}
-			a[i] += r.stats.Misses
+		rs := make([]frameResult, len(ts))
+		err := fanOut(o.ctx(), o.replayWorkers(), len(ts), func(ctx context.Context, i int) error {
+			var err error
+			rs[i], err = runOffline(ctx, tr, specGSPC(core.VariantGSPZTC, ts[i], false), geom)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		for i := range ts {
+			a[i] += rs[i].stats.Misses
 		}
 		miss[j.App.Abbrev] = a
 		return nil
@@ -630,19 +646,23 @@ func RunFig13(o Options) (*Table, error) {
 		specGSPC(core.VariantGSPC, 8, true),
 	}
 	accs := make([]fig13Acc, len(specs)+1) // +1 for Belady
-	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
-		for i := range specs {
-			r, err := runOffline(o.ctx(), tr, specs[i], geom)
-			if err != nil {
-				return err
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+		rs := make([]frameResult, len(specs)+1)
+		err := fanOut(o.ctx(), o.replayWorkers(), len(specs)+1, func(ctx context.Context, i int) error {
+			var err error
+			if i == len(specs) {
+				rs[i], err = runBelady(ctx, tr, geom)
+			} else {
+				rs[i], err = runOffline(ctx, tr, specs[i], geom)
 			}
-			collect13(&accs[i], r)
-		}
-		rb, err := runBelady(o.ctx(), tr, geom)
+			return err
+		})
 		if err != nil {
 			return err
 		}
-		collect13(&accs[len(specs)], rb)
+		for i := range rs {
+			collect13(&accs[i], rs[i])
+		}
 		return nil
 	})
 	if err != nil {
@@ -725,28 +745,35 @@ func RunFig14(o Options) (*Table, error) {
 
 // missSweep replays every selected frame under the DRRIP baseline and
 // each spec, accumulating per-app miss counts. It is the shared first
-// half of every normalized-miss figure, and it stops at the first
-// cancellation surfaced by the replay loops.
+// half of every normalized-miss figure. Each frame's replays — the
+// baseline plus every spec, all over the one shared packed trace — fan
+// out across the options' worker budget, and the sweep stops at the
+// first cancellation surfaced by the replay loops.
 func missSweep(o Options, geom cachesim.Geometry, specs []policySpec) (missD map[string]int64, miss map[string][]int64, err error) {
 	missD = map[string]int64{}
 	miss = map[string][]int64{}
-	err = forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+	err = forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
 		ab := j.App.Abbrev
-		rd, err := runOffline(o.ctx(), tr, specDRRIP(), geom)
+		rs := make([]frameResult, len(specs)+1)
+		err := fanOut(o.ctx(), o.replayWorkers(), len(specs)+1, func(ctx context.Context, i int) error {
+			var err error
+			if i == 0 {
+				rs[0], err = runOffline(ctx, tr, specDRRIP(), geom)
+			} else {
+				rs[i], err = runOffline(ctx, tr, specs[i-1], geom)
+			}
+			return err
+		})
 		if err != nil {
 			return err
 		}
-		missD[ab] += rd.stats.Misses
+		missD[ab] += rs[0].stats.Misses
 		a := miss[ab]
 		if a == nil {
 			a = make([]int64, len(specs))
 		}
-		for i, s := range specs {
-			r, err := runOffline(o.ctx(), tr, s, geom)
-			if err != nil {
-				return err
-			}
-			a[i] += r.stats.Misses
+		for i := range specs {
+			a[i] += rs[i+1].stats.Misses
 		}
 		miss[ab] = a
 		return nil

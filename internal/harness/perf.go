@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"gspc/internal/cachesim"
@@ -33,28 +34,39 @@ func runPerf(o Options, title string, cfg gpu.Config) (*Table, error) {
 	var framesD, framesTot int64
 	var cycSumD int64
 	cycSum := make([]int64, len(specs))
-	ctx := o.ctx()
-	err := forEachFrame(o, func(j workload.FrameJob, tr []stream.Access) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
 		ab := j.App.Abbrev
 		cfgRun := cfg
 		cfgRun.UncachedDisplay = true
-		rd := gpu.Simulate(tr, cfgRun, base.make())
-		cycD[ab] += rd.Cycles
-		cycSumD += rd.Cycles
+		// The timing simulator runs one whole trace per call and does not
+		// poll the context internally, so the fan-out's per-job context
+		// check bounds cancellation latency to one simulation — the same
+		// bound the former sequential loop had. Results are positional:
+		// index 0 is the DRRIP baseline, 1..len(specs) the evaluated
+		// policies, all reading the one shared packed trace.
+		cycles := make([]int64, len(specs)+1)
+		err := fanOut(o.ctx(), o.replayWorkers(), len(specs)+1, func(ctx context.Context, i int) error {
+			spec := base
+			if i > 0 {
+				spec = specs[i-1]
+			}
+			defer stageTiming.track()()
+			cycles[i] = gpu.SimulateSource(tr, cfgRun, spec.make()).Cycles
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		cycD[ab] += cycles[0]
+		cycSumD += cycles[0]
 		framesD++
 		a := cyc[ab]
 		if a == nil {
 			a = make([]int64, len(specs))
 		}
-		// The timing simulator runs one whole trace per call; checking
-		// between policy runs bounds cancellation latency to one replay.
-		for i, s := range specs {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			r := gpu.Simulate(tr, cfgRun, s.make())
-			a[i] += r.Cycles
-			cycSum[i] += r.Cycles
+		for i := range specs {
+			a[i] += cycles[i+1]
+			cycSum[i] += cycles[i+1]
 		}
 		cyc[ab] = a
 		framesTot++

@@ -13,6 +13,10 @@
 package rendercache
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
 	"gspc/internal/cachesim"
 	"gspc/internal/policy"
 	"gspc/internal/stream"
@@ -74,6 +78,21 @@ func (c Config) Scaled(areaScale float64) Config {
 		TexL2:       s(c.TexL2),
 		TexL3:       s(c.TexL3),
 	}
+}
+
+// Digest returns a short stable hash over every cache geometry in the
+// configuration. Two configurations produce the same LLC trace for a
+// frame iff they are identical, so the digest is the configuration
+// component of frame-trace cache keys.
+func (c Config) Digest() string {
+	h := sha256.New()
+	for _, g := range []cachesim.Geometry{
+		c.VertexIndex, c.Vertex, c.HiZ, c.Stencil, c.RT, c.Z,
+		c.TexL1, c.TexL2, c.TexL3,
+	} {
+		fmt.Fprintf(h, "%d/%d/%d|", g.SizeBytes, g.Ways, g.BlockSize)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12]
 }
 
 // Complex is the full render cache assembly. Pipeline stages call the

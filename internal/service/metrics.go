@@ -3,6 +3,9 @@ package service
 import (
 	"sort"
 	"time"
+
+	"gspc/internal/harness"
+	"gspc/internal/tracecache"
 )
 
 // latencySamples bounds the completed-job duration window percentiles
@@ -73,6 +76,14 @@ type Metrics struct {
 
 	LatencyP50Ms float64 `json:"latency_p50_ms"`
 	LatencyP95Ms float64 `json:"latency_p95_ms"`
+
+	// TraceCache reports the process-wide frame-trace cache (hits,
+	// misses, coalesced synthesis, evicted bytes, budget); Stages splits
+	// accumulated experiment time into synthesis, offline replay, and
+	// timing simulation. Both are process-global, not per-engine: every
+	// engine in the process shares the one cache.
+	TraceCache tracecache.Stats     `json:"trace_cache"`
+	Stages     harness.StageTimings `json:"stages"`
 }
 
 // Metrics snapshots the engine counters.
@@ -123,5 +134,8 @@ func (e *Engine) Metrics() Metrics {
 		Workers:        e.cfg.Workers,
 		LatencyP50Ms:   p50,
 		LatencyP95Ms:   p95,
+
+		TraceCache: harness.SharedTraceCache().Stats(),
+		Stages:     harness.Timings(),
 	}
 }

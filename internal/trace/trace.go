@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"gspc/internal/pipeline"
 	"gspc/internal/rendercache"
@@ -26,6 +27,38 @@ type Collector struct {
 // Emit implements stream.Sink.
 func (c *Collector) Emit(a stream.Access) {
 	c.Accesses = append(c.Accesses, a)
+}
+
+// sizeHints remembers the most recent trace length per (job, scale), so
+// repeat synthesis of a frame — benchmarks, sweeps with the trace cache
+// disabled or evicting — pre-sizes its collector instead of paying a
+// dozen append regrowths of a multi-megabyte buffer. The hint only
+// shapes allocation, never content.
+var sizeHints sync.Map // "job|scale" -> int
+
+func hintKey(job workload.FrameJob, scale float64) string {
+	return fmt.Sprintf("%s|%g", job.ID(), scale)
+}
+
+// EstimateAccesses returns the expected LLC trace length for a frame at
+// the given scale: the remembered length of the last synthesis of this
+// exact (job, scale), otherwise an area-proportional estimate from any
+// recorded scale of the same job, otherwise a conservative floor.
+func EstimateAccesses(job workload.FrameJob, scale float64) int {
+	if v, ok := sizeHints.Load(hintKey(job, scale)); ok {
+		return v.(int)
+	}
+	// Trace length grows roughly with frame area. A small floor avoids
+	// silly tiny allocations without risking a large over-commit.
+	est := int(float64(job.App.Width) * float64(job.App.Height) * scale * scale / 4)
+	if est < 4096 {
+		est = 4096
+	}
+	return est
+}
+
+func recordSize(job workload.FrameJob, scale float64, n int) {
+	sizeHints.Store(hintKey(job, scale), n)
 }
 
 // GenerateFrame renders one suite frame at the given linear scale through
@@ -45,7 +78,7 @@ func GenerateFrame(job workload.FrameJob, scale float64) []stream.Access {
 // GenerateFrameWithCaches is GenerateFrame with an explicit render cache
 // configuration (used by ablation benches that vary the front caches).
 func GenerateFrameWithCaches(job workload.FrameJob, scale float64, cfg rendercache.Config) []stream.Access {
-	col := &Collector{}
+	col := &Collector{Accesses: make([]stream.Access, 0, EstimateAccesses(job, scale))}
 	rc := rendercache.New(cfg, col)
 	frame := job.Build(scale)
 	if err := frame.Validate(); err != nil {
@@ -56,7 +89,35 @@ func GenerateFrameWithCaches(job workload.FrameJob, scale float64, cfg rendercac
 	for i := range col.Accesses {
 		col.Accesses[i].Seq = int64(i)
 	}
+	recordSize(job, scale, len(col.Accesses))
 	return col.Accesses
+}
+
+// GeneratePacked renders one suite frame directly into a packed
+// stream.Trace: the render-cache miss stream is collected at 9 bytes per
+// record with Seq implicit in position, skipping the []stream.Access
+// intermediate entirely. This is the synthesis path behind the shared
+// frame-trace cache.
+func GeneratePacked(job workload.FrameJob, scale float64) *stream.Trace {
+	t := stream.NewTrace(EstimateAccesses(job, scale))
+	GeneratePackedInto(t, job, scale, rendercache.DefaultConfig().Scaled(scale))
+	return t
+}
+
+// GeneratePackedInto renders a frame into an existing packed trace
+// buffer, appending after whatever capacity Reset left behind — the
+// buffer-reuse hook for sweeps that synthesize many frames serially.
+// The buffer is reset first; on return it holds exactly the new frame.
+func GeneratePackedInto(t *stream.Trace, job workload.FrameJob, scale float64, cfg rendercache.Config) {
+	t.Reset()
+	t.Grow(EstimateAccesses(job, scale))
+	rc := rendercache.New(cfg, t)
+	frame := job.Build(scale)
+	if err := frame.Validate(); err != nil {
+		panic(fmt.Sprintf("trace: invalid frame %s: %v", job.ID(), err))
+	}
+	pipeline.NewRenderer(rc).RenderFrame(frame)
+	recordSize(job, scale, t.Len())
 }
 
 // Binary container format:
@@ -145,4 +206,68 @@ func Read(r io.Reader) ([]stream.Access, error) {
 		})
 	}
 	return accs, nil
+}
+
+// WriteTrace stores a packed trace in the binary container format. The
+// on-disk record (addr uint64 + meta uint8) is exactly the packed
+// in-memory record, so no intermediate slice is built.
+func WriteTrace(w io.Writer, t *stream.Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(t.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [9]byte
+	for i, n := 0, t.Len(); i < n; i++ {
+		binary.LittleEndian.PutUint64(rec[:8], t.Addr(i))
+		rec[8] = stream.PackMeta(t.KindAt(i), t.WriteAt(i))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace loads a trace from the binary container format into the
+// packed representation, at 9 bytes per record instead of 24.
+func ReadTrace(r io.Reader) (*stream.Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint64(hdr[:])
+	const maxReasonable = 1 << 32
+	if count > maxReasonable {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	// Same untrusted-header rule as Read: cap the up-front allocation.
+	capHint := int(count)
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	t := stream.NewTrace(capHint)
+	var rec [9]byte
+	for i := int64(0); i < int64(count); i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: truncated at record %d: %w", i, err)
+		}
+		k, wr := stream.UnpackMeta(rec[8])
+		if !k.Valid() {
+			return nil, fmt.Errorf("trace: record %d has invalid kind %d", i, rec[8]&0x7f)
+		}
+		t.Append(stream.Access{Addr: binary.LittleEndian.Uint64(rec[:8]), Kind: k, Write: wr})
+	}
+	return t, nil
 }

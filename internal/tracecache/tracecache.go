@@ -1,0 +1,243 @@
+// Package tracecache is a concurrency-safe, byte-budgeted, LRU-evicted
+// cache of synthesized frame traces. Trace synthesis — rendering a frame
+// through the full pipeline and render-cache complex — costs two orders
+// of magnitude more than replaying the resulting LLC trace through one
+// policy, yet every experiment in internal/harness replays the same
+// 52-frame suite and every gspcd job re-runs frames other jobs just
+// synthesized. The cache keys a packed, read-only stream.Trace by
+// (frame job, scale, render-cache config digest) and deduplicates
+// concurrent synthesis with singleflight, so the whole process pays for
+// each distinct frame trace once while it stays within the byte budget.
+//
+// Traces handed out by Get are shared: callers must treat them as
+// immutable. Eviction only drops the cache's own reference — in-flight
+// replays keep theirs and the garbage collector reclaims the bytes when
+// the last reader finishes.
+package tracecache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gspc/internal/stream"
+)
+
+// Key identifies one synthesized frame trace.
+type Key struct {
+	// Job is the frame job identity, e.g. "Dirt/0".
+	Job string
+	// Scale is the linear frame scale the trace was synthesized at.
+	Scale float64
+	// Config is the render-cache configuration digest
+	// (rendercache.Config.Digest) the miss stream was filtered through.
+	Config string
+}
+
+// String renders the key for diagnostics.
+func (k Key) String() string { return fmt.Sprintf("%s@%g/%s", k.Job, k.Scale, k.Config) }
+
+// Stats is a snapshot of the cache counters (served via /metricsz).
+type Stats struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Coalesced    int64 `json:"coalesced"` // lookups that joined an in-flight synthesis
+	Evictions    int64 `json:"evictions"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+	Entries      int   `json:"entries"`
+	BytesUsed    int64 `json:"bytes_used"`
+	BudgetBytes  int64 `json:"budget_bytes"`
+	// SynthCount and SynthTotalMs time the misses' synthesis stage: the
+	// wall-clock the cache is saving shows up as hits×(SynthTotalMs/SynthCount).
+	SynthCount   int64   `json:"synth_count"`
+	SynthTotalMs float64 `json:"synth_total_ms"`
+}
+
+type entry struct {
+	key   Key
+	trace *stream.Trace
+	bytes int64
+	elem  *list.Element
+}
+
+// call is one in-flight synthesis that concurrent lookups coalesce onto.
+type call struct {
+	done  chan struct{}
+	trace *stream.Trace
+	err   error
+}
+
+// Cache is the shared frame-trace cache. The zero value is not usable;
+// construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	entries  map[Key]*entry
+	lru      *list.List // front = most recently used; values are *entry
+	inflight map[Key]*call
+
+	hits, misses, coalesced int64
+	evictions, evictedBytes int64
+	synthCount              int64
+	synthNanos              int64
+}
+
+// New returns a cache bounded by budgetBytes of packed trace data. A
+// non-positive budget disables retention entirely: every lookup
+// synthesizes (still deduplicated against concurrent identical lookups)
+// and nothing is kept.
+func New(budgetBytes int64) *Cache {
+	return &Cache{
+		budget:   budgetBytes,
+		entries:  map[Key]*entry{},
+		lru:      list.New(),
+		inflight: map[Key]*call{},
+	}
+}
+
+// SetBudget adjusts the byte budget at runtime, evicting LRU entries if
+// the cache is now over it.
+func (c *Cache) SetBudget(budgetBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = budgetBytes
+	c.evictOverBudgetLocked()
+}
+
+// Get returns the trace for k, synthesizing it with synth on a miss.
+// Concurrent Gets for the same key share one synthesis: one caller runs
+// synth, the rest wait. A waiter whose ctx dies returns ctx.Err()
+// immediately without disturbing the synthesis; if the synthesizing
+// caller fails (typically its own cancellation), each still-live waiter
+// retries the lookup — one of them becomes the new synthesizer — so one
+// cancelled request never poisons the others.
+//
+// The returned trace is shared and must be treated as read-only.
+func (c *Cache) Get(ctx context.Context, k Key, synth func(ctx context.Context) (*stream.Trace, error)) (*stream.Trace, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if e, ok := c.entries[k]; ok {
+			c.lru.MoveToFront(e.elem)
+			c.hits++
+			c.mu.Unlock()
+			return e.trace, nil
+		}
+		if cl, ok := c.inflight[k]; ok {
+			c.coalesced++
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if cl.err == nil {
+				return cl.trace, nil
+			}
+			// The synthesizer failed — usually its context died mid-flight.
+			// Retry: the entry may have been inserted by a later success, or
+			// this caller becomes the new synthesizer.
+			continue
+		}
+		cl := &call{done: make(chan struct{})}
+		c.inflight[k] = cl
+		c.misses++
+		c.mu.Unlock()
+		return c.synthesize(ctx, k, cl, synth)
+	}
+}
+
+// synthesize runs one deduplicated synthesis for k and publishes the
+// outcome to every waiter. The deferred completion also covers a
+// panicking synth: waiters are released with an error before the panic
+// propagates, so a poisoned frame can never hang its coalesced lookups.
+func (c *Cache) synthesize(ctx context.Context, k Key, cl *call, synth func(ctx context.Context) (*stream.Trace, error)) (*stream.Trace, error) {
+	start := time.Now()
+	completed := false
+	defer func() {
+		if !completed {
+			cl.err = fmt.Errorf("tracecache: synthesis of %s panicked", k)
+		}
+		c.mu.Lock()
+		delete(c.inflight, k)
+		if cl.err == nil {
+			c.synthCount++
+			c.synthNanos += time.Since(start).Nanoseconds()
+			c.insertLocked(k, cl.trace)
+		}
+		c.mu.Unlock()
+		close(cl.done)
+	}()
+	cl.trace, cl.err = synth(ctx)
+	completed = true
+	return cl.trace, cl.err
+}
+
+// insertLocked adds a freshly synthesized trace and evicts down to the
+// budget. A trace larger than the whole budget is returned to callers
+// but never retained. Callers hold c.mu.
+func (c *Cache) insertLocked(k Key, t *stream.Trace) {
+	bytes := t.Bytes()
+	if bytes > c.budget {
+		return
+	}
+	if e, ok := c.entries[k]; ok {
+		// A concurrent path already inserted this key (e.g. a retry after
+		// a failed synthesis raced a successful one). Keep the resident
+		// entry; drop the duplicate.
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &entry{key: k, trace: t, bytes: bytes}
+	e.elem = c.lru.PushFront(e)
+	c.entries[k] = e
+	c.used += bytes
+	c.evictOverBudgetLocked()
+}
+
+// evictOverBudgetLocked drops least-recently-used entries until the
+// cache fits its budget. Callers hold c.mu.
+func (c *Cache) evictOverBudgetLocked() {
+	for c.used > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.used -= e.bytes
+		c.evictions++
+		c.evictedBytes += e.bytes
+	}
+}
+
+// Len returns the number of resident traces.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Coalesced:    c.coalesced,
+		Evictions:    c.evictions,
+		EvictedBytes: c.evictedBytes,
+		Entries:      len(c.entries),
+		BytesUsed:    c.used,
+		BudgetBytes:  c.budget,
+		SynthCount:   c.synthCount,
+		SynthTotalMs: float64(c.synthNanos) / 1e6,
+	}
+}

@@ -1,0 +1,328 @@
+package tracecache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gspc/internal/stream"
+)
+
+// mkTrace builds a small distinguishable trace for key index i.
+func mkTrace(i, n int) *stream.Trace {
+	t := stream.NewTrace(n)
+	for k := 0; k < n; k++ {
+		t.Append(stream.Access{Addr: uint64(i*1000 + k), Kind: stream.RT, Write: k%2 == 0})
+	}
+	return t
+}
+
+func key(i int) Key {
+	return Key{Job: fmt.Sprintf("App/%d", i), Scale: 0.25, Config: "abcdef012345"}
+}
+
+func TestGetHitMissAndStats(t *testing.T) {
+	c := New(1 << 20)
+	ctx := context.Background()
+	var synths atomic.Int64
+	synth := func(ctx context.Context) (*stream.Trace, error) {
+		synths.Add(1)
+		return mkTrace(1, 16), nil
+	}
+	a, err := c.Get(ctx, key(1), synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get(ctx, key(1), synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second Get returned a different trace pointer")
+	}
+	if n := synths.Load(); n != 1 {
+		t.Errorf("synth ran %d times, want 1", n)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.BytesUsed != a.Bytes() {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.SynthCount != 1 {
+		t.Errorf("synth count = %d, want 1", s.SynthCount)
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	// Each 16-record trace occupies 16*9 = 144 bytes; budget fits two.
+	tr := mkTrace(0, 16)
+	c := New(2 * tr.Bytes())
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(ctx, key(i), func(context.Context) (*stream.Trace, error) {
+			return mkTrace(i, 16), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 1 || s.EvictedBytes != tr.Bytes() {
+		t.Errorf("stats = %+v, want 2 entries / 1 eviction", s)
+	}
+	// Key 0 was LRU and must be gone: a fresh Get synthesizes again.
+	ran := false
+	if _, err := c.Get(ctx, key(0), func(context.Context) (*stream.Trace, error) {
+		ran = true
+		return mkTrace(0, 16), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("evicted key was still served from cache")
+	}
+}
+
+func TestLRUTouchOnHit(t *testing.T) {
+	tr := mkTrace(0, 16)
+	c := New(2 * tr.Bytes())
+	ctx := context.Background()
+	get := func(i int) {
+		if _, err := c.Get(ctx, key(i), func(context.Context) (*stream.Trace, error) {
+			return mkTrace(i, 16), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(0)
+	get(1)
+	get(0) // touch 0: now 1 is LRU
+	get(2) // evicts 1
+	ran := false
+	if _, err := c.Get(ctx, key(0), func(context.Context) (*stream.Trace, error) {
+		ran = true
+		return mkTrace(0, 16), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("recently touched key was evicted instead of the LRU one")
+	}
+}
+
+func TestZeroBudgetStillDedups(t *testing.T) {
+	c := New(0)
+	ctx := context.Background()
+	var synths atomic.Int64
+	var start, release sync.WaitGroup
+	start.Add(1)
+	const waiters = 8
+	results := make([]*stream.Trace, waiters)
+	release.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func(i int) {
+			defer release.Done()
+			start.Wait()
+			tr, err := c.Get(ctx, key(7), func(ctx context.Context) (*stream.Trace, error) {
+				synths.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the coalescing window
+				return mkTrace(7, 16), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = tr
+		}(i)
+	}
+	start.Done()
+	release.Wait()
+	if n := synths.Load(); n != 1 {
+		t.Errorf("synth ran %d times under %d concurrent lookups, want 1", n, waiters)
+	}
+	for i := 1; i < waiters; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("waiter %d got a different trace", i)
+		}
+	}
+	if s := c.Stats(); s.Entries != 0 || s.BytesUsed != 0 {
+		t.Errorf("zero-budget cache retained entries: %+v", s)
+	}
+}
+
+func TestWaiterCancellation(t *testing.T) {
+	c := New(1 << 20)
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		_, err := c.Get(context.Background(), key(3), func(ctx context.Context) (*stream.Trace, error) {
+			close(leaderIn)
+			<-gate
+			return mkTrace(3, 4), nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The waiter's dead context must surface immediately, not wait for
+	// the stalled leader.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get(ctx, key(3), func(context.Context) (*stream.Trace, error) {
+			return mkTrace(3, 4), nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter blocked on the in-flight synthesis")
+	}
+	close(gate)
+}
+
+func TestLeaderFailureRetries(t *testing.T) {
+	c := New(1 << 20)
+	boom := errors.New("leader died")
+	leaderIn := make(chan struct{})
+	gate := make(chan struct{})
+	go func() {
+		_, err := c.Get(context.Background(), key(5), func(ctx context.Context) (*stream.Trace, error) {
+			close(leaderIn)
+			<-gate
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("leader err = %v, want boom", err)
+		}
+	}()
+	<-leaderIn
+	// This waiter joins the doomed flight, then must retry and become
+	// the new synthesizer rather than inherit the leader's failure.
+	done := make(chan *stream.Trace, 1)
+	go func() {
+		tr, err := c.Get(context.Background(), key(5), func(context.Context) (*stream.Trace, error) {
+			return mkTrace(5, 4), nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- tr
+	}()
+	// Give the waiter time to park on the in-flight call, then fail it.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	select {
+	case tr := <-done:
+		if tr == nil || tr.Len() != 4 {
+			t.Errorf("retry returned %v", tr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never recovered from the leader's failure")
+	}
+}
+
+func TestSynthPanicReleasesWaiters(t *testing.T) {
+	c := New(1 << 20)
+	leaderIn := make(chan struct{})
+	gate := make(chan struct{})
+	go func() {
+		defer func() { recover() }() // the panic must still propagate to the leader
+		c.Get(context.Background(), key(9), func(ctx context.Context) (*stream.Trace, error) {
+			close(leaderIn)
+			<-gate
+			panic("poisoned frame")
+		})
+	}()
+	<-leaderIn
+	// The waiter's own retry also fails, so no path inserts an entry:
+	// whatever it sees, it must return promptly and leave nothing behind.
+	retryFail := errors.New("retry failed too")
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Get(context.Background(), key(9), func(context.Context) (*stream.Trace, error) {
+			return nil, retryFail
+		})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("waiter reported success though every synthesis failed")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter hung after the synthesizer panicked")
+	}
+	if c.Len() != 0 {
+		t.Error("failed syntheses left a resident entry")
+	}
+}
+
+// TestConcurrentHammer drives lookups, evictions, and cancellations from
+// many goroutines at once; run under -race this is the package's main
+// concurrency proof.
+func TestConcurrentHammer(t *testing.T) {
+	// Budget of ~4 traces over 8 keys forces constant eviction.
+	tr := mkTrace(0, 32)
+	c := New(4 * tr.Bytes())
+	const (
+		workers = 16
+		iters   = 200
+		keys    = 8
+	)
+	var wg sync.WaitGroup
+	var served, cancelled atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ctx := context.Background()
+				if (w+i)%5 == 0 {
+					// A slice of requests carries an already-dead context.
+					cctx, cancel := context.WithCancel(ctx)
+					cancel()
+					ctx = cctx
+				}
+				ki := (w*7 + i) % keys
+				tr, err := c.Get(ctx, key(ki), func(ctx context.Context) (*stream.Trace, error) {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					return mkTrace(ki, 32), nil
+				})
+				switch {
+				case err == nil:
+					// Traces are shared and read-only: verify this one is
+					// the right key's content and intact.
+					if tr.Len() != 32 || tr.Addr(0) != uint64(ki*1000) {
+						t.Errorf("key %d served wrong trace (len %d, addr0 %d)", ki, tr.Len(), tr.Addr(0))
+					}
+					served.Add(1)
+				case errors.Is(err, context.Canceled):
+					cancelled.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if served.Load() == 0 || s.Evictions == 0 {
+		t.Errorf("hammer exercised too little: served %d, stats %+v", served.Load(), s)
+	}
+	if s.BytesUsed > s.BudgetBytes {
+		t.Errorf("cache over budget after hammer: %+v", s)
+	}
+	t.Logf("hammer: served %d, cancelled %d, stats %+v", served.Load(), cancelled.Load(), s)
+}
