@@ -1,0 +1,165 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"gspc/internal/harness"
+	"gspc/internal/service"
+)
+
+// options holds every gspcd flag after parsing and validation, so the
+// parse/validate path is testable without exec'ing the binary.
+type options struct {
+	addr        string
+	queue       int
+	workers     int
+	simWorkers  int
+	cacheSize   int
+	cachePolicy string
+	drain       time.Duration
+
+	jobTimeout   time.Duration
+	maxRetries   int
+	backoff      time.Duration
+	brkThresh    int
+	brkCooldown  time.Duration
+	serveStale   bool
+	maxWork      float64
+	exposeStacks bool
+	traceCacheMB int64
+
+	dataDir       string
+	fsync         bool
+	snapshotEvery int
+
+	// explicit records which flags the command line actually set, for
+	// validations of the form "-fsync without -data-dir".
+	explicit map[string]bool
+}
+
+// parseFlags parses args (not including the program name) and
+// validates the result. Errors are usage errors: the caller should
+// print them and exit 2.
+func parseFlags(args []string, stderr io.Writer) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("gspcd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.queue, "queue", 64, "job queue depth (beyond this, POSTs get 429)")
+	fs.IntVar(&o.workers, "workers", 0, "concurrent experiment runners (0 = GOMAXPROCS)")
+	fs.IntVar(&o.simWorkers, "sim-workers", 0, "default per-experiment trace-synthesis workers for requests that leave it unset (0 = harness default)")
+	fs.IntVar(&o.cacheSize, "cache-entries", 128, "result cache capacity in entries (0 disables)")
+	fs.StringVar(&o.cachePolicy, "cache-policy", "lru", "result cache eviction policy: "+strings.Join(service.CachePolicyNames(), "|"))
+	fs.DurationVar(&o.drain, "drain-timeout", 5*time.Minute, "max time to drain in-flight jobs on shutdown")
+
+	fs.DurationVar(&o.jobTimeout, "job-timeout", 0, "engine-wide per-job deadline; request timeout_ms can only tighten it (0 = none)")
+	fs.IntVar(&o.maxRetries, "max-retries", 2, "retries for transient failures (-1 disables)")
+	fs.DurationVar(&o.backoff, "retry-backoff", 50*time.Millisecond, "base retry backoff; attempt k waits base*2^k with jitter")
+	fs.IntVar(&o.brkThresh, "breaker-threshold", 5, "consecutive failures before an experiment's circuit breaker opens (-1 disables)")
+	fs.DurationVar(&o.brkCooldown, "breaker-cooldown", 30*time.Second, "how long an open breaker fast-fails before probing")
+	fs.BoolVar(&o.serveStale, "serve-stale", false, "while a breaker is open, answer with the experiment's last good result instead of 503")
+	fs.Float64Var(&o.maxWork, "max-work", 0, "admission ceiling in frame-equivalents (frames × scale²) per request (0 = unlimited)")
+	fs.BoolVar(&o.exposeStacks, "expose-stacks", false, "include recovered panic stacks in GET /v1/runs/{id} responses (debugging aid; stacks are always logged server-side)")
+	fs.Int64Var(&o.traceCacheMB, "trace-cache-mb", harness.DefaultTraceCacheBytes>>20, "byte budget of the shared frame-trace cache in MiB (0 disables retention; synthesis is still deduplicated)")
+
+	fs.StringVar(&o.dataDir, "data-dir", "", "directory for the write-ahead journal and snapshots; empty runs in-memory only")
+	fs.BoolVar(&o.fsync, "fsync", true, "fsync the journal after every record (requires -data-dir; turning it off risks losing the newest records on power failure)")
+	fs.IntVar(&o.snapshotEvery, "snapshot-every", 256, "journal records between snapshot compactions (requires -data-dir)")
+
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	o.explicit = map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { o.explicit[f.Name] = true })
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// validate rejects configurations the engine would either refuse or
+// silently reinterpret; the daemon fails fast instead.
+func (o *options) validate() error {
+	if o.queue < 1 {
+		return fmt.Errorf("-queue must be at least 1, got %d", o.queue)
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers must not be negative, got %d", o.workers)
+	}
+	if o.simWorkers < 0 {
+		return fmt.Errorf("-sim-workers must not be negative, got %d", o.simWorkers)
+	}
+	if o.cacheSize < 0 {
+		return fmt.Errorf("-cache-entries must not be negative, got %d (0 disables the cache)", o.cacheSize)
+	}
+	if !validPolicy(o.cachePolicy) {
+		return fmt.Errorf("-cache-policy %q unknown; choose one of %s",
+			o.cachePolicy, strings.Join(service.CachePolicyNames(), "|"))
+	}
+	if o.drain <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %s", o.drain)
+	}
+	if o.maxRetries < -1 {
+		return fmt.Errorf("-max-retries must be -1 (disabled) or more, got %d", o.maxRetries)
+	}
+	if o.brkThresh < -1 {
+		return fmt.Errorf("-breaker-threshold must be -1 (disabled) or more, got %d", o.brkThresh)
+	}
+	if o.traceCacheMB < 0 {
+		return fmt.Errorf("-trace-cache-mb must not be negative, got %d", o.traceCacheMB)
+	}
+	if o.snapshotEvery < 1 {
+		return fmt.Errorf("-snapshot-every must be at least 1, got %d", o.snapshotEvery)
+	}
+	if o.dataDir == "" {
+		for _, name := range []string{"fsync", "snapshot-every"} {
+			if o.explicit[name] {
+				return fmt.Errorf("-%s requires -data-dir", name)
+			}
+		}
+	}
+	return nil
+}
+
+func validPolicy(name string) bool {
+	for _, p := range service.CachePolicyNames() {
+		if name == p {
+			return true
+		}
+	}
+	return false
+}
+
+// engineConfig translates the validated flags into a service.Config.
+func (o *options) engineConfig() service.Config {
+	cfg := service.Config{
+		QueueDepth:       o.queue,
+		Workers:          o.workers,
+		CacheEntries:     o.cacheSize,
+		CachePolicy:      o.cachePolicy,
+		JobTimeout:       o.jobTimeout,
+		MaxRetries:       o.maxRetries,
+		RetryBackoff:     o.backoff,
+		BreakerThreshold: o.brkThresh,
+		BreakerCooldown:  o.brkCooldown,
+		ServeStale:       o.serveStale,
+		MaxWork:          o.maxWork,
+		ExposeStacks:     o.exposeStacks,
+
+		DataDir:       o.dataDir,
+		Fsync:         o.fsync,
+		SnapshotEvery: o.snapshotEvery,
+	}
+	// A validated cacheSize is never negative, so the engine's
+	// "negative means default" fallback is unreachable from the CLI:
+	// 0 disables, anything else is the exact capacity.
+	return cfg
+}

@@ -9,6 +9,12 @@
 //	      [-job-timeout 0] [-max-retries 2] [-retry-backoff 50ms]
 //	      [-breaker-threshold 5] [-breaker-cooldown 30s]
 //	      [-serve-stale] [-max-work 0] [-expose-stacks]
+//	      [-data-dir DIR] [-fsync=true] [-snapshot-every 256]
+//
+// With -data-dir set, every job transition is appended to a
+// checksummed write-ahead journal and completed results are
+// snapshotted, so a crashed or restarted gspcd comes back remembering
+// its runs: GET /v1/runs/{id} keeps answering across restarts.
 //
 // Endpoints:
 //
@@ -26,59 +32,28 @@ package main
 import (
 	"context"
 	"errors"
-	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
-	"time"
 
 	"gspc/internal/harness"
 	"gspc/internal/service"
 )
 
 func main() {
-	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		queue       = flag.Int("queue", 64, "job queue depth (beyond this, POSTs get 429)")
-		workers     = flag.Int("workers", 0, "concurrent experiment runners (0 = GOMAXPROCS)")
-		simWorkers  = flag.Int("sim-workers", 0, "default per-experiment trace-synthesis workers for requests that leave it unset (0 = harness default)")
-		cacheSize   = flag.Int("cache-entries", 128, "result cache capacity in entries (0 disables)")
-		cachePolicy = flag.String("cache-policy", "lru", "result cache eviction policy: "+strings.Join(service.CachePolicyNames(), "|"))
-		drain       = flag.Duration("drain-timeout", 5*time.Minute, "max time to drain in-flight jobs on shutdown")
-
-		jobTimeout   = flag.Duration("job-timeout", 0, "engine-wide per-job deadline; request timeout_ms can only tighten it (0 = none)")
-		maxRetries   = flag.Int("max-retries", 2, "retries for transient failures (-1 disables)")
-		backoff      = flag.Duration("retry-backoff", 50*time.Millisecond, "base retry backoff; attempt k waits base*2^k with jitter")
-		brkThresh    = flag.Int("breaker-threshold", 5, "consecutive failures before an experiment's circuit breaker opens (-1 disables)")
-		brkCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "how long an open breaker fast-fails before probing")
-		serveStale   = flag.Bool("serve-stale", false, "while a breaker is open, answer with the experiment's last good result instead of 503")
-		maxWork      = flag.Float64("max-work", 0, "admission ceiling in frame-equivalents (frames × scale²) per request (0 = unlimited)")
-		exposeStacks = flag.Bool("expose-stacks", false, "include recovered panic stacks in GET /v1/runs/{id} responses (debugging aid; stacks are always logged server-side)")
-		traceCacheMB = flag.Int64("trace-cache-mb", harness.DefaultTraceCacheBytes>>20, "byte budget of the shared frame-trace cache in MiB (0 disables retention; synthesis is still deduplicated)")
-	)
-	flag.Parse()
-	harness.SharedTraceCache().SetBudget(*traceCacheMB << 20)
-
-	cfg := service.Config{
-		QueueDepth:       *queue,
-		Workers:          *workers,
-		CacheEntries:     *cacheSize,
-		CachePolicy:      *cachePolicy,
-		JobTimeout:       *jobTimeout,
-		MaxRetries:       *maxRetries,
-		RetryBackoff:     *backoff,
-		BreakerThreshold: *brkThresh,
-		BreakerCooldown:  *brkCooldown,
-		ServeStale:       *serveStale,
-		MaxWork:          *maxWork,
-		ExposeStacks:     *exposeStacks,
+	opt, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gspcd:", err)
+		os.Exit(2)
 	}
-	if *simWorkers > 0 {
-		sw := *simWorkers
+	harness.SharedTraceCache().SetBudget(opt.traceCacheMB << 20)
+
+	cfg := opt.engineConfig()
+	if opt.simWorkers > 0 {
+		sw := opt.simWorkers
 		cfg.Run = func(ctx context.Context, r service.Request) (*harness.Result, error) {
 			o := r.Options()
 			if o.Workers == 0 {
@@ -93,14 +68,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewServer(engine)}
+	srv := &http.Server{Addr: opt.addr, Handler: service.NewServer(engine)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("gspcd: listening on %s (queue %d, cache %d entries, policy %s)",
-		*addr, *queue, *cacheSize, *cachePolicy)
+	persistence := "in-memory"
+	if opt.dataDir != "" {
+		persistence = "journal at " + opt.dataDir
+	}
+	log.Printf("gspcd: listening on %s (queue %d, cache %d entries, policy %s, %s)",
+		opt.addr, opt.queue, opt.cacheSize, opt.cachePolicy, persistence)
 
 	select {
 	case err := <-errc:
@@ -108,14 +87,18 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Printf("gspcd: shutting down, draining in-flight jobs (timeout %s)", *drain)
-	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("gspcd: shutting down, draining in-flight jobs (timeout %s)", opt.drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), opt.drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("gspcd: http shutdown: %v", err)
 	}
 	if err := engine.Shutdown(shutCtx); err != nil {
-		log.Printf("gspcd: engine drain: %v", err)
+		// With -data-dir the journal still holds these jobs as
+		// queued/running; the next boot re-enqueues the queued ones and
+		// marks the running ones failed-retryable.
+		log.Printf("gspcd: engine drain: %v (%d jobs abandoned at the deadline)",
+			err, engine.Unfinished())
 		os.Exit(1)
 	}
 	m := engine.Metrics()

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parse(t *testing.T, args ...string) (*options, error) {
+	t.Helper()
+	return parseFlags(args, io.Discard)
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.engineConfig()
+	if cfg.QueueDepth != 64 || cfg.CacheEntries != 128 || cfg.CachePolicy != "lru" {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.DataDir != "" || !cfg.Fsync || cfg.SnapshotEvery != 256 {
+		t.Fatalf("persistence defaults: DataDir=%q Fsync=%v SnapshotEvery=%d",
+			cfg.DataDir, cfg.Fsync, cfg.SnapshotEvery)
+	}
+	if o.drain != 5*time.Minute {
+		t.Fatalf("drain default: %s", o.drain)
+	}
+}
+
+func TestParseFlagsPersistence(t *testing.T) {
+	o, err := parse(t, "-data-dir", "/tmp/gspc-data", "-fsync=false", "-snapshot-every", "32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.engineConfig()
+	if cfg.DataDir != "/tmp/gspc-data" || cfg.Fsync || cfg.SnapshotEvery != 32 {
+		t.Fatalf("persistence flags: DataDir=%q Fsync=%v SnapshotEvery=%d",
+			cfg.DataDir, cfg.Fsync, cfg.SnapshotEvery)
+	}
+}
+
+// TestParseFlagsRejects covers the fail-fast validations: each bad
+// command line must be refused at parse time (usage error, exit 2)
+// rather than surfacing later as a misconfigured engine.
+func TestParseFlagsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"bad policy", []string{"-cache-policy", "belady"}, "cache-policy"},
+		{"negative queue", []string{"-queue", "-1"}, "-queue"},
+		{"zero queue", []string{"-queue", "0"}, "-queue"},
+		{"negative cache", []string{"-cache-entries", "-5"}, "-cache-entries"},
+		{"negative workers", []string{"-workers", "-2"}, "-workers"},
+		{"negative sim workers", []string{"-sim-workers", "-2"}, "-sim-workers"},
+		{"zero snapshot cadence", []string{"-data-dir", "d", "-snapshot-every", "0"}, "-snapshot-every"},
+		{"negative snapshot cadence", []string{"-data-dir", "d", "-snapshot-every", "-3"}, "-snapshot-every"},
+		{"fsync without data dir", []string{"-fsync=false"}, "requires -data-dir"},
+		{"snapshot-every without data dir", []string{"-snapshot-every", "8"}, "requires -data-dir"},
+		{"negative drain", []string{"-drain-timeout", "-1s"}, "-drain-timeout"},
+		{"bad retries", []string{"-max-retries", "-2"}, "-max-retries"},
+		{"bad breaker", []string{"-breaker-threshold", "-2"}, "-breaker-threshold"},
+		{"negative trace cache", []string{"-trace-cache-mb", "-1"}, "-trace-cache-mb"},
+		{"stray argument", []string{"serve"}, "unexpected argument"},
+		{"unknown flag", []string{"-no-such-flag"}, "no-such-flag"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parse(t, tc.args...); err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: error %q does not mention %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseFlagsValidPolicies accepts every policy the service
+// actually registers, so the validation can't drift behind the list.
+func TestParseFlagsValidPolicies(t *testing.T) {
+	for _, p := range []string{"lru", "nru", "drrip"} {
+		if _, err := parse(t, "-cache-policy", p); err != nil {
+			t.Fatalf("policy %s rejected: %v", p, err)
+		}
+	}
+}

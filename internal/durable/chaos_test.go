@@ -1,0 +1,296 @@
+// Chaos suite: kill the store at every byte offset of the journal and
+// at every byte offset of a compaction, then recover and assert the
+// invariants the engine depends on:
+//
+//  1. recovery never fails (torn tails truncate, corruption quarantines)
+//  2. every Append that reported success is recovered
+//  3. nothing beyond the successful appends is invented
+//  4. NextID never regresses below an allocated sequence
+//
+// The external test package breaks the durable <- faultinject import
+// cycle (FaultFS implements durable.FS).
+package durable_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gspc/internal/durable"
+	"gspc/internal/faultinject"
+)
+
+func quiet() func(string, ...any) { return func(string, ...any) {} }
+
+// scenarioRecords is a deterministic lifecycle storm: submits, starts,
+// completions, one failure, one cancellation.
+func scenarioRecords() []durable.Record {
+	var recs []durable.Record
+	body := func(i int) json.RawMessage {
+		return json.RawMessage(fmt.Sprintf(`{"schema_version":1,"experiment":"fig12","n":%d}`, i))
+	}
+	for i := 1; i <= 5; i++ {
+		id := fmt.Sprintf("run-%06d", i)
+		recs = append(recs, durable.Record{
+			Type: durable.RecSubmit, ID: id, Seq: int64(i),
+			Key: "key-" + id, Experiment: "fig12",
+			Data: json.RawMessage(`{"experiment":"fig12"}`),
+		})
+		recs = append(recs, durable.Record{Type: durable.RecStart, ID: id})
+		switch i {
+		case 3:
+			recs = append(recs, durable.Record{Type: durable.RecFail, ID: id,
+				Error: "injected", Category: "internal"})
+		case 4:
+			recs = append(recs, durable.Record{Type: durable.RecCancel, ID: id,
+				Error: "abandoned", Category: "canceled"})
+		default:
+			recs = append(recs, durable.Record{Type: durable.RecDone, ID: id, Data: body(i)})
+		}
+	}
+	return recs
+}
+
+// totalJournalBytes measures the scenario's full journal length.
+func totalJournalBytes(t *testing.T) int64 {
+	t.Helper()
+	dir := t.TempDir()
+	s, _, err := durable.Open(dir, durable.Options{Fsync: true, SchemaVersion: 1,
+		SnapshotEvery: -1, Logf: quiet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range scenarioRecords() {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := s.Stats().JournalBytes
+	s.Close()
+	return n
+}
+
+// TestKillAtEveryJournalOffset crashes the disk after every possible
+// number of persisted bytes and checks that recovery lands on exactly
+// the successfully-appended prefix.
+func TestKillAtEveryJournalOffset(t *testing.T) {
+	total := totalJournalBytes(t)
+	recs := scenarioRecords()
+	stride := int64(1)
+	if testing.Short() {
+		stride = 17
+	}
+	for crashAt := int64(0); crashAt <= total; crashAt += stride {
+		dir := t.TempDir()
+		ffs := faultinject.NewFaultFS(nil)
+		ffs.CrashAfterBytes(crashAt)
+		s, _, err := durable.Open(dir, durable.Options{FS: ffs, Fsync: true,
+			SchemaVersion: 1, SnapshotEvery: -1, Logf: quiet()})
+		if err != nil {
+			t.Fatalf("crashAt %d: open: %v", crashAt, err)
+		}
+		okUntil := 0 // appends that reported success, always a prefix
+		for i, r := range recs {
+			if err := s.Append(r); err == nil {
+				if i != okUntil {
+					t.Fatalf("crashAt %d: append %d succeeded after a failure", crashAt, i)
+				}
+				okUntil++
+			}
+		}
+		s.Close()
+
+		// The machine reboots with a healthy disk.
+		s2, st, err := durable.Open(dir, durable.Options{Fsync: true,
+			SchemaVersion: 1, SnapshotEvery: -1, Logf: quiet()})
+		if err != nil {
+			t.Fatalf("crashAt %d: recovery refused to start: %v", crashAt, err)
+		}
+		replayed := int(s2.Stats().ReplayedRecords)
+		s2.Close()
+
+		// Durability is at-least-once: every successful append must
+		// survive, and an append that failed after its frame landed
+		// (sync error) may survive too — but only as a strict prefix of
+		// what was attempted, never an invented or reordered record.
+		if replayed < okUntil || replayed > len(recs) {
+			t.Fatalf("crashAt %d: replayed %d records, want between %d and %d",
+				crashAt, replayed, okUntil, len(recs))
+		}
+		want := durable.NewState(1)
+		for _, r := range recs[:replayed] {
+			want.Apply(r)
+		}
+		if len(st.Jobs) != len(want.Jobs) {
+			t.Fatalf("crashAt %d: recovered %d jobs, want %d (okUntil %d, replayed %d)",
+				crashAt, len(st.Jobs), len(want.Jobs), okUntil, replayed)
+		}
+		for id, wj := range want.Jobs {
+			gj := st.Jobs[id]
+			if gj == nil {
+				t.Fatalf("crashAt %d: lost job %s", crashAt, id)
+			}
+			if gj.Status != wj.Status || string(gj.Result) != string(wj.Result) {
+				t.Fatalf("crashAt %d: job %s: got (%s, %q) want (%s, %q)",
+					crashAt, id, gj.Status, gj.Result, wj.Status, wj.Result)
+			}
+		}
+		if st.NextID != want.NextID {
+			t.Fatalf("crashAt %d: NextID %d, want %d", crashAt, st.NextID, want.NextID)
+		}
+		if len(st.Cache) != len(want.Cache) {
+			t.Fatalf("crashAt %d: cache %d entries, want %d", crashAt, len(st.Cache), len(want.Cache))
+		}
+	}
+}
+
+// TestKillDuringCompaction crashes the disk after every possible
+// number of bytes written by Compact (snapshot temp file, rename,
+// journal reset). Whatever the crash point, the pre-compaction state
+// must recover intact — from the old journal, the new snapshot, or the
+// new snapshot plus stale-journal replay.
+func TestKillDuringCompaction(t *testing.T) {
+	recs := scenarioRecords()
+	want := durable.NewState(1)
+	for _, r := range recs {
+		want.Apply(r)
+	}
+
+	// Measure how many bytes a full compaction writes.
+	probeDir := t.TempDir()
+	s, _, err := durable.Open(probeDir, durable.Options{Fsync: true, SchemaVersion: 1,
+		SnapshotEvery: -1, Logf: quiet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	journalBytes := s.Stats().JournalBytes
+	probeFFS := faultinject.NewFaultFS(nil)
+	// Reopen through a counting FS to measure compaction bytes.
+	s.Close()
+	s2, _, err := durable.Open(probeDir, durable.Options{FS: probeFFS, Fsync: true,
+		SchemaVersion: 1, SnapshotEvery: -1, Logf: quiet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preCompact := probeFFS.Counts().BytesWritten
+	if err := s2.Compact(want); err != nil {
+		t.Fatal(err)
+	}
+	compactBytes := probeFFS.Counts().BytesWritten - preCompact
+	s2.Close()
+	if compactBytes <= 0 {
+		t.Fatalf("compaction wrote %d bytes", compactBytes)
+	}
+
+	stride := int64(1)
+	if testing.Short() {
+		stride = 13
+	}
+	for crashAt := int64(0); crashAt <= compactBytes; crashAt += stride {
+		dir := t.TempDir()
+		// Build the journal on a healthy disk.
+		s, _, err := durable.Open(dir, durable.Options{Fsync: true, SchemaVersion: 1,
+			SnapshotEvery: -1, Logf: quiet()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := s.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := s.Stats().JournalBytes; got != journalBytes {
+			t.Fatalf("journal not deterministic: %d vs %d", got, journalBytes)
+		}
+		s.Close()
+
+		// Crash partway through compaction.
+		ffs := faultinject.NewFaultFS(nil)
+		s2, st, err := durable.Open(dir, durable.Options{FS: ffs, Fsync: true,
+			SchemaVersion: 1, SnapshotEvery: -1, Logf: quiet()})
+		if err != nil {
+			t.Fatalf("crashAt %d: open: %v", crashAt, err)
+		}
+		if len(st.Jobs) != len(want.Jobs) {
+			t.Fatalf("crashAt %d: pre-compaction replay lost jobs", crashAt)
+		}
+		ffs.CrashAfterBytes(crashAt)
+		_ = s2.Compact(st) // may fail; the point is what's left on disk
+		s2.Close()
+
+		// Reboot healthy and compare against the full state.
+		s3, got, err := durable.Open(dir, durable.Options{Fsync: true, SchemaVersion: 1,
+			SnapshotEvery: -1, Logf: quiet()})
+		if err != nil {
+			t.Fatalf("crashAt %d: recovery refused to start: %v", crashAt, err)
+		}
+		s3.Close()
+		if len(got.Jobs) != len(want.Jobs) {
+			t.Fatalf("crashAt %d: recovered %d jobs, want %d", crashAt, len(got.Jobs), len(want.Jobs))
+		}
+		for id, wj := range want.Jobs {
+			gj := got.Jobs[id]
+			if gj == nil || gj.Status != wj.Status || string(gj.Result) != string(wj.Result) {
+				t.Fatalf("crashAt %d: job %s diverged: %+v vs %+v", crashAt, id, gj, wj)
+			}
+		}
+		if got.NextID != want.NextID {
+			t.Fatalf("crashAt %d: NextID %d, want %d", crashAt, got.NextID, want.NextID)
+		}
+	}
+}
+
+// TestReadCorruptionQuarantinesSnapshot flips every byte of a valid
+// snapshot (via read-time corruption). Every flip must quarantine:
+// the snapshot is covered end to end by magic, version, length, and
+// CRC, so no corrupt byte may be partially trusted.
+func TestReadCorruptionQuarantinesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	recs := scenarioRecords()
+	st := durable.NewState(1)
+	for _, r := range recs {
+		st.Apply(r)
+	}
+	s, _, err := durable.Open(dir, durable.Options{Fsync: true, SchemaVersion: 1, Logf: quiet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(st); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	snapPath := filepath.Join(dir, "state.snap")
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 31
+	}
+	for off := 0; off < len(raw); off += stride {
+		ffs := faultinject.NewFaultFS(nil)
+		ffs.MangleReads(snapPath, int64(off), 0x40)
+		s2, got, err := durable.Open(dir, durable.Options{FS: ffs, Fsync: true,
+			SchemaVersion: 1, Logf: quiet()})
+		if err != nil {
+			t.Fatalf("off %d: open: %v", off, err)
+		}
+		s2.Close()
+		if len(got.Jobs) != 0 {
+			t.Fatalf("off %d: corrupt snapshot partially trusted (%d jobs)", off, len(got.Jobs))
+		}
+		// Quarantine moved the (on-disk, intact) snapshot aside; put it
+		// back for the next flip.
+		if err := os.Rename(snapPath+".corrupt", snapPath); err != nil {
+			t.Fatalf("off %d: snapshot was not quarantined: %v", off, err)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func silentOptions() Options {
+	return Options{Fsync: true, SchemaVersion: 1, Logf: func(string, ...any) {}}
+}
+
+func rec(t RecordType, id string, seq int64) Record {
+	return Record{Type: t, ID: id, Seq: seq, Key: "key-" + id, Experiment: "fig12"}
+}
+
+// TestRoundTrip journals a full job lifecycle, reopens the store, and
+// checks the reduced state.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, st, err := Open(dir, silentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Jobs) != 0 || st.NextID != 0 {
+		t.Fatalf("fresh store not empty: %+v", st)
+	}
+	body := json.RawMessage(`{"experiment":"fig12","schema_version":1}`)
+	must := func(r Record) {
+		t.Helper()
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub := rec(RecSubmit, "run-000001", 1)
+	sub.Data = json.RawMessage(`{"experiment":"fig12"}`)
+	must(sub)
+	must(rec(RecStart, "run-000001", 0))
+	done := rec(RecDone, "run-000001", 0)
+	done.Data = body
+	must(done)
+	sub2 := rec(RecSubmit, "run-000002", 2)
+	must(sub2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, st2, err := Open(dir, silentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st2.NextID != 2 {
+		t.Fatalf("NextID = %d, want 2", st2.NextID)
+	}
+	j1 := st2.Jobs["run-000001"]
+	if j1 == nil || j1.Status != JobDone || string(j1.Result) != string(body) {
+		t.Fatalf("job 1 = %+v", j1)
+	}
+	if j2 := st2.Jobs["run-000002"]; j2 == nil || j2.Status != JobQueued {
+		t.Fatalf("job 2 = %+v", j2)
+	}
+	if len(st2.Cache) != 1 || st2.Cache[0].Key != "key-run-000001" {
+		t.Fatalf("cache = %+v", st2.Cache)
+	}
+	if lg, ok := st2.LastGood["fig12"]; !ok || lg.RunID != "run-000001" {
+		t.Fatalf("lastGood = %+v", st2.LastGood)
+	}
+	if got := s2.Stats().ReplayedRecords; got != 4 {
+		t.Fatalf("replayed %d records, want 4", got)
+	}
+	if order := st2.JobsBySeq(); len(order) != 2 || order[0].ID != "run-000001" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestTornTailTruncated appends records, then chops the journal at
+// every byte boundary inside the final record: recovery must keep the
+// intact prefix, truncate the tear, and stay appendable.
+func TestTornTailTruncated(t *testing.T) {
+	base := t.TempDir()
+	// Build a reference journal.
+	refDir := filepath.Join(base, "ref")
+	s, _, err := Open(refDir, silentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goodOffsets []int64
+	for i := 1; i <= 3; i++ {
+		if err := s.Append(rec(RecSubmit, fmt.Sprintf("run-%06d", i), int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		goodOffsets = append(goodOffsets, s.Stats().JournalBytes)
+	}
+	s.Close()
+	raw, err := os.ReadFile(filepath.Join(refDir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGood := func(n int64) int {
+		k := 0
+		for _, off := range goodOffsets {
+			if off <= n {
+				k++
+			}
+		}
+		return k
+	}
+	for cut := int64(0); cut <= int64(len(raw)); cut++ {
+		dir := filepath.Join(base, fmt.Sprintf("cut-%04d", cut))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, journalName), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, st, err := Open(dir, silentOptions())
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := prevGood(cut)
+		if len(st.Jobs) != want {
+			t.Fatalf("cut %d: recovered %d jobs, want %d", cut, len(st.Jobs), want)
+		}
+		// The journal must be appendable after repair.
+		if err := s2.Append(rec(RecSubmit, "run-999999", 999999)); err != nil {
+			t.Fatalf("cut %d: append after repair: %v", cut, err)
+		}
+		s2.Close()
+		s3, st3, err := Open(dir, silentOptions())
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if len(st3.Jobs) != want+1 {
+			t.Fatalf("cut %d: after repair+append recovered %d jobs, want %d", cut, len(st3.Jobs), want+1)
+		}
+		s3.Close()
+	}
+}
+
+// TestCorruptSnapshotQuarantined writes garbage where the snapshot
+// lives; Open must sideline it to *.corrupt and start from the journal
+// alone.
+func TestCorruptSnapshotQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, silentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(RecSubmit, "run-000001", 1)); err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(1)
+	st.NextID = 1
+	st.Apply(rec(RecSubmit, "run-000001", 1))
+	if err := s.Compact(st); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	snap := filepath.Join(dir, snapshotName)
+	if err := os.WriteFile(snap, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, st2, err := Open(dir, silentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Stats().SnapshotQuarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", s2.Stats().SnapshotQuarantined)
+	}
+	if _, err := os.Stat(snap + ".corrupt"); err != nil {
+		t.Fatalf("expected quarantined file: %v", err)
+	}
+	// Journal was compacted away, so the state is empty — but boot
+	// succeeded, which is the contract.
+	if len(st2.Jobs) != 0 {
+		t.Fatalf("jobs = %+v", st2.Jobs)
+	}
+}
+
+// TestSchemaMismatchQuarantined: a snapshot from a different payload
+// schema version must not be trusted.
+func TestSchemaMismatchQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, silentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(1)
+	st.Apply(rec(RecSubmit, "run-000001", 1))
+	if err := s.Compact(st); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	opt := silentOptions()
+	opt.SchemaVersion = 2
+	s2, st2, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.SnapshotLoaded || st.SnapshotQuarantined != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(st2.Jobs) != 0 {
+		t.Fatalf("mismatched snapshot was trusted: %+v", st2.Jobs)
+	}
+}
+
+// TestCompactionResetsJournal: after Compact, the journal is empty and
+// the snapshot alone reproduces the state.
+func TestCompactionResetsJournal(t *testing.T) {
+	dir := t.TempDir()
+	opt := silentOptions()
+	opt.SnapshotEvery = 2
+	s, _, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState(1)
+	for i := 1; i <= 2; i++ {
+		r := rec(RecSubmit, fmt.Sprintf("run-%06d", i), int64(i))
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		st.Apply(r)
+	}
+	if !s.CompactionDue() {
+		t.Fatal("compaction not due after SnapshotEvery appends")
+	}
+	if err := s.Compact(st); err != nil {
+		t.Fatal(err)
+	}
+	if s.CompactionDue() {
+		t.Fatal("compaction still due after Compact")
+	}
+	if got := s.Stats().JournalBytes; got != 0 {
+		t.Fatalf("journal bytes after compaction = %d", got)
+	}
+	s.Close()
+
+	s2, st2, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Stats().SnapshotLoaded {
+		t.Fatal("snapshot not loaded")
+	}
+	if len(st2.Jobs) != 2 || st2.NextID != 2 {
+		t.Fatalf("recovered %d jobs nextID %d", len(st2.Jobs), st2.NextID)
+	}
+}
+
+// TestApplyIdempotent replays the same terminal record twice (the
+// compaction-crash window) and expects identical state.
+func TestApplyIdempotent(t *testing.T) {
+	st := NewState(1)
+	sub := rec(RecSubmit, "run-000001", 1)
+	done := rec(RecDone, "run-000001", 0)
+	done.Data = json.RawMessage(`{"x":1}`)
+	for i := 0; i < 2; i++ {
+		st.Apply(sub)
+		st.Apply(done)
+	}
+	if len(st.Jobs) != 1 || len(st.Cache) != 1 || st.Jobs["run-000001"].Status != JobDone {
+		t.Fatalf("state after double replay: %+v", st)
+	}
+}
+
+// TestSnapshotEncodeDecode round-trips the container format and
+// rejects tampering.
+func TestSnapshotEncodeDecode(t *testing.T) {
+	st := NewState(7)
+	st.NextID = 42
+	st.Apply(rec(RecSubmit, "run-000042", 42))
+	buf, err := encodeSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decodeSnapshot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NextID != 42 || back.SchemaVersion != 7 || len(back.Jobs) != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	// Flip one payload byte: checksum must catch it.
+	bad := append([]byte(nil), buf...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := decodeSnapshot(bad); err == nil {
+		t.Fatal("tampered snapshot decoded")
+	}
+	// Truncations at every boundary must error, not panic.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := decodeSnapshot(buf[:cut]); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) decoded", cut)
+		}
+	}
+}

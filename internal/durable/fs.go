@@ -1,0 +1,104 @@
+// Package durable makes the serving engine crash-safe: job lifecycle
+// transitions are appended to a write-ahead journal (length-prefixed,
+// CRC32-checksummed, optionally fsynced records) and the full engine
+// state — finished jobs, the result cache, the serve-stale table — is
+// snapshotted atomically (temp file + rename). On boot, Open loads the
+// newest snapshot, replays the journal on top of it, truncates a torn
+// tail record in place, and quarantines a corrupt snapshot to
+// *.corrupt instead of refusing to start. The package knows nothing
+// about HTTP or the engine's types beyond opaque JSON payloads; the
+// service layer drives it through Append/Compact and folds the
+// recovered State back into its own structures.
+//
+// All file access goes through the FS seam so tests (and
+// internal/faultinject.FaultFS) can inject short writes, ENOSPC, fsync
+// failures, read corruption, and mid-write crashes.
+package durable
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the journal and snapshot writer need.
+type File interface {
+	// Write appends len(p) bytes; a short write must return n < len(p)
+	// and a non-nil error, exactly like *os.File.
+	Write(p []byte) (int, error)
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Close releases the handle.
+	Close() error
+}
+
+// FS is the filesystem seam durable writes through. The production
+// implementation is OSFS; internal/faultinject.FaultFS wraps any FS to
+// inject disk faults.
+type FS interface {
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Create truncates or creates name for writing (snapshot temp files).
+	Create(name string) (File, error)
+	// ReadFile returns the whole contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name; removing a missing file is an error
+	// (callers check fs.ErrNotExist where absence is fine).
+	Remove(name string) error
+	// Truncate cuts name to size bytes (torn-tail repair).
+	Truncate(name string, size int64) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir flushes directory metadata (rename durability). A no-op
+	// on filesystems without directory handles.
+	SyncDir(dir string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the production FS backed by the os package.
+func OSFS() FS { return osFS{} }
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// notExist reports whether err means the file is absent, tolerating
+// wrapped errors from injected filesystems.
+func notExist(err error) bool {
+	return err != nil && errors.Is(err, fs.ErrNotExist)
+}
+
+// join builds a path inside the store directory.
+func join(dir, name string) string { return filepath.Join(dir, name) }

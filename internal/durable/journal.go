@@ -1,0 +1,133 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Journal record framing: a fixed 8-byte header — u32 big-endian payload
+// length, u32 CRC32 (IEEE) of the payload — followed by the payload
+// bytes. A record is valid only if the full header and payload are
+// present and the checksum matches; anything else at the end of the
+// file is a torn tail from a crash mid-append and is truncated away on
+// recovery. A checksum mismatch mid-file is treated the same way: the
+// journal is trusted only up to its first bad record, because a
+// crashing append is the only writer that can leave partial bytes.
+const journalHeaderSize = 8
+
+// maxRecordSize bounds one journal record (16 MiB). A length prefix
+// above it is corruption, not a real record — without the bound, a
+// corrupt length like 0xFFFFFFFF would make replay try to slurp 4 GiB.
+const maxRecordSize = 16 << 20
+
+// frameRecord encodes one payload into its on-disk framing.
+func frameRecord(payload []byte) []byte {
+	buf := make([]byte, journalHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[journalHeaderSize:], payload)
+	return buf
+}
+
+// journal is an append-only record log on one file. Not
+// goroutine-safe; the Store serializes access.
+type journal struct {
+	fs    FS
+	path  string
+	fsync bool
+	f     File
+	size  int64 // bytes durably framed so far
+}
+
+// openJournal opens (creating if needed) the journal for appending.
+// size must be the validated length from a prior scan.
+func openJournal(fsys FS, path string, fsync bool, size int64) (*journal, error) {
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: open journal: %w", err)
+	}
+	return &journal{fs: fsys, path: path, fsync: fsync, f: f, size: size}, nil
+}
+
+// append frames and writes one payload, fsyncing when configured. A
+// failed append may leave a partial frame on disk; the handle is
+// dropped, and the next append (or the next boot's recovery scan)
+// truncates back to the last fully-written record before continuing,
+// so a torn frame can never shadow later good records.
+func (j *journal) append(payload []byte) error {
+	if j.f == nil {
+		if err := j.reopen(); err != nil {
+			return err
+		}
+	}
+	buf := frameRecord(payload)
+	n, err := j.f.Write(buf)
+	if err != nil {
+		// Partial frame on disk: drop the handle so the next append
+		// re-truncates to the last good size before writing.
+		j.f.Close()
+		j.f = nil
+		return fmt.Errorf("durable: journal append (wrote %d/%d): %w", n, len(buf), err)
+	}
+	if j.fsync {
+		if err := j.f.Sync(); err != nil {
+			j.f.Close()
+			j.f = nil
+			return fmt.Errorf("durable: journal fsync: %w", err)
+		}
+	}
+	j.size += int64(len(buf))
+	return nil
+}
+
+// reopen repairs the journal after a failed append: the file is
+// truncated back to the last fully-written record and reopened for
+// appending, so the torn frame cannot shadow later good records.
+func (j *journal) reopen() error {
+	if err := j.fs.Truncate(j.path, j.size); err != nil {
+		return fmt.Errorf("durable: journal repair truncate: %w", err)
+	}
+	f, err := j.fs.OpenAppend(j.path)
+	if err != nil {
+		return fmt.Errorf("durable: journal reopen: %w", err)
+	}
+	j.f = f
+	return nil
+}
+
+// close releases the journal handle.
+func (j *journal) close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// scanJournal parses the journal bytes into payloads, returning the
+// validated prefix length and whether a torn/corrupt tail was found
+// beyond it. It never fails: an unreadable tail just ends the scan.
+func scanJournal(data []byte) (payloads [][]byte, goodSize int64, torn bool) {
+	off := 0
+	for {
+		if off == len(data) {
+			return payloads, int64(off), false
+		}
+		if len(data)-off < journalHeaderSize {
+			return payloads, int64(off), true
+		}
+		n := int(binary.BigEndian.Uint32(data[off : off+4]))
+		sum := binary.BigEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordSize || len(data)-off-journalHeaderSize < n {
+			return payloads, int64(off), true
+		}
+		payload := data[off+journalHeaderSize : off+journalHeaderSize+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, int64(off), true
+		}
+		payloads = append(payloads, payload)
+		off += journalHeaderSize + n
+	}
+}

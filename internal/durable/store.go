@@ -1,0 +1,420 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+)
+
+// On-disk file names inside the store directory.
+const (
+	journalName  = "journal.wal"
+	snapshotName = "state.snap"
+)
+
+// RecordType tags one journal record.
+type RecordType string
+
+// Journal record types: the job lifecycle transitions the engine
+// appends. Submit carries the request, Done the result body, Fail the
+// error classification; Start and Cancel are markers.
+const (
+	RecSubmit RecordType = "submit"
+	RecStart  RecordType = "start"
+	RecDone   RecordType = "done"
+	RecFail   RecordType = "fail"
+	RecCancel RecordType = "cancel"
+)
+
+// Record is one journaled lifecycle transition. Data is opaque to this
+// package: the service layer stores its request JSON on submit and the
+// exact result body on done, and gets the same bytes back at recovery.
+type Record struct {
+	Type RecordType `json:"t"`
+	ID   string     `json:"id"`
+	// Seq is the numeric job sequence (engine id counter) on submit, so
+	// recovery can restore the counter past every allocated id.
+	Seq int64 `json:"seq,omitempty"`
+	// Key is the request's cache key on submit.
+	Key string `json:"key,omitempty"`
+	// Experiment names the experiment on submit (serve-stale table).
+	Experiment string `json:"exp,omitempty"`
+	// Data: request JSON (submit) or result body (done).
+	Data json.RawMessage `json:"data,omitempty"`
+	// Error and Category classify a failure (fail records).
+	Error    string `json:"error,omitempty"`
+	Category string `json:"category,omitempty"`
+}
+
+// Job lifecycle states as stored in State. They mirror the service
+// layer's Status strings; durable only distinguishes "terminal" from
+// "queued"/"running" during reduction.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// JobState is one job's recovered lifecycle.
+type JobState struct {
+	ID         string          `json:"id"`
+	Seq        int64           `json:"seq"`
+	Key        string          `json:"key"`
+	Experiment string          `json:"exp"`
+	Status     string          `json:"status"`
+	Request    json.RawMessage `json:"request,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Category   string          `json:"category,omitempty"`
+}
+
+// CacheEntry is one result-cache entry: the exact body bytes of the
+// run that computed it, so replays after a restart stay byte-identical.
+type CacheEntry struct {
+	Key   string          `json:"key"`
+	RunID string          `json:"run_id"`
+	Body  json.RawMessage `json:"body"`
+}
+
+// State is the reduced engine state a snapshot stores and recovery
+// returns: every known job, the result cache, and the per-experiment
+// last-good table backing -serve-stale.
+type State struct {
+	// SchemaVersion versions the engine-level payloads (requests,
+	// result bodies) inside the state; see harness.ResultSchemaVersion.
+	SchemaVersion int                   `json:"schema_version"`
+	NextID        int64                 `json:"next_id"`
+	Jobs          map[string]*JobState  `json:"jobs,omitempty"`
+	Cache         []CacheEntry          `json:"cache,omitempty"`
+	LastGood      map[string]CacheEntry `json:"last_good,omitempty"`
+}
+
+// NewState returns an empty state at the given payload schema version.
+func NewState(schemaVersion int) *State {
+	return &State{
+		SchemaVersion: schemaVersion,
+		Jobs:          map[string]*JobState{},
+		LastGood:      map[string]CacheEntry{},
+	}
+}
+
+// Apply folds one journal record into the state. It is idempotent and
+// tolerant: a record for an unknown job id creates the job (the
+// snapshot it belonged to may have been compacted away mid-crash), and
+// a terminal record repeated after compaction overwrites with the same
+// values. Records never fail to apply — recovery must always converge.
+func (s *State) Apply(r Record) {
+	if s.Jobs == nil {
+		s.Jobs = map[string]*JobState{}
+	}
+	if s.LastGood == nil {
+		s.LastGood = map[string]CacheEntry{}
+	}
+	j := s.Jobs[r.ID]
+	if j == nil {
+		j = &JobState{ID: r.ID, Status: JobQueued}
+		s.Jobs[r.ID] = j
+	}
+	switch r.Type {
+	case RecSubmit:
+		j.Seq = r.Seq
+		j.Key = r.Key
+		j.Experiment = r.Experiment
+		j.Request = r.Data
+		if j.Status == "" {
+			j.Status = JobQueued
+		}
+		if r.Seq >= s.NextID {
+			s.NextID = r.Seq
+		}
+	case RecStart:
+		if j.Status == JobQueued {
+			j.Status = JobRunning
+		}
+	case RecDone:
+		j.Status = JobDone
+		j.Result = r.Data
+		j.Error, j.Category = "", ""
+		s.putCache(CacheEntry{Key: j.Key, RunID: j.ID, Body: r.Data})
+		if j.Experiment != "" {
+			s.LastGood[j.Experiment] = CacheEntry{Key: j.Key, RunID: j.ID, Body: r.Data}
+		}
+	case RecFail:
+		j.Status = JobFailed
+		j.Error, j.Category = r.Error, r.Category
+	case RecCancel:
+		j.Status = JobCancelled
+		j.Error, j.Category = r.Error, r.Category
+	}
+}
+
+// putCache inserts or replaces a cache entry by key.
+func (s *State) putCache(e CacheEntry) {
+	if e.Key == "" {
+		return
+	}
+	for i := range s.Cache {
+		if s.Cache[i].Key == e.Key {
+			s.Cache[i] = e
+			return
+		}
+	}
+	s.Cache = append(s.Cache, e)
+}
+
+// JobsBySeq returns the jobs ordered by submission sequence, so the
+// engine restores queues in their original order.
+func (s *State) JobsBySeq() []*JobState {
+	out := make([]*JobState, 0, len(s.Jobs))
+	for _, j := range s.Jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Seq != out[b].Seq {
+			return out[a].Seq < out[b].Seq
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Options configures a Store.
+type Options struct {
+	// FS overrides the filesystem (fault injection). Default: OSFS().
+	FS FS
+	// Fsync syncs the journal after every append. Off, a crash can lose
+	// the last few records (never corrupt the journal — framing still
+	// detects and truncates the tear).
+	Fsync bool
+	// SnapshotEvery triggers compaction after this many journal
+	// appends. 0 means the default (256); negative disables automatic
+	// compaction (explicit Compact calls still work).
+	SnapshotEvery int
+	// SchemaVersion stamps snapshots; a loaded snapshot with a
+	// different version is discarded (quarantined) rather than trusted.
+	SchemaVersion int
+	// Logf sinks recovery and degradation notices. Default log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats are the store's observability counters, exposed at /metricsz.
+type Stats struct {
+	JournalBytes    int64 `json:"journal_bytes"`
+	JournalRecords  int64 `json:"journal_records"`
+	AppendErrors    int64 `json:"append_errors"`
+	Compactions     int64 `json:"compactions"`
+	CompactErrors   int64 `json:"compact_errors"`
+	ReplayedRecords int64 `json:"replayed_records"`
+	// TornTailBytes counts journal bytes truncated at recovery because
+	// the final record was torn by a crash mid-append.
+	TornTailBytes int64 `json:"torn_tail_bytes"`
+	// SnapshotLoaded reports whether boot restored from a snapshot.
+	SnapshotLoaded bool `json:"snapshot_loaded"`
+	// SnapshotQuarantined counts corrupt snapshots moved to *.corrupt.
+	SnapshotQuarantined int64 `json:"snapshot_quarantined"`
+}
+
+// Store is a write-ahead journal plus snapshot directory. All methods
+// are safe for concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu           sync.Mutex
+	j            *journal
+	appendsSince int
+	stats        Stats
+}
+
+// Open recovers the store at dir, creating it on first use. It loads
+// the snapshot (quarantining it to state.snap.corrupt and starting
+// empty if it fails verification or carries a different schema
+// version), replays the journal on top, truncates a torn tail in
+// place, and returns the recovered state. Open refuses to start only
+// when the directory itself is unusable; data corruption never blocks
+// boot.
+func Open(dir string, opt Options) (*Store, *State, error) {
+	if opt.FS == nil {
+		opt.FS = OSFS()
+	}
+	if opt.SnapshotEvery == 0 {
+		opt.SnapshotEvery = 256
+	}
+	if opt.Logf == nil {
+		opt.Logf = log.Printf
+	}
+	fsys := opt.FS
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("durable: create data dir: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt}
+
+	// 1. Snapshot: verified or quarantined, never half-trusted.
+	st := NewState(opt.SchemaVersion)
+	snapPath := join(dir, snapshotName)
+	if data, err := fsys.ReadFile(snapPath); err == nil {
+		loaded, derr := decodeSnapshot(data)
+		if derr == nil && loaded.SchemaVersion != opt.SchemaVersion {
+			derr = fmt.Errorf("durable: snapshot schema version %d (want %d)",
+				loaded.SchemaVersion, opt.SchemaVersion)
+		}
+		if derr != nil {
+			s.quarantine(snapPath, derr)
+		} else {
+			st = loaded
+			if st.Jobs == nil {
+				st.Jobs = map[string]*JobState{}
+			}
+			if st.LastGood == nil {
+				st.LastGood = map[string]CacheEntry{}
+			}
+			s.stats.SnapshotLoaded = true
+		}
+	} else if !notExist(err) {
+		// Unreadable (not merely absent): quarantine and start empty.
+		s.quarantine(snapPath, err)
+	}
+
+	// 2. Journal: replay the valid prefix, truncate the torn tail.
+	jPath := join(dir, journalName)
+	var raw []byte
+	if data, err := fsys.ReadFile(jPath); err == nil {
+		raw = data
+	} else if !notExist(err) {
+		return nil, nil, fmt.Errorf("durable: read journal: %w", err)
+	}
+	payloads, goodSize, torn := scanJournal(raw)
+	if torn {
+		s.stats.TornTailBytes = int64(len(raw)) - goodSize
+		s.opt.Logf("durable: journal %s: truncating %d torn tail byte(s) at offset %d",
+			jPath, s.stats.TornTailBytes, goodSize)
+		if err := fsys.Truncate(jPath, goodSize); err != nil {
+			return nil, nil, fmt.Errorf("durable: truncate torn journal tail: %w", err)
+		}
+	}
+	for _, p := range payloads {
+		var r Record
+		if err := json.Unmarshal(p, &r); err != nil {
+			// A checksummed record that is not valid JSON was written by
+			// a different build; skip it rather than refuse to start.
+			s.opt.Logf("durable: journal %s: skipping undecodable record: %v", jPath, err)
+			continue
+		}
+		st.Apply(r)
+		s.stats.ReplayedRecords++
+	}
+
+	j, err := openJournal(fsys, jPath, opt.Fsync, goodSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.j = j
+	s.stats.JournalBytes = goodSize
+	return s, st, nil
+}
+
+// quarantine sidelines a corrupt file to <path>.corrupt for
+// post-mortem. Quarantining is best-effort: if even the rename fails,
+// the file is left in place and recovery proceeds empty.
+func (s *Store) quarantine(path string, cause error) {
+	s.stats.SnapshotQuarantined++
+	s.opt.Logf("durable: quarantining %s -> %s.corrupt: %v", path, path, cause)
+	if err := s.opt.FS.Rename(path, path+".corrupt"); err != nil {
+		s.opt.Logf("durable: quarantine rename failed (starting empty anyway): %v", err)
+	}
+}
+
+// Append journals one record. Errors are returned for accounting but
+// the store remains usable: the journal repairs its tail on the next
+// append, and a later Compact re-establishes a full disk image.
+func (s *Store) Append(r Record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("durable: encode record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.j == nil {
+		return fmt.Errorf("durable: store closed")
+	}
+	if err := s.j.append(payload); err != nil {
+		s.stats.AppendErrors++
+		return err
+	}
+	s.stats.JournalRecords++
+	s.stats.JournalBytes = s.j.size
+	s.appendsSince++
+	return nil
+}
+
+// CompactionDue reports whether enough records have accumulated since
+// the last snapshot that the caller should Compact.
+func (s *Store) CompactionDue() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.opt.SnapshotEvery > 0 && s.appendsSince >= s.opt.SnapshotEvery
+}
+
+// Compact snapshots the given state atomically and then resets the
+// journal: after a successful compaction the snapshot alone
+// reconstructs the state and the journal is empty. A crash between the
+// snapshot rename and the journal reset leaves old records in the
+// journal; replaying them over the snapshot is harmless because Apply
+// is idempotent.
+func (s *Store) Compact(st *State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.j == nil {
+		return fmt.Errorf("durable: store closed")
+	}
+	if st.SchemaVersion == 0 {
+		st.SchemaVersion = s.opt.SchemaVersion
+	}
+	if err := writeSnapshot(s.opt.FS, s.dir, join(s.dir, snapshotName), st); err != nil {
+		s.stats.CompactErrors++
+		return err
+	}
+	// Snapshot is durable; the journal's records are now redundant.
+	s.j.close()
+	if err := s.opt.FS.Truncate(join(s.dir, journalName), 0); err != nil {
+		s.stats.CompactErrors++
+		// The snapshot is still valid and replay is idempotent: keep
+		// appending after the stale records rather than failing hard.
+		s.opt.Logf("durable: journal reset after snapshot failed (stale records remain, replay is idempotent): %v", err)
+	} else {
+		s.j.size = 0
+	}
+	j, err := openJournal(s.opt.FS, join(s.dir, journalName), s.opt.Fsync, s.j.size)
+	if err != nil {
+		s.stats.CompactErrors++
+		return err
+	}
+	s.j = j
+	s.stats.JournalBytes = j.size
+	s.stats.Compactions++
+	s.appendsSince = 0
+	return nil
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close releases the journal handle. Further Appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.j == nil {
+		return nil
+	}
+	err := s.j.close()
+	s.j = nil
+	return err
+}

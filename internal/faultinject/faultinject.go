@@ -5,8 +5,13 @@
 // seed (random mode) or the script (sequence mode), so chaos tests can
 // replay the exact same failure storm on every run.
 //
-// The package is dependency-free and knows nothing about the service
-// layer: callers wrap their own runner seam, e.g.
+// Besides the runner-seam injectors, FaultFS wraps internal/durable's
+// filesystem seam to inject disk faults — short/torn writes, ENOSPC,
+// fsync failures, read corruption, and a hard crash after a byte
+// budget — which is what the crash-recovery chaos suite is built on.
+//
+// The package knows nothing about the service layer: callers wrap
+// their own runner seam, e.g.
 //
 //	inj := faultinject.NewRandom(42, faultinject.Spec{PanicRate: 0.1, ErrorRate: 0.2})
 //	cfg.Run = func(ctx context.Context, r service.Request) (*harness.Result, error) {

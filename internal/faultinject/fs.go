@@ -1,0 +1,324 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"gspc/internal/durable"
+)
+
+// Disk-fault errors. They are distinct sentinels so tests can assert
+// which injection fired.
+var (
+	// ErrNoSpace emulates ENOSPC: the write budget is exhausted, the
+	// write persisted only partially (a short write).
+	ErrNoSpace = errors.New("faultinject: no space left on device")
+	// ErrSyncFailed emulates a failed fsync: the data may or may not
+	// have reached the platter.
+	ErrSyncFailed = errors.New("faultinject: fsync failed")
+	// ErrCrashed is returned for every operation after the crash point:
+	// the process is "dead" and nothing further reaches the disk.
+	ErrCrashed = errors.New("faultinject: simulated crash")
+)
+
+// FSCounts tallies applied disk decisions for test assertions.
+type FSCounts struct {
+	Writes       int64
+	BytesWritten int64
+	ShortWrites  int64
+	SyncFails    int64
+	ReadsMangled int64
+}
+
+// FaultFS wraps a durable.FS and injects disk faults: short/torn
+// writes, ENOSPC, fsync failures, read corruption, and a hard crash
+// after a byte budget. All knobs are deterministic — a scenario driven
+// with the same knobs produces the same on-disk bytes — which is what
+// lets the kill-at-every-offset chaos suite enumerate crash points.
+//
+// The crash budget counts bytes actually handed to the base FS across
+// all files: CrashAfterBytes(n) persists exactly the first n written
+// bytes, tears the write that crosses the boundary, and fails every
+// operation afterwards with ErrCrashed, emulating power loss at that
+// offset.
+type FaultFS struct {
+	base durable.FS
+
+	mu sync.Mutex
+	// crashAfter < 0 disables the crash budget.
+	crashAfter int64
+	crashed    bool
+	// writeBudget < 0 disables ENOSPC injection.
+	writeBudget int64
+	// tornNext >= 0 tears the next write to that many bytes, once.
+	tornNext int64
+	// syncFails fails the next N Sync calls.
+	syncFails int
+	// mangle flips one byte of ReadFile(name) at offset, every read.
+	mangle map[string]readMangle
+	counts FSCounts
+}
+
+type readMangle struct {
+	off int64
+	xor byte
+}
+
+// NewFaultFS wraps base (durable.OSFS() when nil) with no faults armed.
+func NewFaultFS(base durable.FS) *FaultFS {
+	if base == nil {
+		base = durable.OSFS()
+	}
+	return &FaultFS{base: base, crashAfter: -1, writeBudget: -1, tornNext: -1}
+}
+
+// CrashAfterBytes arms the crash point: after n more written bytes
+// every operation fails with ErrCrashed. Negative disarms.
+func (f *FaultFS) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAfter = n
+	f.crashed = false
+}
+
+// SetWriteBudget allows n more bytes before writes fail with
+// ErrNoSpace (ENOSPC); the crossing write is short. Negative disarms.
+func (f *FaultFS) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+}
+
+// TearNextWrite makes the next write persist only keep bytes and
+// return an error, emulating a torn write (crash mid-append).
+func (f *FaultFS) TearNextWrite(keep int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tornNext = int64(keep)
+}
+
+// FailNextSyncs fails the next n Sync calls with ErrSyncFailed.
+func (f *FaultFS) FailNextSyncs(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncFails = n
+}
+
+// MangleReads flips the byte at off of every subsequent ReadFile(name)
+// result with xor, emulating at-rest corruption (bit rot, bad sector
+// remap). A zero xor disarms the mangle for name.
+func (f *FaultFS) MangleReads(name string, off int64, xor byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.mangle == nil {
+		f.mangle = map[string]readMangle{}
+	}
+	if xor == 0 {
+		delete(f.mangle, name)
+		return
+	}
+	f.mangle[name] = readMangle{off: off, xor: xor}
+}
+
+// Counts snapshots the tally.
+func (f *FaultFS) Counts() FSCounts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counts
+}
+
+// Crashed reports whether the crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// admit checks the crash state for a non-write operation.
+func (f *FaultFS) admit() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// clampWrite decides how many of n bytes the next write may persist
+// and which error (if any) to return alongside. Callers hold no lock.
+func (f *FaultFS) clampWrite(n int) (allow int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	allow = n
+	if f.tornNext >= 0 {
+		if int64(n) > f.tornNext {
+			allow = int(f.tornNext)
+			err = fmt.Errorf("faultinject: torn write (%d of %d bytes): %w", allow, n, ErrCrashed)
+		}
+		f.tornNext = -1
+	}
+	if f.writeBudget >= 0 {
+		if int64(allow) > f.writeBudget {
+			allow = int(f.writeBudget)
+			err = ErrNoSpace
+		}
+		f.writeBudget -= int64(allow)
+	}
+	if f.crashAfter >= 0 {
+		if int64(allow) >= f.crashAfter {
+			allow = int(f.crashAfter)
+			f.crashAfter = 0
+			f.crashed = true
+			err = ErrCrashed
+		} else {
+			f.crashAfter -= int64(allow)
+		}
+	}
+	f.counts.Writes++
+	f.counts.BytesWritten += int64(allow)
+	if allow < n {
+		f.counts.ShortWrites++
+	}
+	return allow, err
+}
+
+// faultFile wraps one open file with the shared fault state.
+type faultFile struct {
+	fs   *FaultFS
+	f    durable.File
+	name string
+}
+
+// Write implements durable.File with injected short writes.
+func (w *faultFile) Write(p []byte) (int, error) {
+	allow, ierr := w.fs.clampWrite(len(p))
+	var n int
+	var err error
+	if allow > 0 {
+		n, err = w.f.Write(p[:allow])
+	}
+	if err != nil {
+		return n, err
+	}
+	if ierr != nil {
+		return n, ierr
+	}
+	return n, nil
+}
+
+// Sync implements durable.File with injected fsync failures.
+func (w *faultFile) Sync() error {
+	w.fs.mu.Lock()
+	if w.fs.crashed {
+		w.fs.mu.Unlock()
+		return ErrCrashed
+	}
+	if w.fs.syncFails > 0 {
+		w.fs.syncFails--
+		w.fs.counts.SyncFails++
+		w.fs.mu.Unlock()
+		return ErrSyncFailed
+	}
+	w.fs.mu.Unlock()
+	return w.f.Sync()
+}
+
+// Close always closes the underlying file, even post-crash: the fake
+// death must not leak real descriptors.
+func (w *faultFile) Close() error { return w.f.Close() }
+
+// OpenAppend implements durable.FS.
+func (f *FaultFS) OpenAppend(name string) (durable.File, error) {
+	if err := f.admit(); err != nil {
+		return nil, err
+	}
+	file, err := f.base.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, name: name}, nil
+}
+
+// Create implements durable.FS.
+func (f *FaultFS) Create(name string) (durable.File, error) {
+	if err := f.admit(); err != nil {
+		return nil, err
+	}
+	file, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, name: name}, nil
+}
+
+// ReadFile implements durable.FS with injected read corruption.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.admit(); err != nil {
+		return nil, err
+	}
+	data, err := f.base.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	m, ok := f.mangle[name]
+	if ok && m.off >= 0 && m.off < int64(len(data)) {
+		data[m.off] ^= m.xor
+		f.counts.ReadsMangled++
+	}
+	f.mu.Unlock()
+	return data, nil
+}
+
+// Rename implements durable.FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.admit(); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// Remove implements durable.FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.admit(); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+// Truncate implements durable.FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.admit(); err != nil {
+		return err
+	}
+	return f.base.Truncate(name, size)
+}
+
+// MkdirAll implements durable.FS.
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.admit(); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(dir)
+}
+
+// SyncDir implements durable.FS, counting against sync failures.
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	if f.syncFails > 0 {
+		f.syncFails--
+		f.counts.SyncFails++
+		f.mu.Unlock()
+		return ErrSyncFailed
+	}
+	f.mu.Unlock()
+	return f.base.SyncDir(dir)
+}

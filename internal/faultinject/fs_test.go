@@ -1,0 +1,184 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gspc/internal/durable"
+)
+
+func writeAll(t *testing.T, f durable.File, p []byte) (int, error) {
+	t.Helper()
+	return f.Write(p)
+}
+
+func TestFaultFSWriteBudgetENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	ffs.SetWriteBudget(5)
+	f, err := ffs.OpenAppend(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := writeAll(t, f, []byte("0123456789"))
+	if n != 5 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("n=%d err=%v, want 5, ErrNoSpace", n, err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "x"))
+	if string(data) != "01234" {
+		t.Fatalf("on disk: %q", data)
+	}
+	if c := ffs.Counts(); c.ShortWrites != 1 || c.BytesWritten != 5 {
+		t.Fatalf("counts: %+v", c)
+	}
+}
+
+func TestFaultFSTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	f, err := ffs.OpenAppend(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.TearNextWrite(3)
+	if n, err := writeAll(t, f, []byte("abcdef")); n != 3 || err == nil {
+		t.Fatalf("torn write n=%d err=%v", n, err)
+	}
+	// The tear is one-shot: the next write goes through whole.
+	if n, err := writeAll(t, f, []byte("gh")); n != 2 || err != nil {
+		t.Fatalf("post-tear write n=%d err=%v", n, err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "x"))
+	if string(data) != "abcgh" {
+		t.Fatalf("on disk: %q", data)
+	}
+}
+
+func TestFaultFSSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	f, err := ffs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ffs.FailNextSyncs(1)
+	if err := f.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("sync err = %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync: %v", err)
+	}
+	if ffs.Counts().SyncFails != 1 {
+		t.Fatalf("counts: %+v", ffs.Counts())
+	}
+}
+
+func TestFaultFSReadCorruption(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "x")
+	if err := os.WriteFile(name, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(nil)
+	ffs.MangleReads(name, 1, 0xFF)
+	data, err := ffs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[1] != 'e'^0xFF || data[0] != 'h' {
+		t.Fatalf("read: %q", data)
+	}
+	ffs.MangleReads(name, 1, 0) // disarm
+	if data, _ := ffs.ReadFile(name); string(data) != "hello" {
+		t.Fatalf("disarmed read: %q", data)
+	}
+}
+
+func TestFaultFSCrashAfterBytes(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	ffs.CrashAfterBytes(4)
+	f, err := ffs.OpenAppend(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := writeAll(t, f, []byte("abcdef")); n != 4 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write n=%d err=%v", n, err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("not crashed")
+	}
+	// Every post-crash operation fails.
+	if _, err := ffs.OpenAppend(filepath.Join(dir, "y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open after crash: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash: %v", err)
+	}
+	if err := ffs.Rename(filepath.Join(dir, "x"), filepath.Join(dir, "z")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename after crash: %v", err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "x"))
+	if string(data) != "abcd" {
+		t.Fatalf("on disk: %q", data)
+	}
+}
+
+// TestFaultFSAgainstStore drives a durable.Store through ENOSPC and a
+// failed fsync and expects the store to stay usable and the journal to
+// recover to the successful prefix.
+func TestFaultFSAgainstStore(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(nil)
+	opt := durable.Options{FS: ffs, Fsync: true, SchemaVersion: 1, Logf: func(string, ...any) {}}
+	s, _, err := durable.Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := func(id string, seq int64) durable.Record {
+		return durable.Record{Type: durable.RecSubmit, ID: id, Seq: seq, Key: "k" + id}
+	}
+	if err := s.Append(ok("run-000001", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// ENOSPC mid-record: the append fails, the store survives.
+	ffs.SetWriteBudget(3)
+	if err := s.Append(ok("run-000002", 2)); err == nil {
+		t.Fatal("append under ENOSPC succeeded")
+	}
+	ffs.SetWriteBudget(-1)
+	// A failed fsync is also a failed append.
+	ffs.FailNextSyncs(1)
+	if err := s.Append(ok("run-000003", 3)); err == nil {
+		t.Fatal("append under failed fsync succeeded")
+	}
+	// Disk healed: appends work again.
+	if err := s.Append(ok("run-000004", 4)); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if got := s.Stats().AppendErrors; got != 2 {
+		t.Fatalf("append errors = %d", got)
+	}
+	s.Close()
+
+	s2, st, err := durable.Open(dir, durable.Options{Fsync: true, SchemaVersion: 1, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := st.Jobs["run-000001"]; !ok {
+		t.Fatal("lost run-000001")
+	}
+	if _, ok := st.Jobs["run-000004"]; !ok {
+		t.Fatal("lost run-000004 (append after heal)")
+	}
+	if _, ok := st.Jobs["run-000002"]; ok {
+		t.Fatal("half-written run-000002 resurrected")
+	}
+}

@@ -2,9 +2,19 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 )
+
+// ResultSchemaVersion is the version of the serialized Result layout.
+// It is stamped into every Result by BuildResult and checked by
+// DecodeResult, so persisted payloads (the service's durable snapshots,
+// gspcsim -json archives) from an incompatible layout are rejected with
+// a typed error instead of being half-decoded. Bump it whenever a field
+// changes meaning, moves, or disappears; purely additive fields do not
+// require a bump.
+const ResultSchemaVersion = 1
 
 // Result is the serializable form of one experiment run: the full table,
 // a per-row metric map for scripted consumers, and the rendered text the
@@ -12,8 +22,11 @@ import (
 // identical options produce byte-identical payloads — the property the
 // service's result cache and the acceptance tests rely on.
 type Result struct {
-	Experiment string `json:"experiment"`
-	Title      string `json:"title"`
+	// SchemaVersion is ResultSchemaVersion at encode time; see
+	// DecodeResult.
+	SchemaVersion int    `json:"schema_version"`
+	Experiment    string `json:"experiment"`
+	Title         string `json:"title"`
 
 	// The normalized configuration the experiment actually ran with.
 	Scale           float64  `json:"scale"`
@@ -38,6 +51,7 @@ type Result struct {
 func BuildResult(e Experiment, o Options, t *Table) *Result {
 	o = o.normalized()
 	r := &Result{
+		SchemaVersion:   ResultSchemaVersion,
 		Experiment:      e.ID,
 		Title:           e.Title,
 		Scale:           o.Scale,
@@ -97,6 +111,32 @@ func RunResultContext(ctx context.Context, id string, o Options) (*Result, error
 		return nil, err
 	}
 	return BuildResult(e, o, t), nil
+}
+
+// SchemaMismatchError reports a serialized Result whose schema version
+// does not match this build's ResultSchemaVersion. Consumers loading
+// persisted results (durable snapshots, archived gspcsim -json output)
+// should treat the payload as unusable rather than reinterpret it.
+type SchemaMismatchError struct{ Got, Want int }
+
+func (e *SchemaMismatchError) Error() string {
+	return fmt.Sprintf("harness: result schema version %d, this build reads %d", e.Got, e.Want)
+}
+
+// DecodeResult parses a serialized Result and verifies its schema
+// version, returning a *SchemaMismatchError on any other version. A
+// payload with no schema_version field decodes as version 0 and is
+// likewise rejected: pre-versioning payloads predate the durable store
+// and cannot be trusted across builds.
+func DecodeResult(data []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("harness: decode result: %w", err)
+	}
+	if r.SchemaVersion != ResultSchemaVersion {
+		return nil, &SchemaMismatchError{Got: r.SchemaVersion, Want: ResultSchemaVersion}
+	}
+	return &r, nil
 }
 
 // UnknownExperimentError reports a request for an experiment id that is

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"gspc/internal/cachesim"
+	"gspc/internal/durable"
 	"gspc/internal/policy"
 	"gspc/internal/stream"
 )
@@ -139,6 +140,22 @@ func (c *resultCache) Put(key string, v *cached) {
 	c.vals[w] = v
 	c.byKey[key] = w
 	c.pol.Fill(0, w, a)
+}
+
+// Export returns every resident entry for snapshotting, in way order
+// (stable for a given fill history, though restore order is free to
+// differ — the eviction policy state itself is rebuilt, not persisted).
+func (c *resultCache) Export() []durable.CacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]durable.CacheEntry, 0, len(c.byKey))
+	for w, key := range c.keys {
+		if key == "" || c.vals[w] == nil {
+			continue
+		}
+		out = append(out, durable.CacheEntry{Key: key, RunID: c.vals[w].runID, Body: c.vals[w].body})
+	}
+	return out
 }
 
 // Len returns the number of resident entries.

@@ -1,0 +1,328 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"gspc/internal/durable"
+	"gspc/internal/harness"
+)
+
+// This file is the engine's persistence glue: translating job
+// lifecycle transitions into durable.Records on the way down and a
+// recovered durable.State back into jobs, cache entries, and the
+// serve-stale table on the way up. Journal failures degrade (counted,
+// logged, serving continues); only an unusable data directory blocks
+// boot.
+
+// recoveryStats tallies what boot restored, for /metricsz: operators
+// can tell a recovered restart from a cold rebuild.
+type recoveryStats struct {
+	// RecoveredDone/RecoveredFailed are terminal jobs restored
+	// queryable by their original ids.
+	RecoveredDone   int64 `json:"recovered_done"`
+	RecoveredFailed int64 `json:"recovered_failed"`
+	// ResubmittedQueued jobs went back onto the queue with their
+	// original ids.
+	ResubmittedQueued int64 `json:"resubmitted_queued"`
+	// MarkedRetryable jobs were running mid-crash and are now failed
+	// with a retryable classification.
+	MarkedRetryable int64 `json:"marked_retryable"`
+	// CacheRestored counts result-cache entries rehydrated from disk.
+	CacheRestored int64 `json:"cache_restored"`
+	// SchemaDropped counts persisted payloads rejected because their
+	// harness.Result schema version does not match this build.
+	SchemaDropped int64 `json:"schema_dropped"`
+}
+
+// openDurable opens (or creates) the store under Config.DataDir,
+// folds the recovered state into the engine, and compacts immediately
+// so the recovery outcome itself is durable. Called from NewEngine
+// before any worker starts; no locking needed.
+func (e *Engine) openDurable() error {
+	store, st, err := durable.Open(e.cfg.DataDir, durable.Options{
+		FS:            e.cfg.DurableFS,
+		Fsync:         e.cfg.Fsync,
+		SnapshotEvery: e.cfg.SnapshotEvery,
+		SchemaVersion: harness.ResultSchemaVersion,
+		Logf:          e.cfg.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	e.store = store
+	e.restore(st)
+	// Persist the restored reality (mid-flight jobs re-marked, torn
+	// tail gone) and reset the journal in one stroke.
+	if err := store.Compact(e.exportStateLocked()); err != nil {
+		e.cfg.Logf("service: post-recovery compaction failed (journal replay still covers it): %v", err)
+	}
+	return nil
+}
+
+// restore folds a recovered state into the engine: cache and
+// serve-stale entries are rehydrated (payloads failing the schema
+// check are dropped, not trusted), terminal jobs become queryable
+// again under their original ids, jobs that were mid-flight during
+// the crash are marked failed-retryable, and still-queued jobs are
+// re-enqueued with their original ids so pollers' run URLs survive
+// the restart.
+func (e *Engine) restore(st *durable.State) {
+	e.nextID = st.NextID
+	for _, ce := range st.Cache {
+		if !e.validPayload(ce.Body) {
+			continue
+		}
+		e.cache.Put(ce.Key, &cached{body: ce.Body, runID: ce.RunID})
+		e.recovery.CacheRestored++
+	}
+	for exp, ce := range st.LastGood {
+		if !e.validPayload(ce.Body) {
+			continue
+		}
+		e.lastGood[exp] = &cached{body: ce.Body, runID: ce.RunID}
+	}
+	for _, js := range st.JobsBySeq() {
+		job := &Job{
+			ID:   js.ID,
+			Key:  js.Key,
+			seq:  js.Seq,
+			done: make(chan struct{}),
+		}
+		if len(js.Request) > 0 {
+			// Best-effort: a stale request only matters for resubmission,
+			// which re-validates below.
+			json.Unmarshal(js.Request, &job.Req)
+		}
+		switch js.Status {
+		case durable.JobDone:
+			if e.validPayload(js.Result) {
+				job.status = StatusDone
+				job.result = &cached{body: js.Result, runID: js.ID}
+				e.recovery.RecoveredDone++
+			} else {
+				job.status = StatusFailed
+				job.err = &Error{Category: CategoryInternal, Message: fmt.Sprintf(
+					"result persisted by an incompatible build (want schema %d); rerun the experiment",
+					harness.ResultSchemaVersion)}
+				e.recovery.SchemaDropped++
+			}
+			close(job.done)
+		case durable.JobFailed, durable.JobCancelled:
+			job.status = StatusFailed
+			if js.Status == durable.JobCancelled {
+				job.status = StatusCancelled
+			}
+			cat := Category(js.Category)
+			if cat == "" {
+				cat = CategoryInternal
+			}
+			msg := js.Error
+			if msg == "" {
+				msg = "failed before the restart (detail not persisted)"
+			}
+			job.err = &Error{Category: cat, Message: msg}
+			e.recovery.RecoveredFailed++
+			close(job.done)
+		case durable.JobRunning:
+			// Mid-flight at the crash: the run died with the process.
+			// Failed-retryable tells clients resubmitting is safe and
+			// likely to succeed.
+			job.status = StatusFailed
+			job.finished = time.Now()
+			job.err = &Error{Category: CategoryInternal, retryable: true, Message: fmt.Sprintf(
+				"job %s was running when the server stopped; resubmit to rerun", js.ID)}
+			e.recovery.MarkedRetryable++
+			close(job.done)
+		default: // durable.JobQueued
+			if rejoined := e.resubmit(job, js); !rejoined {
+				close(job.done)
+			}
+		}
+		e.jobs[job.ID] = job
+		if job.status != StatusQueued && job.status != StatusRunning {
+			e.pruneLocked(job.ID)
+		}
+	}
+}
+
+// resubmit re-enqueues a recovered queued job under its original id.
+// It reports false — leaving the job failed — when the persisted
+// request no longer validates or the (possibly reconfigured, smaller)
+// queue cannot hold it.
+func (e *Engine) resubmit(job *Job, js *durable.JobState) bool {
+	req, err := job.Req.Normalize()
+	if err != nil {
+		job.status = StatusFailed
+		job.err = &Error{Category: CategoryInvalid, Message: fmt.Sprintf(
+			"persisted request no longer valid after restart: %v", err)}
+		return false
+	}
+	if len(e.queue) == cap(e.queue) {
+		job.status = StatusFailed
+		job.err = &Error{Category: CategoryInternal, retryable: true, Message: fmt.Sprintf(
+			"job %s could not be re-enqueued after restart (queue full); resubmit", js.ID)}
+		return false
+	}
+	job.Req = req
+	job.status = StatusQueued
+	job.enqueued = time.Now()
+	job.timeout = e.effectiveTimeout(req)
+	// No waiter survives a restart; an async poller is assumed to
+	// still want the result (same contract as Submit).
+	e.queue <- job
+	if _, taken := e.inflight[job.Key]; !taken && job.Key != "" {
+		e.inflight[job.Key] = job
+	}
+	e.recovery.ResubmittedQueued++
+	return true
+}
+
+// validPayload reports whether a persisted result body matches this
+// build's schema; mismatches are counted and dropped.
+func (e *Engine) validPayload(body []byte) bool {
+	if len(body) == 0 {
+		return false
+	}
+	if _, err := harness.DecodeResult(body); err != nil {
+		e.recovery.SchemaDropped++
+		return false
+	}
+	return true
+}
+
+// journalLocked appends one record, degrading (count + log) on error.
+// Callers hold e.mu.
+func (e *Engine) journalLocked(r durable.Record) {
+	if e.store == nil {
+		return
+	}
+	if err := e.store.Append(r); err != nil {
+		e.journalErrors++
+		e.cfg.Logf("service: journal append (%s %s) failed, durability degraded: %v", r.Type, r.ID, err)
+	}
+}
+
+// journalSubmitLocked records a freshly-queued job.
+func (e *Engine) journalSubmitLocked(job *Job) {
+	if e.store == nil {
+		return
+	}
+	data, err := json.Marshal(job.Req)
+	if err != nil {
+		e.journalErrors++
+		e.cfg.Logf("service: encode request for journal: %v", err)
+		data = nil
+	}
+	e.journalLocked(durable.Record{
+		Type:       durable.RecSubmit,
+		ID:         job.ID,
+		Seq:        job.seq,
+		Key:        job.Key,
+		Experiment: job.Req.Experiment,
+		Data:       data,
+	})
+}
+
+// journalFinishLocked records a job's terminal transition.
+func (e *Engine) journalFinishLocked(job *Job) {
+	if e.store == nil {
+		return
+	}
+	switch job.status {
+	case StatusDone:
+		e.journalLocked(durable.Record{Type: durable.RecDone, ID: job.ID, Data: job.result.body})
+	case StatusCancelled:
+		e.journalLocked(durable.Record{Type: durable.RecCancel, ID: job.ID,
+			Error: jobErrMessage(job.err), Category: jobErrCategory(job.err)})
+	default:
+		e.journalLocked(durable.Record{Type: durable.RecFail, ID: job.ID,
+			Error: jobErrMessage(job.err), Category: jobErrCategory(job.err)})
+	}
+}
+
+func jobErrMessage(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func jobErrCategory(err error) string {
+	var se *Error
+	if errors.As(err, &se) {
+		return string(se.Category)
+	}
+	return string(CategoryInternal)
+}
+
+// maybeCompactLocked compacts the journal into a snapshot when enough
+// records have accumulated. Callers hold e.mu; the disk write happens
+// under the lock, which serializes workers for the snapshot's duration
+// — acceptable because state snapshots are small (bounded by
+// KeepFinished and the cache capacity) next to experiment runtimes.
+func (e *Engine) maybeCompactLocked() {
+	if e.store == nil || !e.store.CompactionDue() {
+		return
+	}
+	if err := e.store.Compact(e.exportStateLocked()); err != nil {
+		e.cfg.Logf("service: journal compaction failed (journal keeps growing until the disk heals): %v", err)
+	}
+}
+
+// exportStateLocked reduces the engine to its durable.State. Callers
+// hold e.mu (or, during NewEngine, no worker is running yet).
+func (e *Engine) exportStateLocked() *durable.State {
+	st := durable.NewState(harness.ResultSchemaVersion)
+	st.NextID = e.nextID
+	for id, job := range e.jobs {
+		js := &durable.JobState{
+			ID:         id,
+			Seq:        job.seq,
+			Key:        job.Key,
+			Experiment: job.Req.Experiment,
+		}
+		if data, err := json.Marshal(job.Req); err == nil {
+			js.Request = data
+		}
+		switch job.status {
+		case StatusDone:
+			js.Status = durable.JobDone
+			js.Result = job.result.body
+		case StatusFailed:
+			js.Status = durable.JobFailed
+			js.Error, js.Category = jobErrMessage(job.err), jobErrCategory(job.err)
+		case StatusCancelled:
+			js.Status = durable.JobCancelled
+			js.Error, js.Category = jobErrMessage(job.err), jobErrCategory(job.err)
+		case StatusRunning:
+			js.Status = durable.JobRunning
+		default:
+			js.Status = durable.JobQueued
+		}
+		st.Jobs[id] = js
+	}
+	st.Cache = e.cache.Export()
+	for exp, c := range e.lastGood {
+		st.LastGood[exp] = durable.CacheEntry{RunID: c.runID, Body: c.body}
+	}
+	return st
+}
+
+// closeDurable snapshots the final state and closes the store; called
+// once the worker pool has fully drained.
+func (e *Engine) closeDurable() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.store == nil {
+		return
+	}
+	if err := e.store.Compact(e.exportStateLocked()); err != nil {
+		e.cfg.Logf("service: final snapshot failed (journal still covers the state): %v", err)
+	}
+	if err := e.store.Close(); err != nil {
+		e.cfg.Logf("service: closing durable store: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"gspc/internal/durable"
 	"gspc/internal/harness"
 )
 
@@ -102,6 +103,25 @@ type Config struct {
 	// Logf sinks the engine's operational log lines (recovered panic
 	// stacks). Default log.Printf; tests may silence it.
 	Logf func(format string, args ...any)
+
+	// DataDir, when non-empty, makes the engine crash-safe: job
+	// lifecycle transitions are appended to a write-ahead journal under
+	// this directory, the result cache and serve-stale table are
+	// snapshotted on compaction, and a new engine recovers all of it on
+	// boot — completed runs stay queryable by their original ids,
+	// queued jobs are resubmitted, and jobs that were running mid-crash
+	// are marked failed-retryable. Empty disables persistence.
+	DataDir string
+	// Fsync syncs the journal after every append. Off, a crash can
+	// lose the most recent transitions (never corrupt the journal).
+	Fsync bool
+	// SnapshotEvery compacts the journal into a snapshot after this
+	// many appends (0 = durable's default, 256; negative disables
+	// automatic compaction).
+	SnapshotEvery int
+	// DurableFS overrides the persistence filesystem (fault
+	// injection). Default: the real disk.
+	DurableFS durable.FS
 }
 
 // maxRetryBackoff caps the exponential retry backoff so large MaxRetries
@@ -164,6 +184,8 @@ type Job struct {
 	Key string
 
 	done chan struct{}
+
+	seq int64 // numeric id (journal sequence; recovery restores the counter past it)
 
 	status            Status
 	enqueued, started time.Time
@@ -231,12 +253,18 @@ type Engine struct {
 	wg    sync.WaitGroup
 	start time.Time
 
+	// store persists job lifecycle + results when Config.DataDir is
+	// set; nil otherwise. recovery tallies what boot restored.
+	store    *durable.Store
+	recovery recoveryStats
+
 	// counters, guarded by mu
 	requests, rejected, coalesced int64
 	completed, failed             int64
 	cancelled, retries, panics    int64
 	timeouts, breakerTrips        int64
 	breakerFastFails, staleServed int64
+	journalErrors                 int64
 	lat                           latencies
 }
 
@@ -257,6 +285,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 		breakers: map[string]*breaker{},
 		lastGood: map[string]*cached{},
 		start:    time.Now(),
+	}
+	if cfg.DataDir != "" {
+		// Recovery must finish before any worker can observe (or race
+		// with) the restored queue.
+		if err := e.openDurable(); err != nil {
+			return nil, err
+		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
@@ -358,6 +393,7 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 		ID:          fmt.Sprintf("run-%06d", e.nextID),
 		Req:         req,
 		Key:         key,
+		seq:         e.nextID,
 		done:        make(chan struct{}),
 		status:      StatusQueued,
 		enqueued:    time.Now(),
@@ -371,6 +407,7 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 	e.queue <- job
 	e.jobs[job.ID] = job
 	e.inflight[key] = job
+	e.journalSubmitLocked(job)
 	return job, nil, nil
 }
 
@@ -447,6 +484,7 @@ func (e *Engine) abandon(job *Job) {
 		Message: "job cancelled: every waiting caller left before it started"}
 	job.finished = time.Now()
 	e.cancelled++
+	e.journalFinishLocked(job)
 	e.unprobeLocked(job)
 	if e.inflight[job.Key] == job {
 		// Unblock identical future requests immediately: they start a
@@ -528,6 +566,7 @@ func (e *Engine) worker() {
 		}
 		job.status = StatusRunning
 		job.started = time.Now()
+		e.journalLocked(durable.Record{Type: durable.RecStart, ID: job.ID})
 		e.mu.Unlock()
 
 		res, attempts, serr := e.runWithRetry(job)
@@ -565,6 +604,8 @@ func (e *Engine) worker() {
 				e.breakerTrips++
 			}
 		}
+		e.journalFinishLocked(job)
+		e.maybeCompactLocked()
 		if e.inflight[job.Key] == job {
 			delete(e.inflight, job.Key)
 		}
@@ -712,8 +753,27 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Clean drain: capture a final snapshot so the next boot
+		// restores from one read instead of a long journal replay.
+		e.closeDurable()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Unfinished counts jobs that have not reached a terminal state —
+// still queued or running. gspcd reports it when the drain deadline
+// expires so operators know how many jobs a hard exit abandons (a
+// durable engine marks them failed-retryable at the next boot).
+func (e *Engine) Unfinished() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, job := range e.jobs {
+		if job.status == StatusQueued || job.status == StatusRunning {
+			n++
+		}
+	}
+	return n
 }

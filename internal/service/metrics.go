@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"gspc/internal/durable"
 	"gspc/internal/harness"
 	"gspc/internal/tracecache"
 )
@@ -84,6 +85,25 @@ type Metrics struct {
 	// engine in the process shares the one cache.
 	TraceCache tracecache.Stats     `json:"trace_cache"`
 	Stages     harness.StageTimings `json:"stages"`
+
+	// Durable reports the write-ahead journal and the boot recovery
+	// outcome when -data-dir is set; absent otherwise. Recovery
+	// counters let operators verify a restart recovered state (jobs
+	// restored, cache rehydrated) rather than silently rebuilt it.
+	Durable *DurableMetrics `json:"durable,omitempty"`
+}
+
+// DurableMetrics is the persistence section of /metricsz.
+type DurableMetrics struct {
+	// Journal/snapshot store counters: journal size and record count,
+	// append failures, compactions, records replayed at boot, torn
+	// tail bytes truncated, and corrupt snapshots quarantined.
+	durable.Stats
+	// JournalErrors counts engine-level append failures (a superset
+	// clock of Stats.AppendErrors that also covers encode failures).
+	JournalErrors int64 `json:"journal_errors"`
+	// Recovery is the boot outcome.
+	Recovery recoveryStats `json:"recovery"`
 }
 
 // Metrics snapshots the engine counters.
@@ -92,6 +112,14 @@ func (e *Engine) Metrics() Metrics {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	p50, p95 := e.lat.percentiles()
+	var durableMetrics *DurableMetrics
+	if e.store != nil {
+		durableMetrics = &DurableMetrics{
+			Stats:         e.store.Stats(),
+			JournalErrors: e.journalErrors,
+			Recovery:      e.recovery,
+		}
+	}
 	now := time.Now()
 	var open int
 	var states map[string]string
@@ -137,5 +165,6 @@ func (e *Engine) Metrics() Metrics {
 
 		TraceCache: harness.SharedTraceCache().Stats(),
 		Stages:     harness.Timings(),
+		Durable:    durableMetrics,
 	}
 }
