@@ -36,6 +36,12 @@ type options struct {
 	fsync         bool
 	snapshotEvery int
 
+	logFormat    string
+	traceEvery   int
+	flightEvents int
+	debugAddr    string
+	version      bool
+
 	// explicit records which flags the command line actually set, for
 	// validations of the form "-fsync without -data-dir".
 	explicit map[string]bool
@@ -70,6 +76,12 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&o.dataDir, "data-dir", "", "directory for the write-ahead journal and snapshots; empty runs in-memory only")
 	fs.BoolVar(&o.fsync, "fsync", true, "fsync the journal after every record (requires -data-dir; turning it off risks losing the newest records on power failure)")
 	fs.IntVar(&o.snapshotEvery, "snapshot-every", 256, "journal records between snapshot compactions (requires -data-dir)")
+
+	fs.StringVar(&o.logFormat, "log-format", "text", "structured log format: text|json")
+	fs.IntVar(&o.traceEvery, "trace-every", 1, "span-trace every Nth job (1 = all, -1 disables; GET /v1/runs/{id}/trace)")
+	fs.IntVar(&o.flightEvents, "flight-events", 0, "flight recorder ring size served at /debugz (0 = default 256)")
+	fs.StringVar(&o.debugAddr, "debug-addr", "", "separate listen address for net/http/pprof profiling (empty disables)")
+	fs.BoolVar(&o.version, "version", false, "print build information and exit")
 
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -126,6 +138,15 @@ func (o *options) validate() error {
 			}
 		}
 	}
+	if o.logFormat != "text" && o.logFormat != "json" {
+		return fmt.Errorf("-log-format %q unknown; choose text or json", o.logFormat)
+	}
+	if o.traceEvery == 0 || o.traceEvery < -1 {
+		return fmt.Errorf("-trace-every must be positive or -1 (disabled), got %d", o.traceEvery)
+	}
+	if o.flightEvents < 0 {
+		return fmt.Errorf("-flight-events must not be negative, got %d", o.flightEvents)
+	}
 	return nil
 }
 
@@ -157,6 +178,9 @@ func (o *options) engineConfig() service.Config {
 		DataDir:       o.dataDir,
 		Fsync:         o.fsync,
 		SnapshotEvery: o.snapshotEvery,
+
+		TraceEvery:   o.traceEvery,
+		FlightEvents: o.flightEvents,
 	}
 	// A validated cacheSize is never negative, so the engine's
 	// "negative means default" fallback is unreachable from the CLI:

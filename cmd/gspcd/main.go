@@ -10,6 +10,8 @@
 //	      [-breaker-threshold 5] [-breaker-cooldown 30s]
 //	      [-serve-stale] [-max-work 0] [-expose-stacks]
 //	      [-data-dir DIR] [-fsync=true] [-snapshot-every 256]
+//	      [-log-format text|json] [-trace-every 1] [-flight-events 256]
+//	      [-debug-addr ADDR] [-version]
 //
 // With -data-dir set, every job transition is appended to a
 // checksummed write-ahead journal and completed results are
@@ -18,13 +20,21 @@
 //
 // Endpoints:
 //
-//	GET  /healthz          liveness
-//	GET  /readyz           readiness (503 while draining/saturated/broken)
-//	GET  /metricsz         counters: hits/misses, queue depth, latency percentiles
-//	GET  /v1/experiments   runnable experiment ids
-//	POST /v1/runs          {"experiment":"fig12","frames":1,...}; ?wait=0 queues,
-//	                       ?timeout_ms=N caps the run deadline
-//	GET  /v1/runs/{id}     job status and result
+//	GET  /healthz            liveness
+//	GET  /readyz             readiness (503 while draining/saturated/broken)
+//	GET  /metricsz           counters: hits/misses, queue depth, latency percentiles
+//	GET  /metrics            Prometheus text exposition
+//	GET  /debugz             flight recorder: recent job lifecycle events
+//	GET  /versionz           build identification
+//	GET  /v1/experiments     runnable experiment ids
+//	POST /v1/runs            {"experiment":"fig12","frames":1,...}; ?wait=0 queues,
+//	                         ?timeout_ms=N caps the run deadline
+//	GET  /v1/runs/{id}       job status and result
+//	GET  /v1/runs/{id}/trace Chrome/Perfetto trace-event JSON of the run
+//
+// With -debug-addr set, a second listener serves net/http/pprof on
+// that address only — profiling never shares a port with production
+// traffic.
 //
 // SIGINT/SIGTERM drain in-flight jobs before exiting.
 package main
@@ -33,15 +43,25 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"gspc/internal/harness"
 	"gspc/internal/service"
+	"gspc/internal/telemetry"
 )
+
+// newLogger builds the process logger in the selected format.
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
 
 func main() {
 	opt, err := parseFlags(os.Args[1:], os.Stderr)
@@ -49,9 +69,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gspcd:", err)
 		os.Exit(2)
 	}
+	if opt.version {
+		b := telemetry.BuildInfo()
+		fmt.Printf("gspcd %s %s (%s", b.Module, b.Version, b.GoVersion)
+		if b.Revision != "" {
+			rev := b.Revision
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			fmt.Printf(", %s", rev)
+			if b.Dirty {
+				fmt.Print("-dirty")
+			}
+		}
+		fmt.Println(")")
+		return
+	}
+	logger := newLogger(opt.logFormat)
+	slog.SetDefault(logger)
 	harness.SharedTraceCache().SetBudget(opt.traceCacheMB << 20)
 
 	cfg := opt.engineConfig()
+	cfg.Logger = logger
 	if opt.simWorkers > 0 {
 		sw := opt.simWorkers
 		cfg.Run = func(ctx context.Context, r service.Request) (*harness.Result, error) {
@@ -74,34 +113,51 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	if opt.debugAddr != "" {
+		// pprof gets its own mux and listener: the profiling surface is
+		// opt-in and never reachable through the serving address.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(opt.debugAddr, dbg); err != nil {
+				logger.Error("debug listener failed", "addr", opt.debugAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", opt.debugAddr)
+	}
 	persistence := "in-memory"
 	if opt.dataDir != "" {
 		persistence = "journal at " + opt.dataDir
 	}
-	log.Printf("gspcd: listening on %s (queue %d, cache %d entries, policy %s, %s)",
-		opt.addr, opt.queue, opt.cacheSize, opt.cachePolicy, persistence)
+	logger.Info("gspcd listening", "addr", opt.addr, "queue", opt.queue,
+		"cache_entries", opt.cacheSize, "cache_policy", opt.cachePolicy,
+		"persistence", persistence)
 
 	select {
 	case err := <-errc:
-		log.Fatalf("gspcd: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	log.Printf("gspcd: shutting down, draining in-flight jobs (timeout %s)", opt.drain)
+	logger.Info("shutting down, draining in-flight jobs", "timeout", opt.drain.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), opt.drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.Canceled) {
-		log.Printf("gspcd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	if err := engine.Shutdown(shutCtx); err != nil {
 		// With -data-dir the journal still holds these jobs as
 		// queued/running; the next boot re-enqueues the queued ones and
 		// marks the running ones failed-retryable.
-		log.Printf("gspcd: engine drain: %v (%d jobs abandoned at the deadline)",
-			err, engine.Unfinished())
+		logger.Error("engine drain failed", "err", err, "jobs_abandoned", engine.Unfinished())
 		os.Exit(1)
 	}
 	m := engine.Metrics()
-	log.Printf("gspcd: drained; served %d requests (%d cache hits, %d coalesced, %d rejected)",
-		m.Requests, m.CacheHits, m.Coalesced, m.Rejected)
+	logger.Info("drained", "requests", m.Requests, "cache_hits", m.CacheHits,
+		"coalesced", m.Coalesced, "rejected", m.Rejected)
 }

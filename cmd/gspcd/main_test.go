@@ -65,6 +65,10 @@ func TestParseFlagsRejects(t *testing.T) {
 		{"bad retries", []string{"-max-retries", "-2"}, "-max-retries"},
 		{"bad breaker", []string{"-breaker-threshold", "-2"}, "-breaker-threshold"},
 		{"negative trace cache", []string{"-trace-cache-mb", "-1"}, "-trace-cache-mb"},
+		{"bad log format", []string{"-log-format", "xml"}, "-log-format"},
+		{"zero trace-every", []string{"-trace-every", "0"}, "-trace-every"},
+		{"bad trace-every", []string{"-trace-every", "-3"}, "-trace-every"},
+		{"negative flight events", []string{"-flight-events", "-1"}, "-flight-events"},
 		{"stray argument", []string{"serve"}, "unexpected argument"},
 		{"unknown flag", []string{"-no-such-flag"}, "no-such-flag"},
 	}
@@ -86,5 +90,33 @@ func TestParseFlagsValidPolicies(t *testing.T) {
 		if _, err := parse(t, "-cache-policy", p); err != nil {
 			t.Fatalf("policy %s rejected: %v", p, err)
 		}
+	}
+}
+
+func TestParseFlagsObservability(t *testing.T) {
+	o, err := parse(t, "-log-format", "json", "-trace-every", "10",
+		"-flight-events", "64", "-debug-addr", "127.0.0.1:6060", "-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.logFormat != "json" || o.debugAddr != "127.0.0.1:6060" || !o.version {
+		t.Fatalf("observability flags: %+v", o)
+	}
+	cfg := o.engineConfig()
+	if cfg.TraceEvery != 10 || cfg.FlightEvents != 64 {
+		t.Fatalf("engine config: TraceEvery=%d FlightEvents=%d, want 10/64", cfg.TraceEvery, cfg.FlightEvents)
+	}
+	// Defaults: text logs, trace every job, tracing disablable with -1.
+	o, err = parse(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.logFormat != "text" || o.traceEvery != 1 || o.debugAddr != "" || o.version {
+		t.Fatalf("observability defaults: %+v", o)
+	}
+	if o, err = parse(t, "-trace-every", "-1"); err != nil {
+		t.Fatalf("-trace-every -1 (disable) rejected: %v", err)
+	} else if o.engineConfig().TraceEvery != -1 {
+		t.Fatalf("disabled tracing not forwarded: %d", o.engineConfig().TraceEvery)
 	}
 }

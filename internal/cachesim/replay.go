@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"gspc/internal/stream"
+	"gspc/internal/telemetry"
 )
 
 // DefaultCheckStride is the access interval between context polls in
@@ -43,6 +44,10 @@ func ReplaySource(ctx context.Context, c *Cache, src stream.Source, stride int) 
 	if stride <= 0 {
 		stride = DefaultCheckStride
 	}
+	// One span per replay (never per access): on traced runs this splits
+	// the raw access-loop time out of the enclosing policy span — e.g.
+	// Belady's next-use precomputation vs its replay.
+	defer telemetry.StartFrom(ctx, "replay", "cachesim", telemetry.Int("accesses", int64(src.Len()))).End()
 	if t, ok := src.(*stream.Trace); ok {
 		addrs, meta := t.Records()
 		for i := range addrs {

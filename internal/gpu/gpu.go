@@ -26,6 +26,7 @@ import (
 	"gspc/internal/cachesim"
 	"gspc/internal/dram"
 	"gspc/internal/stream"
+	"gspc/internal/telemetry"
 )
 
 // Config describes the simulated GPU.
@@ -317,6 +318,12 @@ func SimulateSource(tr stream.Source, cfg Config, pol cachesim.Policy) Result {
 	if cycles > 0 {
 		fps = cfg.ClockGHz * 1e9 / float64(cycles)
 	}
+	// Fold this simulation's LLC and DRAM outcomes into the process-wide
+	// telemetry counters — once per simulation, never per access.
+	for _, k := range stream.Kinds() {
+		telemetry.RecordLLCStream(k.String(), llc.Stats.KindAccesses[k], llc.Stats.KindHits[k])
+	}
+	telemetry.RecordDRAM(mem.Stats.Reads, mem.Stats.Writes, mem.Stats.RowHits, mem.Stats.RowMisses, mem.Stats.RowConflicts)
 	return Result{
 		Cycles:   cycles,
 		FPS:      fps,

@@ -90,31 +90,91 @@ func fanOut(ctx context.Context, workers, n int, run func(ctx context.Context, i
 }
 
 // stageClock accumulates wall-clock nanoseconds and invocation counts for
-// one experiment stage, process-wide. Stages overlap under fan-out, so
-// the totals are summed per-invocation wall time (comparable to CPU
-// time), not elapsed time.
+// one experiment stage. Stages overlap under fan-out, so the totals are
+// summed per-invocation wall time (comparable to CPU time), not elapsed
+// time.
 type stageClock struct {
 	ns    atomic.Int64
 	count atomic.Int64
 }
 
-// track starts a timer; the returned func stops it and folds the elapsed
-// time into the clock. Use as: defer clock.track()().
-func (s *stageClock) track() func() {
-	start := time.Now()
-	return func() {
-		s.ns.Add(time.Since(start).Nanoseconds())
-		s.count.Add(1)
+func (s *stageClock) add(d time.Duration) {
+	s.ns.Add(d.Nanoseconds())
+	s.count.Add(1)
+}
+
+// StageSet is one attribution scope for the stage clocks: a service
+// engine injects its own set (via WithStages on the run context) so
+// several engines in one process — the norm in tests, possible in
+// embedders — see only their own work, while the process-global set
+// keeps accumulating the sum of everything.
+type StageSet struct {
+	synth  stageClock // frame synthesis (trace-cache misses)
+	replay stageClock // offline policy replays, incl. Belady
+	timing stageClock // gpu timing-model simulations
+}
+
+// NewStageSet returns an empty attribution scope.
+func NewStageSet() *StageSet { return &StageSet{} }
+
+// Timings snapshots this set's accumulators.
+func (s *StageSet) Timings() StageTimings {
+	return StageTimings{
+		SynthCount:  s.synth.count.Load(),
+		SynthMs:     float64(s.synth.ns.Load()) / 1e6,
+		ReplayCount: s.replay.count.Load(),
+		ReplayMs:    float64(s.replay.ns.Load()) / 1e6,
+		TimingCount: s.timing.count.Load(),
+		TimingMs:    float64(s.timing.ns.Load()) / 1e6,
 	}
 }
 
+// procStages is the process-wide sum; every tracked stage folds into it
+// in addition to the context-scoped set (when present).
+var procStages StageSet
+
+// stagesKey carries a *StageSet through a run's context.
+type stagesKey struct{}
+
+// WithStages returns ctx carrying the attribution scope; the harness
+// folds stage time into it (as well as the process-global sum) for any
+// experiment run under the returned context. A nil set returns ctx
+// unchanged.
+func WithStages(ctx context.Context, s *StageSet) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, stagesKey{}, s)
+}
+
+func stagesFrom(ctx context.Context) *StageSet {
+	s, _ := ctx.Value(stagesKey{}).(*StageSet)
+	return s
+}
+
+// Stage selectors for trackStage.
 var (
-	stageSynth  stageClock // frame synthesis (trace-cache misses)
-	stageReplay stageClock // offline policy replays, incl. Belady
-	stageTiming stageClock // gpu timing-model simulations
+	pickSynth  = func(s *StageSet) *stageClock { return &s.synth }
+	pickReplay = func(s *StageSet) *stageClock { return &s.replay }
+	pickTiming = func(s *StageSet) *stageClock { return &s.timing }
 )
 
-// StageTimings snapshots the per-stage accumulators: how the process has
+// trackStage starts a timer; the returned func stops it and folds the
+// elapsed time into the process-global clock and, when the context
+// carries one, the run's own StageSet. Use as:
+// defer trackStage(ctx, pickReplay)().
+func trackStage(ctx context.Context, pick func(*StageSet) *stageClock) func() {
+	start := time.Now()
+	return func() {
+		d := time.Since(start)
+		pick(&procStages).add(d)
+		if s := stagesFrom(ctx); s != nil {
+			pick(s).add(d)
+		}
+	}
+}
+
+// StageTimings snapshots the per-stage accumulators: how a scope has
 // spent its experiment time, split into trace synthesis, offline policy
 // replay, and timing simulation. Served by gspcd's /metricsz.
 type StageTimings struct {
@@ -126,14 +186,8 @@ type StageTimings struct {
 	TimingMs    float64 `json:"timing_ms"`
 }
 
-// Timings returns the process-wide stage timing snapshot.
+// Timings returns the process-wide stage timing snapshot — the sum over
+// every engine and direct harness call in the process.
 func Timings() StageTimings {
-	return StageTimings{
-		SynthCount:  stageSynth.count.Load(),
-		SynthMs:     float64(stageSynth.ns.Load()) / 1e6,
-		ReplayCount: stageReplay.count.Load(),
-		ReplayMs:    float64(stageReplay.ns.Load()) / 1e6,
-		TimingCount: stageTiming.count.Load(),
-		TimingMs:    float64(stageTiming.ns.Load()) / 1e6,
-	}
+	return procStages.Timings()
 }

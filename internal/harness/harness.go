@@ -16,6 +16,7 @@ import (
 	"gspc/internal/policy"
 	"gspc/internal/rendercache"
 	"gspc/internal/stream"
+	"gspc/internal/telemetry"
 	"gspc/internal/trace"
 	"gspc/internal/tracecache"
 	"gspc/internal/workload"
@@ -227,7 +228,8 @@ type drripFillStats struct {
 // mid-trace. The trace is shared and read-only: any number of policy
 // replays may run over the same packed trace concurrently.
 func runOffline(ctx context.Context, tr *stream.Trace, spec policySpec, geom cachesim.Geometry) (frameResult, error) {
-	defer stageReplay.track()()
+	defer trackStage(ctx, pickReplay)()
+	defer telemetry.StartFrom(ctx, spec.name, "replay").End()
 	pol := spec.make()
 	c := cachesim.New(geom, pol)
 	if spec.ucd {
@@ -237,6 +239,7 @@ func runOffline(ctx context.Context, tr *stream.Trace, spec policySpec, geom cac
 	if err := cachesim.ReplaySource(ctx, c, tr, 0); err != nil {
 		return frameResult{}, err
 	}
+	recordLLCStats(&c.Stats)
 	res := frameResult{stats: c.Stats, tracker: tk}
 	if g, ok := pol.(*core.Policy); ok {
 		res.insert = g.Insertions
@@ -270,14 +273,25 @@ func runBDN(o Options, tr *stream.Trace, geom cachesim.Geometry) ([3]frameResult
 
 // runBelady replays tr under Belady's optimal policy.
 func runBelady(ctx context.Context, tr *stream.Trace, geom cachesim.Geometry) (frameResult, error) {
-	defer stageReplay.track()()
+	defer trackStage(ctx, pickReplay)()
+	defer telemetry.StartFrom(ctx, "Belady", "replay").End()
 	next := belady.NextUseTrace(tr, blockShift(geom.BlockSize))
 	c := cachesim.New(geom, belady.NewOPT(next))
 	tk := attachTracker(c)
 	if err := cachesim.ReplaySource(ctx, c, tr, 0); err != nil {
 		return frameResult{}, err
 	}
+	recordLLCStats(&c.Stats)
 	return frameResult{stats: c.Stats, tracker: tk}, nil
+}
+
+// recordLLCStats folds one finished replay's per-stream access and hit
+// counts into the process-global telemetry counters: once per frame
+// replay, never inside the access loop.
+func recordLLCStats(s *cachesim.Stats) {
+	for _, k := range stream.Kinds() {
+		telemetry.RecordLLCStream(k.String(), s.KindAccesses[k], s.KindHits[k])
+	}
 }
 
 func blockShift(block int) uint {
@@ -323,7 +337,8 @@ func genTrace(ctx context.Context, o Options, j workload.FrameJob) (*stream.Trac
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		defer stageSynth.track()()
+		defer trackStage(ctx, pickSynth)()
+		defer telemetry.StartFrom(ctx, "synthesize", "synth", telemetry.String("job", j.ID())).End()
 		t := stream.NewTrace(trace.EstimateAccesses(j, o.Scale))
 		trace.GeneratePackedInto(t, j, o.Scale, cfg)
 		return t, nil

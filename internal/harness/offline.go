@@ -10,6 +10,7 @@ import (
 	"gspc/internal/core"
 	"gspc/internal/policy"
 	"gspc/internal/stream"
+	"gspc/internal/telemetry"
 	"gspc/internal/workload"
 )
 
@@ -50,7 +51,10 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr *stream.Trace) erro
 			if err != nil {
 				return err
 			}
-			if err := fn(j, tr); err != nil {
+			sp := telemetry.StartFrom(ctx, j.ID(), "frame")
+			err = fn(j, tr)
+			sp.End()
+			if err != nil {
 				return err
 			}
 			o.progressf("  %s: %d LLC accesses\n", j.ID(), tr.Len())
@@ -108,7 +112,10 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr *stream.Trace) erro
 			}
 			return fmt.Errorf("harness: trace acquisition failed for %s", j.ID())
 		}
-		if err := fn(j, tr); err != nil {
+		sp := telemetry.StartFrom(ctx, j.ID(), "frame")
+		err := fn(j, tr)
+		sp.End()
+		if err != nil {
 			return err
 		}
 		o.progressf("  %s: %d LLC accesses\n", j.ID(), tr.Len())

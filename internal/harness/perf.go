@@ -10,6 +10,7 @@ import (
 	"gspc/internal/gpu"
 	"gspc/internal/policy"
 	"gspc/internal/stream"
+	"gspc/internal/telemetry"
 	"gspc/internal/workload"
 )
 
@@ -50,7 +51,8 @@ func runPerf(o Options, title string, cfg gpu.Config) (*Table, error) {
 			if i > 0 {
 				spec = specs[i-1]
 			}
-			defer stageTiming.track()()
+			defer trackStage(ctx, pickTiming)()
+			defer telemetry.StartFrom(ctx, spec.name, "timing", telemetry.String("job", j.ID())).End()
 			cycles[i] = gpu.SimulateSource(tr, cfgRun, spec.make()).Cycles
 			return nil
 		})

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestStageScopesIsolate verifies the two-level stage accounting: work
+// tracked under a context carrying a StageSet lands in that set only,
+// never a sibling's, while the process-global clock accumulates the sum
+// of every scope (plus unscoped work).
+func TestStageScopesIsolate(t *testing.T) {
+	a, b := NewStageSet(), NewStageSet()
+	globalBefore := Timings()
+
+	ctxA := WithStages(context.Background(), a)
+	ctxB := WithStages(context.Background(), b)
+
+	track := func(ctx context.Context, pick func(*StageSet) *stageClock, n int) {
+		for i := 0; i < n; i++ {
+			stop := trackStage(ctx, pick)
+			time.Sleep(time.Millisecond)
+			stop()
+		}
+	}
+	track(ctxA, pickSynth, 2)
+	track(ctxA, pickReplay, 1)
+	track(ctxB, pickReplay, 3)
+	track(context.Background(), pickTiming, 1) // unscoped: global only
+
+	ta, tb := a.Timings(), b.Timings()
+	if ta.SynthCount != 2 || ta.ReplayCount != 1 || ta.TimingCount != 0 {
+		t.Errorf("scope A counts = %d/%d/%d, want 2 synth, 1 replay, 0 timing",
+			ta.SynthCount, ta.ReplayCount, ta.TimingCount)
+	}
+	if tb.SynthCount != 0 || tb.ReplayCount != 3 || tb.TimingCount != 0 {
+		t.Errorf("scope B counts = %d/%d/%d, want 0 synth, 3 replay, 0 timing",
+			tb.SynthCount, tb.ReplayCount, tb.TimingCount)
+	}
+	if ta.SynthMs <= 0 || tb.ReplayMs <= 0 {
+		t.Errorf("scoped stage time not accumulated: A synth %.3fms, B replay %.3fms",
+			ta.SynthMs, tb.ReplayMs)
+	}
+
+	g := Timings()
+	if d := g.SynthCount - globalBefore.SynthCount; d != 2 {
+		t.Errorf("global synth count grew by %d, want 2", d)
+	}
+	if d := g.ReplayCount - globalBefore.ReplayCount; d != 4 {
+		t.Errorf("global replay count grew by %d, want 4 (both scopes)", d)
+	}
+	if d := g.TimingCount - globalBefore.TimingCount; d != 1 {
+		t.Errorf("global timing count grew by %d, want 1 (unscoped)", d)
+	}
+	// The global clock is the sum: it accumulated at least what each
+	// scope saw (other tests may add concurrently, so >= not ==).
+	if g.ReplayMs-globalBefore.ReplayMs < ta.ReplayMs+tb.ReplayMs-1e-6 {
+		t.Errorf("global replay time %.3fms grew less than the scopes' sum %.3fms",
+			g.ReplayMs-globalBefore.ReplayMs, ta.ReplayMs+tb.ReplayMs)
+	}
+}
+
+func TestWithStagesNilIsNoOp(t *testing.T) {
+	ctx := WithStages(context.Background(), nil)
+	if stagesFrom(ctx) != nil {
+		t.Error("nil StageSet round-tripped as non-nil")
+	}
+	// Tracking against a nil-scope context must not panic and must still
+	// feed the global clock.
+	before := Timings()
+	trackStage(ctx, pickSynth)()
+	if Timings().SynthCount != before.SynthCount+1 {
+		t.Error("unscoped trackStage did not feed the process-global clock")
+	}
+}
+
+// TestEngineScopedStagesViaRun drives a real (tiny) experiment under a
+// scoped context and checks the harness instrumentation feeds the scope.
+func TestEngineScopedStagesViaRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	s := NewStageSet()
+	ctx := WithStages(context.Background(), s)
+	if _, err := RunResultContext(ctx, "fig12", Options{MaxFramesPerApp: 1, Scale: 0.05, Apps: []string{"Dirt"}}); err != nil {
+		t.Fatal(err)
+	}
+	ts := s.Timings()
+	if ts.SynthCount == 0 && ts.ReplayCount == 0 {
+		t.Errorf("experiment under scoped context left the scope empty: %+v", ts)
+	}
+}

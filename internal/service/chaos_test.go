@@ -438,7 +438,7 @@ func TestChaosShutdownDuringRetryBackoff(t *testing.T) {
 	leakCheck(t)
 	inj := faultinject.NewSequence(
 		faultinject.Fail(), faultinject.Fail(), faultinject.Fail(), faultinject.Fail())
-	e, err := NewEngine(Config{Workers: 1, CacheEntries: 8,
+	e, err := NewEngine(Config{Workers: 1, CacheEntries: 8, Logger: discardLogger(),
 		MaxRetries: 3, RetryBackoff: time.Minute, Run: injectedRunner(inj, nil)})
 	if err != nil {
 		t.Fatal(err)
@@ -474,7 +474,7 @@ func TestChaosShutdownDuringRetryBackoff(t *testing.T) {
 func TestChaosShutdownWithOpenBreaker(t *testing.T) {
 	leakCheck(t)
 	inj := faultinject.NewSequence(faultinject.Fail())
-	e, err := NewEngine(Config{Workers: 2, CacheEntries: 8, MaxRetries: -1,
+	e, err := NewEngine(Config{Workers: 2, CacheEntries: 8, MaxRetries: -1, Logger: discardLogger(),
 		BreakerThreshold: 1, BreakerCooldown: time.Minute, Run: injectedRunner(inj, nil)})
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 
 	"gspc/internal/durable"
 	"gspc/internal/harness"
+	"gspc/internal/telemetry"
 )
 
 // This file is the engine's persistence glue: translating job
@@ -47,7 +48,11 @@ func (e *Engine) openDurable() error {
 		Fsync:         e.cfg.Fsync,
 		SnapshotEvery: e.cfg.SnapshotEvery,
 		SchemaVersion: harness.ResultSchemaVersion,
-		Logf:          e.cfg.Logf,
+		// The durable package keeps its printf-style seam; adapt it onto
+		// the engine's structured logger.
+		Logf: func(format string, args ...any) {
+			e.cfg.Logger.Warn(fmt.Sprintf(format, args...), "component", "durable")
+		},
 	})
 	if err != nil {
 		return err
@@ -57,8 +62,12 @@ func (e *Engine) openDurable() error {
 	// Persist the restored reality (mid-flight jobs re-marked, torn
 	// tail gone) and reset the journal in one stroke.
 	if err := store.Compact(e.exportStateLocked()); err != nil {
-		e.cfg.Logf("service: post-recovery compaction failed (journal replay still covers it): %v", err)
+		e.cfg.Logger.Warn("post-recovery compaction failed (journal replay still covers it)", "err", err)
 	}
+	e.flight.Add(telemetry.Event{Type: "recovery", Detail: fmt.Sprintf(
+		"restored %d done, %d failed; resubmitted %d; marked %d retryable; cache %d",
+		e.recovery.RecoveredDone, e.recovery.RecoveredFailed,
+		e.recovery.ResubmittedQueued, e.recovery.MarkedRetryable, e.recovery.CacheRestored)})
 	return nil
 }
 
@@ -201,7 +210,8 @@ func (e *Engine) journalLocked(r durable.Record) {
 	}
 	if err := e.store.Append(r); err != nil {
 		e.journalErrors++
-		e.cfg.Logf("service: journal append (%s %s) failed, durability degraded: %v", r.Type, r.ID, err)
+		e.cfg.Logger.Warn("journal append failed, durability degraded",
+			"record", string(r.Type), "run_id", r.ID, "err", err)
 	}
 }
 
@@ -213,7 +223,7 @@ func (e *Engine) journalSubmitLocked(job *Job) {
 	data, err := json.Marshal(job.Req)
 	if err != nil {
 		e.journalErrors++
-		e.cfg.Logf("service: encode request for journal: %v", err)
+		e.cfg.Logger.Warn("encode request for journal failed", "run_id", job.ID, "err", err)
 		data = nil
 	}
 	e.journalLocked(durable.Record{
@@ -268,7 +278,7 @@ func (e *Engine) maybeCompactLocked() {
 		return
 	}
 	if err := e.store.Compact(e.exportStateLocked()); err != nil {
-		e.cfg.Logf("service: journal compaction failed (journal keeps growing until the disk heals): %v", err)
+		e.cfg.Logger.Warn("journal compaction failed (journal keeps growing until the disk heals)", "err", err)
 	}
 }
 
@@ -320,9 +330,9 @@ func (e *Engine) closeDurable() {
 		return
 	}
 	if err := e.store.Compact(e.exportStateLocked()); err != nil {
-		e.cfg.Logf("service: final snapshot failed (journal still covers the state): %v", err)
+		e.cfg.Logger.Warn("final snapshot failed (journal still covers the state)", "err", err)
 	}
 	if err := e.store.Close(); err != nil {
-		e.cfg.Logf("service: closing durable store: %v", err)
+		e.cfg.Logger.Warn("closing durable store failed", "err", err)
 	}
 }

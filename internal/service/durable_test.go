@@ -33,7 +33,7 @@ func durableConfig(dir string) Config {
 		DataDir:      dir,
 		Fsync:        true,
 		Run:          durableStubRun,
-		Logf:         func(string, ...any) {},
+		Logger:       discardLogger(),
 		MaxRetries:   -1,
 	}
 }
@@ -48,6 +48,11 @@ func copyDataDir(t *testing.T, src string) string {
 		t.Fatal(err)
 	}
 	for _, ent := range entries {
+		if ent.IsDir() {
+			// Subdirectories (retained traces) are observability side
+			// artifacts, not part of the journal/snapshot crash image.
+			continue
+		}
 		data, err := os.ReadFile(filepath.Join(src, ent.Name()))
 		if err != nil {
 			t.Fatal(err)

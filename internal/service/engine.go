@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"runtime/debug"
@@ -14,6 +14,7 @@ import (
 
 	"gspc/internal/durable"
 	"gspc/internal/harness"
+	"gspc/internal/telemetry"
 )
 
 // Engine errors the HTTP layer maps to status codes.
@@ -98,11 +99,26 @@ type Config struct {
 	ReadyHighWater int
 	// ExposeStacks includes recovered panic stacks in JobStatus wire
 	// responses (GET /v1/runs/{id}). Off by default: stacks disclose
-	// internal code paths, so they are only logged server-side via Logf.
+	// internal code paths, so they are only logged server-side.
 	ExposeStacks bool
-	// Logf sinks the engine's operational log lines (recovered panic
-	// stacks). Default log.Printf; tests may silence it.
-	Logf func(format string, args ...any)
+	// Logger sinks the engine's structured operational log (job
+	// lifecycle failures, recovered panic stacks, journal degradation),
+	// with records correlated by run_id and trace_id attributes.
+	// Default slog.Default(); tests may pass a discarding handler.
+	Logger *slog.Logger
+
+	// TraceEvery samples per-run span tracing: every Nth submitted job
+	// is traced (1 = every job, the default when 0). Negative disables
+	// tracing entirely. Untraced jobs pay only nil checks at every
+	// instrumentation site.
+	TraceEvery int
+	// TraceMaxSpans bounds one traced job's span storage
+	// (0 = telemetry.DefaultMaxSpans). Spans beyond it are counted as
+	// dropped, never reallocated.
+	TraceMaxSpans int
+	// FlightEvents sizes the flight recorder — the ring of recent job
+	// lifecycle events served at /debugz (0 = telemetry.DefaultFlightEvents).
+	FlightEvents int
 
 	// DataDir, when non-empty, makes the engine crash-safe: job
 	// lifecycle transitions are appended to a write-ahead journal under
@@ -127,6 +143,13 @@ type Config struct {
 // maxRetryBackoff caps the exponential retry backoff so large MaxRetries
 // values cannot overflow the doubling into a zero or negative wait.
 const maxRetryBackoff = 30 * time.Second
+
+// jobLatencyBuckets are the /metrics histogram bounds for completed-job
+// duration, in seconds: experiments span milliseconds (cache-warm tiny
+// scales) to minutes (full suite), so the buckets run 25ms–300s.
+var jobLatencyBuckets = []float64{
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
 
 func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
@@ -170,8 +193,11 @@ func (c Config) withDefaults() Config {
 	if c.ReadyHighWater <= 0 || c.ReadyHighWater > c.QueueDepth {
 		c.ReadyHighWater = c.QueueDepth
 	}
-	if c.Logf == nil {
-		c.Logf = log.Printf
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.TraceEvery == 0 {
+		c.TraceEvery = 1
 	}
 	return c
 }
@@ -186,6 +212,8 @@ type Job struct {
 	done chan struct{}
 
 	seq int64 // numeric id (journal sequence; recovery restores the counter past it)
+
+	run *telemetry.Run // per-run span trace; nil when sampled out
 
 	status            Status
 	enqueued, started time.Time
@@ -205,6 +233,7 @@ type JobStatus struct {
 	ID            string          `json:"id"`
 	Experiment    string          `json:"experiment"`
 	Key           string          `json:"key"`
+	TraceID       string          `json:"trace_id,omitempty"`
 	Status        Status          `json:"status"`
 	Enqueued      time.Time       `json:"enqueued"`
 	Started       *time.Time      `json:"started,omitempty"`
@@ -253,6 +282,15 @@ type Engine struct {
 	wg    sync.WaitGroup
 	start time.Time
 
+	// Observability: the flight recorder ring (/debugz), the per-engine
+	// stage-clock scope threaded into every run context, and the job
+	// latency histogram backing /metrics. traceSeq (guarded by mu)
+	// drives TraceEvery sampling.
+	flight   *telemetry.Flight
+	stages   *harness.StageSet
+	latHist  *telemetry.Histogram
+	traceSeq int64
+
 	// store persists job lifecycle + results when Config.DataDir is
 	// set; nil otherwise. recovery tallies what boot restored.
 	store    *durable.Store
@@ -285,6 +323,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		breakers: map[string]*breaker{},
 		lastGood: map[string]*cached{},
 		start:    time.Now(),
+		flight:   telemetry.NewFlight(cfg.FlightEvents),
+		stages:   harness.NewStageSet(),
+		latHist:  telemetry.NewHistogram(jobLatencyBuckets...),
 	}
 	if cfg.DataDir != "" {
 		// Recovery must finish before any worker can observe (or race
@@ -362,6 +403,8 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 			// every synchronous waiter leaves.
 			job.abandonable = false
 		}
+		e.flight.Add(telemetry.Event{Type: "coalesced", RunID: job.ID,
+			TraceID: traceID(job.run), Detail: req.Experiment})
 		return job, nil, nil
 	}
 	// Backpressure first: a full queue rejects before the breaker is
@@ -370,6 +413,7 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 	// capacity check guarantees the send below cannot block.
 	if len(e.queue) == cap(e.queue) {
 		e.rejected++
+		e.flight.Add(telemetry.Event{Type: "rejected", Detail: req.Experiment + ": queue full"})
 		return nil, nil, ErrQueueFull
 	}
 	var probe bool
@@ -381,10 +425,12 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 			if e.cfg.ServeStale {
 				if v, ok := e.lastGood[req.Experiment]; ok {
 					e.staleServed++
+					e.flight.Add(telemetry.Event{Type: "stale-served", Detail: req.Experiment})
 					return nil, &Reply{Body: v.body, RunID: v.runID, Cached: true, Stale: true}, nil
 				}
 			}
 			e.breakerFastFails++
+			e.flight.Add(telemetry.Event{Type: "breaker-fastfail", Detail: req.Experiment})
 			return nil, nil, &CircuitOpenError{Experiment: req.Experiment, RetryAfter: retryAfter}
 		}
 	}
@@ -401,6 +447,12 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 		abandonable: sync,
 		probe:       probe,
 	}
+	if e.cfg.TraceEvery > 0 {
+		if e.traceSeq%int64(e.cfg.TraceEvery) == 0 {
+			job.run = telemetry.NewRun(telemetry.NewTraceID(), e.cfg.TraceMaxSpans)
+		}
+		e.traceSeq++
+	}
 	if sync {
 		job.waiters = 1
 	}
@@ -408,7 +460,17 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 	e.jobs[job.ID] = job
 	e.inflight[key] = job
 	e.journalSubmitLocked(job)
+	e.flight.Add(telemetry.Event{Type: "submit", RunID: job.ID,
+		TraceID: traceID(job.run), Detail: req.Experiment})
 	return job, nil, nil
+}
+
+// traceID extracts the trace id of a possibly-nil run.
+func traceID(r *telemetry.Run) string {
+	if r == nil {
+		return ""
+	}
+	return r.TraceID
 }
 
 // admitWork rejects requests whose selected geometry implies more
@@ -484,6 +546,8 @@ func (e *Engine) abandon(job *Job) {
 		Message: "job cancelled: every waiting caller left before it started"}
 	job.finished = time.Now()
 	e.cancelled++
+	e.flight.Add(telemetry.Event{Type: "cancelled", RunID: job.ID,
+		TraceID: traceID(job.run), Detail: "abandoned while queued"})
 	e.journalFinishLocked(job)
 	e.unprobeLocked(job)
 	if e.inflight[job.Key] == job {
@@ -520,6 +584,7 @@ func (e *Engine) JobStatus(id string) (JobStatus, bool) {
 		ID:         job.ID,
 		Experiment: job.Req.Experiment,
 		Key:        job.Key,
+		TraceID:    traceID(job.run),
 		Status:     job.status,
 		Enqueued:   job.enqueued,
 		Coalesced:  job.coalesced,
@@ -567,7 +632,12 @@ func (e *Engine) worker() {
 		job.status = StatusRunning
 		job.started = time.Now()
 		e.journalLocked(durable.Record{Type: durable.RecStart, ID: job.ID})
+		e.flight.Add(telemetry.Event{Type: "start", RunID: job.ID,
+			TraceID: traceID(job.run), Detail: job.Req.Experiment})
 		e.mu.Unlock()
+		// Queue wait is known exactly from the timestamps the engine
+		// tracks anyway; record it as a span rather than re-measuring.
+		job.run.Record("queue-wait", "engine", job.enqueued, job.started)
 
 		res, attempts, serr := e.runWithRetry(job)
 		var entry *cached
@@ -590,21 +660,34 @@ func (e *Engine) worker() {
 			if serr.Category == CategoryTimeout {
 				e.timeouts++
 			}
+			e.flight.Add(telemetry.Event{Type: "failed", RunID: job.ID, TraceID: traceID(job.run),
+				Detail: fmt.Sprintf("%s: %s", job.Req.Experiment, serr.Category)})
+			e.cfg.Logger.Warn("job failed",
+				"run_id", job.ID, "trace_id", traceID(job.run),
+				"experiment", job.Req.Experiment, "category", string(serr.Category),
+				"attempts", attempts, "err", serr.Message)
 		} else {
 			job.status = StatusDone
 			job.result = entry
 			e.cache.Put(job.Key, entry)
 			e.lastGood[job.Req.Experiment] = entry
 			e.completed++
-			e.lat.record(job.finished.Sub(job.started))
+			d := job.finished.Sub(job.started)
+			e.lat.record(d)
+			e.latHist.Observe(d.Seconds())
+			e.flight.Add(telemetry.Event{Type: "done", RunID: job.ID, TraceID: traceID(job.run),
+				Detail: fmt.Sprintf("%s in %s", job.Req.Experiment, d.Round(time.Millisecond))})
 		}
 		if e.cfg.BreakerThreshold > 0 {
 			b := e.breakerFor(job.Req.Experiment)
 			if b.record(serr == nil, time.Now(), e.cfg.BreakerThreshold, e.cfg.BreakerCooldown) {
 				e.breakerTrips++
+				e.flight.Add(telemetry.Event{Type: "breaker-trip", RunID: job.ID,
+					TraceID: traceID(job.run), Detail: job.Req.Experiment})
 			}
 		}
 		e.journalFinishLocked(job)
+		e.persistTraceLocked(job)
 		e.maybeCompactLocked()
 		if e.inflight[job.Key] == job {
 			delete(e.inflight, job.Key)
@@ -620,7 +703,11 @@ func (e *Engine) worker() {
 // when the engine shuts down or the deadline expires. It returns the
 // result, the number of attempts made, and the final typed error.
 func (e *Engine) runWithRetry(job *Job) (*harness.Result, int, *Error) {
-	ctx := context.Background()
+	// Thread the job's trace and the engine's stage-clock scope into the
+	// run context: every instrumentation site below (harness, tracecache,
+	// cachesim, gpu) reads them back out with one context lookup.
+	ctx := harness.WithStages(context.Background(), e.stages)
+	ctx = telemetry.NewContext(ctx, job.run)
 	if job.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, job.timeout)
@@ -629,10 +716,14 @@ func (e *Engine) runWithRetry(job *Job) (*harness.Result, int, *Error) {
 	attempts := 0
 	for {
 		attempts++
+		sp := job.run.Start(fmt.Sprintf("attempt-%d", attempts), "engine",
+			telemetry.String("experiment", job.Req.Experiment))
 		res, serr := e.runOnce(ctx, job)
 		if serr == nil {
+			sp.Attr(telemetry.String("outcome", "ok")).End()
 			return res, attempts, nil
 		}
+		sp.Attr(telemetry.String("outcome", string(serr.Category))).End()
 		if !serr.Retryable() || attempts > e.cfg.MaxRetries {
 			return nil, attempts, serr
 		}
@@ -650,15 +741,21 @@ func (e *Engine) runWithRetry(job *Job) (*harness.Result, int, *Error) {
 		d = d/2 + time.Duration(rand.Int63n(int64(d)))
 		e.mu.Lock()
 		e.retries++
+		e.flight.Add(telemetry.Event{Type: "retry", RunID: job.ID, TraceID: traceID(job.run),
+			Detail: fmt.Sprintf("%s: attempt %d backing off %s", job.Req.Experiment, attempts, d.Round(time.Millisecond))})
 		e.mu.Unlock()
+		bsp := job.run.Start("retry-backoff", "engine", telemetry.Int("attempt", int64(attempts)))
 		t := time.NewTimer(d)
 		select {
 		case <-t.C:
+			bsp.End()
 		case <-e.stop:
 			t.Stop()
+			bsp.End()
 			return nil, attempts, serr
 		case <-ctx.Done():
 			t.Stop()
+			bsp.End()
 			return nil, attempts, classify(ctx.Err())
 		}
 	}
@@ -674,8 +771,9 @@ func (e *Engine) runOnce(ctx context.Context, job *Job) (res *harness.Result, se
 			e.panics++
 			e.mu.Unlock()
 			stack := string(debug.Stack())
-			e.cfg.Logf("service: job %s: experiment %s panicked: %v\n%s",
-				job.ID, job.Req.Experiment, r, stack)
+			e.cfg.Logger.Error("experiment panicked",
+				"run_id", job.ID, "trace_id", traceID(job.run),
+				"experiment", job.Req.Experiment, "panic", fmt.Sprint(r), "stack", stack)
 			serr = &Error{
 				Category: CategoryPanic,
 				Message:  fmt.Sprintf("experiment %s panicked: %v", job.Req.Experiment, r),
@@ -702,6 +800,7 @@ func (e *Engine) pruneLocked(id string) {
 	e.order = append(e.order, id)
 	for len(e.order) > e.cfg.KeepFinished {
 		delete(e.jobs, e.order[0])
+		e.removeTrace(e.order[0])
 		e.order = e.order[1:]
 	}
 }

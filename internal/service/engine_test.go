@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -34,11 +36,17 @@ func gatedRunner(started chan<- string, release <-chan struct{}, calls *int64) f
 	}
 }
 
+// discardLogger drops every record; tests that assert on log output
+// install their own handler instead.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
 func newTestEngine(t *testing.T, cfg Config) *Engine {
 	t.Helper()
 	leakCheck(t)
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {} // keep injected-panic stacks out of test output
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger() // keep injected-panic stacks out of test output
 	}
 	e, err := NewEngine(cfg)
 	if err != nil {
@@ -219,7 +227,7 @@ func TestGracefulDrain(t *testing.T) {
 	started := make(chan string, 8)
 	release := make(chan struct{})
 	e, err := NewEngine(Config{Workers: 1, QueueDepth: 4, CacheEntries: 8,
-		Run: gatedRunner(started, release, &calls)})
+		Logger: discardLogger(), Run: gatedRunner(started, release, &calls)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -29,6 +30,12 @@ func (l *latencies) record(d time.Duration) {
 }
 
 // percentiles returns (p50, p95) over the window, zeros when empty.
+// Quantiles interpolate linearly between the two nearest order
+// statistics: rank r = q·(n-1) rarely lands on an integer, and
+// truncating it (the old int(q·(n-1)) indexing) systematically biased
+// the high quantiles low — with 512 samples, p95 read the 486th order
+// statistic instead of the 486.45-blend, understating tail latency on
+// every scrape.
 func (l *latencies) percentiles() (p50, p95 float64) {
 	if l.count == 0 {
 		return 0, 0
@@ -36,11 +43,22 @@ func (l *latencies) percentiles() (p50, p95 float64) {
 	s := make([]float64, l.count)
 	copy(s, l.ring[:l.count])
 	sort.Float64s(s)
-	at := func(q float64) float64 {
-		i := int(q * float64(len(s)-1))
-		return s[i]
+	return quantile(s, 0.50), quantile(s, 0.95)
+}
+
+// quantile returns the q-th linear-interpolation quantile of sorted s.
+func quantile(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
 	}
-	return at(0.50), at(0.95)
+	r := q * float64(len(s)-1)
+	lo := int(math.Floor(r))
+	hi := int(math.Ceil(r))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := r - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
 }
 
 // Metrics is the counter snapshot served at /metricsz.
@@ -79,12 +97,15 @@ type Metrics struct {
 	LatencyP95Ms float64 `json:"latency_p95_ms"`
 
 	// TraceCache reports the process-wide frame-trace cache (hits,
-	// misses, coalesced synthesis, evicted bytes, budget); Stages splits
-	// accumulated experiment time into synthesis, offline replay, and
-	// timing simulation. Both are process-global, not per-engine: every
-	// engine in the process shares the one cache.
-	TraceCache tracecache.Stats     `json:"trace_cache"`
-	Stages     harness.StageTimings `json:"stages"`
+	// misses, coalesced synthesis, evicted bytes, budget) — process
+	// global, not per-engine: every engine in the process shares the one
+	// cache. Stages splits THIS engine's accumulated experiment time
+	// into synthesis, offline replay, and timing simulation;
+	// StagesProcess is the process-wide sum over every engine and direct
+	// harness call, so per-engine numbers always account into it.
+	TraceCache    tracecache.Stats     `json:"trace_cache"`
+	Stages        harness.StageTimings `json:"stages"`
+	StagesProcess harness.StageTimings `json:"stages_process"`
 
 	// Durable reports the write-ahead journal and the boot recovery
 	// outcome when -data-dir is set; absent otherwise. Recovery
@@ -106,11 +127,15 @@ type DurableMetrics struct {
 	Recovery recoveryStats `json:"recovery"`
 }
 
-// Metrics snapshots the engine counters.
+// Metrics snapshots the engine counters. The whole snapshot — result
+// cache counters included — is captured under one acquisition of e.mu,
+// so a scrape racing a completing job can never pair the job's cache
+// insert with pre-completion engine counters (the cache has its own
+// lock and never takes e.mu, so the nested acquisition cannot cycle).
 func (e *Engine) Metrics() Metrics {
-	hits, misses, evictions := e.cache.counters()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	hits, misses, evictions := e.cache.counters()
 	p50, p95 := e.lat.percentiles()
 	var durableMetrics *DurableMetrics
 	if e.store != nil {
@@ -163,8 +188,9 @@ func (e *Engine) Metrics() Metrics {
 		LatencyP50Ms:   p50,
 		LatencyP95Ms:   p95,
 
-		TraceCache: harness.SharedTraceCache().Stats(),
-		Stages:     harness.Timings(),
-		Durable:    durableMetrics,
+		TraceCache:    harness.SharedTraceCache().Stats(),
+		Stages:        e.stages.Timings(),
+		StagesProcess: harness.Timings(),
+		Durable:       durableMetrics,
 	}
 }

@@ -1,0 +1,79 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileInterpolates pins the linear-interpolation quantiles on a
+// known distribution. The old truncating rank (int(q·(n-1))) returned
+// 95 for p95 of 1..100; the interpolated value is 95.05.
+func TestQuantileInterpolates(t *testing.T) {
+	s := make([]float64, 100)
+	for i := range s {
+		s[i] = float64(i + 1)
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1},
+		{0.50, 50.5},
+		{0.95, 95.05},
+		{0.99, 99.01},
+		{1, 100},
+	}
+	for _, c := range cases {
+		if got := quantile(s, c.q); !approxEqual(got, c.want) {
+			t.Errorf("quantile(1..100, %g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(empty) = %g, want 0", got)
+	}
+	if got := quantile([]float64{7}, 0.95); got != 7 {
+		t.Errorf("quantile(single, .95) = %g, want 7", got)
+	}
+	if got := quantile([]float64{1, 2}, 0.5); !approxEqual(got, 1.5) {
+		t.Errorf("quantile([1 2], .5) = %g, want 1.5", got)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	var l latencies
+	p50, p95 := l.percentiles()
+	if p50 != 0 || p95 != 0 {
+		t.Errorf("empty window percentiles = %g/%g, want 0/0", p50, p95)
+	}
+	for i := 1; i <= 100; i++ {
+		l.record(time.Duration(i) * time.Millisecond)
+	}
+	p50, p95 = l.percentiles()
+	if !approxEqual(p50, 50.5) || !approxEqual(p95, 95.05) {
+		t.Errorf("percentiles over 1..100ms = %g/%g, want 50.5/95.05", p50, p95)
+	}
+}
+
+// TestLatencyWindowSlides checks the ring keeps only the newest
+// latencySamples durations: after overwriting with a constant, the old
+// values no longer influence the quantiles.
+func TestLatencyWindowSlides(t *testing.T) {
+	var l latencies
+	for i := 0; i < latencySamples; i++ {
+		l.record(time.Second) // 1000ms, will be fully overwritten
+	}
+	for i := 0; i < latencySamples; i++ {
+		l.record(time.Millisecond)
+	}
+	p50, p95 := l.percentiles()
+	if p50 != 1 || p95 != 1 {
+		t.Errorf("percentiles after overwrite = %g/%g, want 1/1", p50, p95)
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

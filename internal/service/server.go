@@ -8,17 +8,23 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"gspc/internal/telemetry"
 )
 
 // Server is the HTTP face of an Engine. Routes:
 //
-//	GET  /healthz          liveness: the process is up and serving
-//	GET  /readyz           readiness: the engine should receive new work
-//	GET  /metricsz         Metrics snapshot
-//	GET  /v1/experiments   runnable experiment ids and titles
-//	POST /v1/runs          run (or replay) an experiment; ?wait=0 queues,
-//	                       ?timeout_ms=N caps the run's deadline
-//	GET  /v1/runs/{id}     job status and, when done, its result
+//	GET  /healthz            liveness: the process is up and serving
+//	GET  /readyz             readiness: the engine should receive new work
+//	GET  /metricsz           Metrics snapshot (JSON)
+//	GET  /metrics            Prometheus text exposition
+//	GET  /debugz             flight recorder: recent job lifecycle events
+//	GET  /versionz           build identification
+//	GET  /v1/experiments     runnable experiment ids and titles
+//	POST /v1/runs            run (or replay) an experiment; ?wait=0 queues,
+//	                         ?timeout_ms=N caps the run's deadline
+//	GET  /v1/runs/{id}       job status and, when done, its result
+//	GET  /v1/runs/{id}/trace Chrome/Perfetto trace-event JSON of the run
 //
 // Successful POST bodies are the exact cached result bytes; serving
 // metadata (cache disposition, run id, duration) travels in X-Gspc-*
@@ -34,9 +40,13 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handleProm)
+	s.mux.HandleFunc("GET /debugz", s.handleDebug)
+	s.mux.HandleFunc("GET /versionz", s.handleVersion)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRunStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	return s
 }
 
@@ -86,6 +96,43 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.engine.Metrics())
+}
+
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	w.Write(s.engine.PromExposition())
+}
+
+// handleDebug serves the flight recorder: the last N job lifecycle
+// events, newest first, plus how many were ever recorded.
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	events, total := s.engine.FlightEvents()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total_events": total,
+		"events":       events,
+	})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, telemetry.BuildInfo())
+}
+
+// handleRunTrace serves a run's spans as Chrome trace-event JSON,
+// loadable in ui.perfetto.dev or chrome://tracing. 404 distinguishes an
+// unknown id from a known-but-untraced run only by message.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	b, ok := s.engine.TraceJSON(id)
+	if !ok {
+		if _, known := s.engine.JobStatus(id); known {
+			writeError(w, http.StatusNotFound, "run was not traced (sampled out by -trace-every, or trace pruned)")
+		} else {
+			writeError(w, http.StatusNotFound, "unknown run id")
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {

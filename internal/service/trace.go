@@ -1,0 +1,109 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+
+	"gspc/internal/telemetry"
+)
+
+// This file serves per-run traces: exporting a job's span Run as a
+// Chrome/Perfetto trace-event document, retaining it on disk alongside
+// the durable result when -data-dir is set, and pruning trace files in
+// step with job retention.
+
+// exportTrace renders a job's trace document. Callers hold e.mu (the
+// Run itself is concurrency-safe; the job fields read here are not).
+func (e *Engine) exportTraceLocked(job *Job) *telemetry.TraceDoc {
+	return job.run.Export(map[string]string{
+		"run_id":     job.ID,
+		"experiment": job.Req.Experiment,
+		"status":     string(job.status),
+	})
+}
+
+// TraceJSON returns the Chrome trace-event JSON for a run id. Live and
+// retained jobs export straight from memory; jobs that survive only as
+// trace files on disk (recovered after a restart, or pruned from the
+// retention window) are served from the file. ok is false when the run
+// was never traced or the trace is gone.
+func (e *Engine) TraceJSON(id string) ([]byte, bool) {
+	e.mu.Lock()
+	job, tracked := e.jobs[id]
+	var doc *telemetry.TraceDoc
+	if tracked && job.run != nil {
+		doc = e.exportTraceLocked(job)
+	}
+	e.mu.Unlock()
+	if doc != nil {
+		return doc.JSON(), true
+	}
+	if p := e.tracePath(id); p != "" {
+		if b, err := os.ReadFile(p); err == nil {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// tracePath is the on-disk location of a run's trace, or "" when the
+// engine is not durable.
+func (e *Engine) tracePath(id string) string {
+	if e.cfg.DataDir == "" || !validRunID(id) {
+		return ""
+	}
+	return filepath.Join(e.cfg.DataDir, "traces", id+".json")
+}
+
+// validRunID guards the file path against ids that did not come from
+// this engine's "run-%06d" minting (defense in depth for the HTTP
+// layer, which already pattern-matches the route).
+func validRunID(id string) bool {
+	if id == "" {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// persistTraceLocked writes a finished job's trace beside the durable
+// journal, so GET /v1/runs/{id}/trace survives restarts exactly like
+// the result itself. Best-effort: a failed write degrades (logged) —
+// the journal, not the trace, is the durability contract. Callers hold
+// e.mu; the write is small (bounded by TraceMaxSpans) and sits on the
+// same already-accepted journal-under-lock path.
+func (e *Engine) persistTraceLocked(job *Job) {
+	if job.run == nil {
+		return
+	}
+	p := e.tracePath(job.ID)
+	if p == "" {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		e.cfg.Logger.Warn("trace retention failed", "run_id", job.ID, "err", err)
+		return
+	}
+	if err := os.WriteFile(p, e.exportTraceLocked(job).JSON(), 0o644); err != nil {
+		e.cfg.Logger.Warn("trace retention failed", "run_id", job.ID, "err", err)
+	}
+}
+
+// removeTrace deletes a pruned job's trace file, best-effort.
+func (e *Engine) removeTrace(id string) {
+	if p := e.tracePath(id); p != "" {
+		os.Remove(p)
+	}
+}
+
+// FlightEvents returns the flight recorder's retained job-lifecycle
+// events, newest first, and the total ever recorded (served at /debugz).
+func (e *Engine) FlightEvents() ([]telemetry.Event, int64) {
+	return e.flight.Events(), e.flight.Total()
+}

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Build identifies the running binary: module version, VCS revision,
+// and toolchain. Served at /versionz and by gspcd -version.
+type Build struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	VCSTime   string `json:"vcs_time,omitempty"`
+	Dirty     bool   `json:"vcs_dirty,omitempty"`
+}
+
+// BuildInfo reads the binary's embedded build information. Fields
+// absent from the build (e.g. a non-VCS build) stay empty; Version
+// falls back to "(devel)" semantics exactly as the toolchain stamps it.
+func BuildInfo() Build {
+	b := Build{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.VCSTime = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}

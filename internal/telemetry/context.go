@@ -1,0 +1,30 @@
+package telemetry
+
+import "context"
+
+// ctxKey keys the *Run carried through a traced request's context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying run. A nil run returns ctx unchanged,
+// so callers can thread unconditionally.
+func NewContext(ctx context.Context, run *Run) context.Context {
+	if run == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, run)
+}
+
+// FromContext returns the run carried by ctx, or nil when the request
+// is untraced. The nil return composes with the nil-safe Run methods:
+// FromContext(ctx).Start(...) is always valid.
+func FromContext(ctx context.Context) *Run {
+	run, _ := ctx.Value(ctxKey{}).(*Run)
+	return run
+}
+
+// StartFrom opens a span on the context's run — the one-line form used
+// by instrumentation sites deep in the stack. Returns nil (a no-op
+// span) when the context is untraced.
+func StartFrom(ctx context.Context, name, cat string, attrs ...Attr) *Span {
+	return FromContext(ctx).Start(name, cat, attrs...)
+}

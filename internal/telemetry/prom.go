@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is a minimal, dependency-free implementation of the
+// Prometheus text exposition format (version 0.0.4): concurrent
+// histogram and labeled-counter primitives plus a writer that renders
+// metric families with HELP/TYPE headers. It implements exactly the
+// subset the server needs — no client_golang, per the repo's
+// no-new-dependencies rule.
+
+// Histogram is a concurrent fixed-bucket histogram. Observations are
+// lock-free: one atomic add on the bucket, the count, and a CAS loop
+// folding the value into the float sum.
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf is implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. The +Inf bucket is implicit.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough view for exposition:
+// cumulative per-bucket counts (the +Inf bucket last), the total count,
+// and the sum of observed values.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds; Counts has one extra entry for +Inf
+	Counts []int64   // cumulative
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot captures the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Bounds: h.bounds, Counts: make([]int64, len(h.buckets))}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		s.Counts[i] = cum
+	}
+	// The +Inf cumulative count is the authoritative total: scrapes racing
+	// observations must stay internally monotone.
+	s.Count = s.Counts[len(s.Counts)-1]
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+// CounterVec is a set of monotonic counters keyed by one label value —
+// e.g. LLC hits by stream kind. Lookups take a read lock; the common
+// path (label already present) never writes the map.
+type CounterVec struct {
+	mu sync.RWMutex
+	m  map[string]*atomic.Int64
+}
+
+// NewCounterVec builds an empty vector.
+func NewCounterVec() *CounterVec { return &CounterVec{m: map[string]*atomic.Int64{}} }
+
+// Add increments the counter for the label value.
+func (c *CounterVec) Add(label string, n int64) {
+	c.mu.RLock()
+	ctr := c.m[label]
+	c.mu.RUnlock()
+	if ctr == nil {
+		c.mu.Lock()
+		if ctr = c.m[label]; ctr == nil {
+			ctr = &atomic.Int64{}
+			c.m[label] = ctr
+		}
+		c.mu.Unlock()
+	}
+	ctr.Add(n)
+}
+
+// Snapshot returns the current values by label.
+func (c *CounterVec) Snapshot() map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v.Load()
+	}
+	return out
+}
+
+// Exposition accumulates Prometheus text-format output. Families must
+// be written as a unit (header then every series), which the methods
+// enforce by construction.
+type Exposition struct {
+	b bytes.Buffer
+}
+
+// ContentType is the exposition format content type for HTTP responses.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (e *Exposition) header(name, typ, help string) {
+	fmt.Fprintf(&e.b, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&e.b, "# TYPE %s %s\n", name, typ)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+// Counter writes a single-series counter family.
+func (e *Exposition) Counter(name, help string, v float64) {
+	e.header(name, "counter", help)
+	fmt.Fprintf(&e.b, "%s %s\n", name, formatValue(v))
+}
+
+// Gauge writes a single-series gauge family.
+func (e *Exposition) Gauge(name, help string, v float64) {
+	e.header(name, "gauge", help)
+	fmt.Fprintf(&e.b, "%s %s\n", name, formatValue(v))
+}
+
+// CounterVec writes a counter family with one series per label value,
+// sorted for a deterministic exposition.
+func (e *Exposition) CounterVec(name, help, label string, vals map[string]int64) {
+	e.vec(name, "counter", help, label, vals)
+}
+
+// GaugeVec writes a gauge family with one series per label value.
+func (e *Exposition) GaugeVec(name, help, label string, vals map[string]int64) {
+	e.vec(name, "gauge", help, label, vals)
+}
+
+func (e *Exposition) vec(name, typ, help, label string, vals map[string]int64) {
+	e.header(name, typ, help)
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&e.b, "%s{%s=\"%s\"} %d\n", name, label, escapeLabel(k), vals[k])
+	}
+}
+
+// Histogram writes a histogram family: cumulative _bucket series with
+// le labels (ending at +Inf), then _sum and _count.
+func (e *Exposition) Histogram(name, help string, s HistogramSnapshot) {
+	e.header(name, "histogram", help)
+	for i, c := range s.Counts {
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatValue(s.Bounds[i])
+		}
+		fmt.Fprintf(&e.b, "%s_bucket{le=%q} %d\n", name, le, c)
+	}
+	fmt.Fprintf(&e.b, "%s_sum %s\n", name, formatValue(s.Sum))
+	fmt.Fprintf(&e.b, "%s_count %d\n", name, s.Count)
+}
+
+// Bytes returns the accumulated exposition.
+func (e *Exposition) Bytes() []byte { return e.b.Bytes() }

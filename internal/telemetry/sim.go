@@ -1,0 +1,62 @@
+package telemetry
+
+import "sync/atomic"
+
+// Process-global simulator-domain counters, fed by the harness and the
+// GPU timing model and exposed as Prometheus series by gspcd. These are
+// the per-stream quantities the paper's argument rests on (Fig. 4's
+// stream mix, per-stream LLC hit rates, DRAM row behavior), accumulated
+// once per completed frame replay or timing simulation — never inside
+// the per-access loops.
+var (
+	llcStreamAccesses = NewCounterVec()
+	llcStreamHits     = NewCounterVec()
+
+	dramReads, dramWrites                       atomic.Int64
+	dramRowHits, dramRowMisses, dramRowConflict atomic.Int64
+)
+
+// RecordLLCStream folds one replay's per-stream access and hit counts
+// into the process totals. The label is the stream kind name
+// ("texture", "rt", "z", ...).
+func RecordLLCStream(stream string, accesses, hits int64) {
+	if accesses == 0 && hits == 0 {
+		return
+	}
+	llcStreamAccesses.Add(stream, accesses)
+	llcStreamHits.Add(stream, hits)
+}
+
+// RecordDRAM folds one timing simulation's DRAM request outcomes into
+// the process totals.
+func RecordDRAM(reads, writes, rowHits, rowMisses, rowConflicts int64) {
+	dramReads.Add(reads)
+	dramWrites.Add(writes)
+	dramRowHits.Add(rowHits)
+	dramRowMisses.Add(rowMisses)
+	dramRowConflict.Add(rowConflicts)
+}
+
+// SimStats is a snapshot of the simulator-domain counters.
+type SimStats struct {
+	LLCStreamAccesses map[string]int64 `json:"llc_stream_accesses"`
+	LLCStreamHits     map[string]int64 `json:"llc_stream_hits"`
+	DRAMReads         int64            `json:"dram_reads"`
+	DRAMWrites        int64            `json:"dram_writes"`
+	DRAMRowHits       int64            `json:"dram_row_hits"`
+	DRAMRowMisses     int64            `json:"dram_row_misses"`
+	DRAMRowConflicts  int64            `json:"dram_row_conflicts"`
+}
+
+// Sim snapshots the process-global simulator-domain counters.
+func Sim() SimStats {
+	return SimStats{
+		LLCStreamAccesses: llcStreamAccesses.Snapshot(),
+		LLCStreamHits:     llcStreamHits.Snapshot(),
+		DRAMReads:         dramReads.Load(),
+		DRAMWrites:        dramWrites.Load(),
+		DRAMRowHits:       dramRowHits.Load(),
+		DRAMRowMisses:     dramRowMisses.Load(),
+		DRAMRowConflicts:  dramRowConflict.Load(),
+	}
+}

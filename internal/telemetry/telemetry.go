@@ -1,0 +1,194 @@
+// Package telemetry is the dependency-free observability layer of the
+// serving stack: per-run span tracing exported as Chrome/Perfetto
+// trace-event JSON, hand-rolled Prometheus primitives (counters,
+// gauges, histograms and a text-exposition writer), process-global
+// simulator-domain counters, a fixed-size flight recorder of recent
+// lifecycle events, and build identification.
+//
+// The package deliberately has no dependencies beyond the standard
+// library, and every recording entry point is nil-safe and cheap: a
+// span on an untraced run is two nil checks, a recorded span is one
+// atomic slot reservation plus a struct store. The hot simulation
+// loops (tens of millions of accesses per frame) are never touched —
+// spans wrap frames, policy replays, and timing simulations, not
+// individual accesses.
+package telemetry
+
+import (
+	"math/rand"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are strings so the
+// record is trivially serializable to the trace-event "args" object.
+type Attr struct {
+	Key, Val string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Val: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Val: strconv.FormatInt(v, 10)} }
+
+// SpanRecord is one completed span: a named interval within a Run,
+// positioned relative to the run's anchor time.
+type SpanRecord struct {
+	Name  string
+	Cat   string
+	Start time.Duration // offset from the run anchor
+	Dur   time.Duration
+	Attrs []Attr
+}
+
+// Run records the spans of one traced job. All methods are safe for
+// concurrent use and nil-safe: every recording call on a nil *Run is a
+// no-op, so untraced work pays only the nil check.
+//
+// Storage is a fixed array of slots. A finished span reserves a slot
+// with one atomic increment and publishes it with an atomic flag; spans
+// beyond the capacity are counted as dropped rather than reallocating —
+// a run can never grow without bound however long it executes.
+type Run struct {
+	// TraceID identifies the run across logs, job status, and the
+	// exported trace.
+	TraceID string
+
+	anchor  time.Time
+	slots   []SpanRecord
+	filled  []atomic.Bool
+	next    atomic.Int64
+	dropped atomic.Int64
+}
+
+// DefaultMaxSpans bounds a run's span storage when NewRun is given a
+// non-positive capacity: enough for the full 52-frame suite replaying
+// every policy with headroom.
+const DefaultMaxSpans = 8192
+
+// NewRun starts a trace anchored at now, holding at most maxSpans spans
+// (<= 0 selects DefaultMaxSpans).
+func NewRun(traceID string, maxSpans int) *Run {
+	if maxSpans <= 0 {
+		maxSpans = DefaultMaxSpans
+	}
+	return &Run{
+		TraceID: traceID,
+		anchor:  time.Now(),
+		slots:   make([]SpanRecord, maxSpans),
+		filled:  make([]atomic.Bool, maxSpans),
+	}
+}
+
+// NewTraceID mints a random 64-bit trace id in hex. Collisions across a
+// process lifetime are harmless (trace ids are correlation hints, not
+// keys), so math/rand is sufficient and keeps the package
+// dependency-free.
+func NewTraceID() string {
+	return strconv.FormatUint(rand.Uint64()|1<<63, 16)
+}
+
+// Span is an open interval; End completes and records it. A nil *Span
+// (from a nil Run) ends as a no-op.
+type Span struct {
+	run   *Run
+	name  string
+	cat   string
+	start time.Time
+	attrs []Attr
+}
+
+// Start opens a span. The returned span must be completed with End;
+// until then nothing is published.
+func (r *Run) Start(name, cat string, attrs ...Attr) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{run: r, name: name, cat: cat, start: time.Now(), attrs: attrs}
+}
+
+// Record stores an already-measured interval, e.g. queue wait computed
+// from timestamps the engine tracked anyway.
+func (r *Run) Record(name, cat string, start, end time.Time, attrs ...Attr) {
+	if r == nil {
+		return
+	}
+	r.publish(SpanRecord{Name: name, Cat: cat, Start: start.Sub(r.anchor), Dur: end.Sub(start), Attrs: attrs})
+}
+
+// Attr appends an annotation to an open span — useful when the value
+// (an outcome, a count) is only known after Start. No-op on nil.
+func (s *Span) Attr(a ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, a...)
+	return s
+}
+
+// End completes the span and publishes it to the run.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.run.publish(SpanRecord{
+		Name:  s.name,
+		Cat:   s.cat,
+		Start: s.start.Sub(s.run.anchor),
+		Dur:   time.Since(s.start),
+		Attrs: s.attrs,
+	})
+}
+
+// publish reserves a slot and stores the record. Slots are written
+// exactly once and flagged filled afterward, so Snapshot can read
+// concurrently without tearing a half-written record.
+func (r *Run) publish(rec SpanRecord) {
+	i := r.next.Add(1) - 1
+	if int(i) >= len(r.slots) {
+		r.dropped.Add(1)
+		return
+	}
+	r.slots[i] = rec
+	r.filled[i].Store(true)
+}
+
+// Dropped reports how many spans were discarded because the run's slot
+// capacity was exhausted.
+func (r *Run) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// Anchor returns the run's time origin (span Start offsets are relative
+// to it).
+func (r *Run) Anchor() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.anchor
+}
+
+// Snapshot returns the published spans in reservation order. Concurrent
+// publishes may still be in flight; only fully-written slots are
+// returned, so a scrape during a run sees a consistent prefix-ish view.
+func (r *Run) Snapshot() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	n := r.next.Load()
+	if int64(len(r.slots)) < n {
+		n = int64(len(r.slots))
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := int64(0); i < n; i++ {
+		if r.filled[i].Load() {
+			out = append(out, r.slots[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunRecordsSpans(t *testing.T) {
+	r := NewRun("abc123", 16)
+	sp := r.Start("frame", "harness", String("job", "fig12"))
+	sp.Attr(Int("accesses", 42))
+	sp.End()
+	r.Record("queue-wait", "engine", r.Anchor(), r.Anchor().Add(5*time.Millisecond))
+
+	spans := r.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("snapshot has %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "frame" || spans[0].Cat != "harness" {
+		t.Errorf("span 0 = %q/%q, want frame/harness", spans[0].Name, spans[0].Cat)
+	}
+	want := []Attr{{"job", "fig12"}, {"accesses", "42"}}
+	if len(spans[0].Attrs) != 2 || spans[0].Attrs[0] != want[0] || spans[0].Attrs[1] != want[1] {
+		t.Errorf("span 0 attrs = %v, want %v", spans[0].Attrs, want)
+	}
+	if spans[1].Dur != 5*time.Millisecond {
+		t.Errorf("recorded span duration = %s, want 5ms", spans[1].Dur)
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", r.Dropped())
+	}
+}
+
+func TestRunDropsBeyondCapacity(t *testing.T) {
+	r := NewRun("x", 4)
+	for i := 0; i < 10; i++ {
+		r.Record("s", "c", r.Anchor(), r.Anchor())
+	}
+	if got := len(r.Snapshot()); got != 4 {
+		t.Errorf("snapshot has %d spans, want 4 (capacity)", got)
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestNilRunIsNoOp(t *testing.T) {
+	var r *Run
+	// None of these may panic.
+	r.Start("a", "b").Attr(String("k", "v")).End()
+	r.Record("a", "b", time.Now(), time.Now())
+	if r.Snapshot() != nil || r.Dropped() != 0 {
+		t.Error("nil run reported state")
+	}
+	ctx := NewContext(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Error("nil run round-tripped through context as non-nil")
+	}
+	StartFrom(ctx, "a", "b").End()
+}
+
+func TestContextCarriesRun(t *testing.T) {
+	r := NewRun("deadbeef", 8)
+	ctx := NewContext(context.Background(), r)
+	if FromContext(ctx) != r {
+		t.Fatal("run not carried by context")
+	}
+	StartFrom(ctx, "inner", "cat").End()
+	if got := len(r.Snapshot()); got != 1 {
+		t.Errorf("StartFrom recorded %d spans, want 1", got)
+	}
+}
+
+func TestConcurrentPublish(t *testing.T) {
+	r := NewRun("race", 1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record("s", "c", r.Anchor(), r.Anchor().Add(time.Microsecond))
+				r.Snapshot() // concurrent reads must be safe
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Snapshot()); got != 800 {
+		t.Errorf("snapshot has %d spans, want 800", got)
+	}
+}
+
+// TestExportGolden pins the trace-event document for a fixed set of
+// recorded spans: schema fields, microsecond timestamps, lane layout,
+// and metadata.
+func TestExportGolden(t *testing.T) {
+	r := NewRun("feedface", 16)
+	a := r.Anchor()
+	// A 10ms parent with two sequential children, plus one concurrent
+	// span overlapping (but not nesting in) the parent's tail.
+	r.Record("attempt-0", "engine", a, a.Add(10*time.Millisecond))
+	r.Record("frame", "harness", a.Add(1*time.Millisecond), a.Add(4*time.Millisecond))
+	r.Record("frame", "harness", a.Add(5*time.Millisecond), a.Add(9*time.Millisecond))
+	r.Record("overlap", "other", a.Add(8*time.Millisecond), a.Add(12*time.Millisecond),
+		String("k", "v"))
+
+	doc := r.Export(map[string]string{"run_id": "r-1"})
+	b := doc.JSON()
+
+	var parsed struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(b, &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", parsed.DisplayTimeUnit)
+	}
+	if parsed.OtherData["trace_id"] != "feedface" || parsed.OtherData["run_id"] != "r-1" {
+		t.Errorf("otherData = %v, want trace_id and run_id", parsed.OtherData)
+	}
+	if len(parsed.TraceEvents) != 4 {
+		t.Fatalf("%d events, want 4", len(parsed.TraceEvents))
+	}
+	// Sorted by start: attempt-0 first.
+	ev := parsed.TraceEvents[0]
+	if ev.Name != "attempt-0" || ev.Ph != "X" || ev.TS != 0 || ev.Dur != 10000 || ev.TID != 0 {
+		t.Errorf("event 0 = %+v, want attempt-0 X ts=0 dur=10000 tid=0", ev)
+	}
+	// Children nest in the parent's lane.
+	for _, i := range []int{1, 2} {
+		if parsed.TraceEvents[i].Name != "frame" || parsed.TraceEvents[i].TID != 0 {
+			t.Errorf("event %d = %+v, want nested frame on lane 0", i, parsed.TraceEvents[i])
+		}
+	}
+	// The overlapping span is pushed to a second lane.
+	ev = parsed.TraceEvents[3]
+	if ev.Name != "overlap" || ev.TID != 1 {
+		t.Errorf("event 3 = %+v, want overlap on lane 1", ev)
+	}
+	if ev.Args["k"] != "v" {
+		t.Errorf("event 3 args = %v, want k=v", ev.Args)
+	}
+}
+
+func TestExportReportsDroppedSpans(t *testing.T) {
+	r := NewRun("d", 1)
+	r.Record("a", "c", r.Anchor(), r.Anchor())
+	r.Record("b", "c", r.Anchor(), r.Anchor())
+	doc := r.Export(nil)
+	if doc.OtherData["dropped_spans"] != "1" {
+		t.Errorf("dropped_spans = %q, want 1", doc.OtherData["dropped_spans"])
+	}
+}
+
+func TestAssignLanesDisjointShareLane(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	spans := []SpanRecord{
+		{Start: ms(0), Dur: ms(2)},
+		{Start: ms(3), Dur: ms(2)}, // disjoint: same lane
+		{Start: ms(4), Dur: ms(4)}, // overlaps previous: new lane
+	}
+	lanes := assignLanes(spans)
+	if lanes[0] != 0 || lanes[1] != 0 || lanes[2] != 1 {
+		t.Errorf("lanes = %v, want [0 0 1]", lanes)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	wantCum := []int64{1, 3, 4, 5} // le=0.1, 1, 10, +Inf
+	for i, w := range wantCum {
+		if s.Counts[i] != w {
+			t.Errorf("cumulative bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if got, want := s.Sum, 56.05; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramBoundaryGoesInBucket(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(1) // exactly on a bound: le="1" includes it
+	if s := h.Snapshot(); s.Counts[0] != 1 {
+		t.Errorf("le=1 bucket = %d, want 1 (bound is inclusive)", s.Counts[0])
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	c := NewCounterVec()
+	c.Add("texture", 10)
+	c.Add("rt", 3)
+	c.Add("texture", 5)
+	got := c.Snapshot()
+	if got["texture"] != 15 || got["rt"] != 3 {
+		t.Errorf("snapshot = %v, want texture=15 rt=3", got)
+	}
+}
+
+// TestExpositionGolden pins the rendered text format byte-for-byte.
+func TestExpositionGolden(t *testing.T) {
+	var e Exposition
+	e.Counter("gspc_requests_total", "Requests received.", 42)
+	e.Gauge("gspc_queue_depth", "Jobs queued.", 3)
+	e.CounterVec("gspc_llc_stream_hits_total", "LLC hits by stream.", "stream",
+		map[string]int64{"texture": 7, "rt": 2})
+	h := NewHistogram(0.5, 1)
+	h.Observe(0.25)
+	h.Observe(2)
+	e.Histogram("gspc_job_duration_seconds", "Job wall time.", h.Snapshot())
+
+	want := strings.Join([]string{
+		"# HELP gspc_requests_total Requests received.",
+		"# TYPE gspc_requests_total counter",
+		"gspc_requests_total 42",
+		"# HELP gspc_queue_depth Jobs queued.",
+		"# TYPE gspc_queue_depth gauge",
+		"gspc_queue_depth 3",
+		"# HELP gspc_llc_stream_hits_total LLC hits by stream.",
+		"# TYPE gspc_llc_stream_hits_total counter",
+		`gspc_llc_stream_hits_total{stream="rt"} 2`,
+		`gspc_llc_stream_hits_total{stream="texture"} 7`,
+		"# HELP gspc_job_duration_seconds Job wall time.",
+		"# TYPE gspc_job_duration_seconds histogram",
+		`gspc_job_duration_seconds_bucket{le="0.5"} 1`,
+		`gspc_job_duration_seconds_bucket{le="1"} 1`,
+		`gspc_job_duration_seconds_bucket{le="+Inf"} 2`,
+		"gspc_job_duration_seconds_sum 2.25",
+		"gspc_job_duration_seconds_count 2",
+		"",
+	}, "\n")
+	if got := string(e.Bytes()); got != want {
+		t.Errorf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	var e Exposition
+	e.CounterVec("m", "line1\nline2 back\\slash", "l", map[string]int64{"a\"b\nc\\d": 1})
+	got := string(e.Bytes())
+	if !strings.Contains(got, `# HELP m line1\nline2 back\\slash`) {
+		t.Errorf("HELP not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, `m{l="a\"b\nc\\d"} 1`) {
+		t.Errorf("label value not escaped:\n%s", got)
+	}
+}
+
+func TestFlightRingWraps(t *testing.T) {
+	f := NewFlight(3)
+	for i, typ := range []string{"a", "b", "c", "d", "e"} {
+		f.Add(Event{Type: typ, RunID: string(rune('0' + i))})
+	}
+	ev := f.Events()
+	if len(ev) != 3 {
+		t.Fatalf("%d events retained, want 3", len(ev))
+	}
+	// Newest first: e, d, c.
+	for i, want := range []string{"e", "d", "c"} {
+		if ev[i].Type != want {
+			t.Errorf("event %d = %q, want %q", i, ev[i].Type, want)
+		}
+	}
+	if f.Total() != 5 {
+		t.Errorf("total = %d, want 5", f.Total())
+	}
+	if ev[0].Time.IsZero() {
+		t.Error("event time was not stamped")
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	f.Add(Event{Type: "x"})
+	if f.Events() != nil || f.Total() != 0 {
+		t.Error("nil flight reported state")
+	}
+}
+
+func TestBuildInfoSmoke(t *testing.T) {
+	b := BuildInfo()
+	if b.GoVersion == "" {
+		t.Error("go version empty")
+	}
+	// Under `go test` the main module is the repo module.
+	if b.Module != "gspc" {
+		t.Errorf("module = %q, want gspc", b.Module)
+	}
+}
+
+func TestNewTraceIDFormat(t *testing.T) {
+	id := NewTraceID()
+	if len(id) != 16 {
+		t.Errorf("trace id %q has length %d, want 16 hex chars", id, len(id))
+	}
+	for _, c := range id {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Errorf("trace id %q contains non-hex %q", id, c)
+		}
+	}
+	if NewTraceID() == id {
+		t.Error("two trace ids collided immediately")
+	}
+}
+
+func TestSimCounters(t *testing.T) {
+	before := Sim()
+	RecordLLCStream("texture", 100, 60)
+	RecordDRAM(10, 5, 7, 2, 1)
+	after := Sim()
+	if d := after.LLCStreamAccesses["texture"] - before.LLCStreamAccesses["texture"]; d != 100 {
+		t.Errorf("texture accesses delta = %d, want 100", d)
+	}
+	if d := after.LLCStreamHits["texture"] - before.LLCStreamHits["texture"]; d != 60 {
+		t.Errorf("texture hits delta = %d, want 60", d)
+	}
+	if d := after.DRAMRowHits - before.DRAMRowHits; d != 7 {
+		t.Errorf("row hits delta = %d, want 7", d)
+	}
+}

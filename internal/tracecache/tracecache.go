@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"gspc/internal/stream"
+	"gspc/internal/telemetry"
 )
 
 // Key identifies one synthesized frame trace.
@@ -117,8 +118,10 @@ func (c *Cache) SetBudget(budgetBytes int64) {
 //
 // The returned trace is shared and must be treated as read-only.
 func (c *Cache) Get(ctx context.Context, k Key, synth func(ctx context.Context) (*stream.Trace, error)) (*stream.Trace, error) {
+	sp := telemetry.StartFrom(ctx, k.Job, "trace-cache")
 	for {
 		if err := ctx.Err(); err != nil {
+			sp.Attr(telemetry.String("outcome", "cancelled")).End()
 			return nil, err
 		}
 		c.mu.Lock()
@@ -126,6 +129,7 @@ func (c *Cache) Get(ctx context.Context, k Key, synth func(ctx context.Context) 
 			c.lru.MoveToFront(e.elem)
 			c.hits++
 			c.mu.Unlock()
+			sp.Attr(telemetry.String("outcome", "hit")).End()
 			return e.trace, nil
 		}
 		if cl, ok := c.inflight[k]; ok {
@@ -134,9 +138,11 @@ func (c *Cache) Get(ctx context.Context, k Key, synth func(ctx context.Context) 
 			select {
 			case <-cl.done:
 			case <-ctx.Done():
+				sp.Attr(telemetry.String("outcome", "cancelled")).End()
 				return nil, ctx.Err()
 			}
 			if cl.err == nil {
+				sp.Attr(telemetry.String("outcome", "coalesced")).End()
 				return cl.trace, nil
 			}
 			// The synthesizer failed — usually its context died mid-flight.
@@ -148,7 +154,9 @@ func (c *Cache) Get(ctx context.Context, k Key, synth func(ctx context.Context) 
 		c.inflight[k] = cl
 		c.misses++
 		c.mu.Unlock()
-		return c.synthesize(ctx, k, cl, synth)
+		tr, err := c.synthesize(ctx, k, cl, synth)
+		sp.Attr(telemetry.String("outcome", "miss")).End()
+		return tr, err
 	}
 }
 
