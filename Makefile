@@ -2,7 +2,11 @@
 
 GO ?= go
 
-# Benchmarks captured by `make bench` into BENCH_PR3.json. Fig1 runs
+# PR stamps the bench capture file: `make bench PR=7` writes
+# BENCH_PR7.json (also settable via the PR environment variable).
+PR ?= 6
+
+# Benchmarks captured by `make bench` into BENCH_PR$(PR).json. Fig1 runs
 # first so the figure benches that follow measure the warm-trace-cache
 # path (the deployment steady state); the micro benches isolate the
 # synthesis, replay, and cache-lookup stages.
@@ -24,5 +28,5 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCHES)' -benchtime 3x . \
 		| tee /dev/stderr \
-		| $(GO) run ./cmd/benchjson -label "$(shell git rev-parse --short HEAD 2>/dev/null)" \
-		> BENCH_PR3.json
+		| $(GO) run ./cmd/benchjson -pr $(PR) -label "$(shell git rev-parse --short HEAD 2>/dev/null)" \
+		> BENCH_PR$(PR).json

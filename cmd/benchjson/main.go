@@ -1,10 +1,10 @@
 // Command benchjson converts `go test -bench` output on stdin into a
 // stable JSON document, so benchmark runs can be checked in and diffed
-// (make bench writes BENCH_PR3.json this way).
+// (`make bench PR=N` writes BENCH_PRN.json this way).
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchtime 3x . | benchjson -label after > BENCH.json
+//	go test -run '^$' -bench . -benchtime 3x . | benchjson -pr 6 -label after > BENCH.json
 //
 // Each benchmark line ("BenchmarkFig12-4  3  1101518978 ns/op  0.90 x")
 // becomes one entry with ns_per_op, iterations, and every extra reported
@@ -29,6 +29,7 @@ type entry struct {
 }
 
 type doc struct {
+	PR         int              `json:"pr,omitempty"`
 	Label      string           `json:"label,omitempty"`
 	Go         string           `json:"go,omitempty"`
 	CPU        string           `json:"cpu,omitempty"`
@@ -37,9 +38,10 @@ type doc struct {
 
 func main() {
 	label := flag.String("label", "", "free-form label recorded in the output (e.g. a commit or 'seed')")
+	pr := flag.Int("pr", 0, "PR number recorded in the output (matches the BENCH_PR<N>.json filename)")
 	flag.Parse()
 
-	out := doc{Label: *label, Benchmarks: map[string]entry{}}
+	out := doc{PR: *pr, Label: *label, Benchmarks: map[string]entry{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {

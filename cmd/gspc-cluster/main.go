@@ -1,0 +1,148 @@
+// Command gspc-cluster fronts N gspcd engines with a sharded
+// coordinator: every run request is consistent-hashed by its canonical
+// cache key onto an owner node, concurrent identical submissions
+// coalesce cluster-wide, fresh results replicate onto ring successors,
+// and health checks route around dead or draining members with minimal
+// key movement.
+//
+// Usage:
+//
+//	gspc-cluster [-addr :8090] [-replication 1] [-vnodes 256]
+//	             [-health-interval 2s] [-health-timeout 1s] [-dead-after 2]
+//	             [-name gspc-cluster] [-log-format text|json] [-version]
+//	             -member gspc-1=http://127.0.0.1:8081
+//	             -member gspc-2=http://127.0.0.2:8082 ...
+//
+// Each -member is "name=url". Names are the ring identities: run ids
+// are qualified with them ("run-000017@gspc-1") and key placement
+// hashes them, so keep names stable across coordinator restarts. A bare
+// URL is also accepted and auto-named by position (member-1, member-2,
+// ...), which is only safe if the member order never changes.
+//
+// The coordinator serves the same client surface as one gspcd (POST
+// /v1/runs, GET /v1/runs/{id}, ...) plus the /v1/cluster admin section;
+// see internal/cluster.Server for the route list.
+//
+// SIGINT/SIGTERM stop health checking and close the listener.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gspc/internal/cluster"
+	"gspc/internal/telemetry"
+)
+
+// memberFlags collects repeated -member values.
+type memberFlags []cluster.MemberSpec
+
+func (m *memberFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, s := range *m {
+		parts[i] = s.Name + "=" + s.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *memberFlags) Set(v string) error {
+	spec := cluster.MemberSpec{}
+	if name, url, ok := strings.Cut(v, "="); ok && !strings.HasPrefix(name, "http") {
+		spec.Name, spec.URL = name, url
+	} else {
+		spec.Name = fmt.Sprintf("member-%d", len(*m)+1)
+		spec.URL = v
+	}
+	spec.URL = strings.TrimSuffix(spec.URL, "/")
+	if spec.URL == "" {
+		return errors.New("member needs a url")
+	}
+	*m = append(*m, spec)
+	return nil
+}
+
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gspc-cluster", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var members memberFlags
+	fs.Var(&members, "member", "member as name=url (repeatable)")
+	addr := fs.String("addr", ":8090", "coordinator listen address")
+	name := fs.String("name", "gspc-cluster", "coordinator name (X-Gspc-Coordinator header)")
+	replication := fs.Int("replication", 1, "ring successors that receive a copy of each fresh result (0 disables)")
+	vnodes := fs.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per member on the hash ring")
+	healthInterval := fs.Duration("health-interval", 2*time.Second, "member health-check period")
+	healthTimeout := fs.Duration("health-timeout", time.Second, "single health-check timeout")
+	deadAfter := fs.Int("dead-after", 2, "consecutive failed health checks before a member is routed around")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
+	version := fs.Bool("version", false, "print build information and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		b := telemetry.BuildInfo()
+		fmt.Printf("gspc-cluster %s %s (%s)\n", b.Module, b.Version, b.GoVersion)
+		return 0
+	}
+	if len(members) == 0 {
+		fmt.Fprintln(stderr, "gspc-cluster: at least one -member required")
+		return 2
+	}
+
+	logger := newLogger(*logFormat)
+	co, err := cluster.New(cluster.Config{
+		Name: *name, Members: members, Vnodes: *vnodes,
+		Replication: *replication, HealthInterval: *healthInterval,
+		HealthTimeout: *healthTimeout, DeadAfter: *deadAfter, Logger: logger,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "gspc-cluster:", err)
+		return 2
+	}
+	co.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: cluster.NewServer(co)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	logger.Info("gspc-cluster listening", "addr", *addr,
+		"members", len(members), "replication", *replication)
+
+	select {
+	case err := <-errc:
+		logger.Error("serve failed", "err", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Warn("http shutdown", "err", err)
+	}
+	co.Close()
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}

@@ -40,6 +40,7 @@ type options struct {
 	traceEvery   int
 	flightEvents int
 	debugAddr    string
+	nodeName     string
 	version      bool
 
 	// explicit records which flags the command line actually set, for
@@ -81,6 +82,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.traceEvery, "trace-every", 1, "span-trace every Nth job (1 = all, -1 disables; GET /v1/runs/{id}/trace)")
 	fs.IntVar(&o.flightEvents, "flight-events", 0, "flight recorder ring size served at /debugz (0 = default 256)")
 	fs.StringVar(&o.debugAddr, "debug-addr", "", "separate listen address for net/http/pprof profiling (empty disables)")
+	fs.StringVar(&o.nodeName, "node-name", "", "cluster member name stamped on every response as X-Gspc-Node (empty disables)")
 	fs.BoolVar(&o.version, "version", false, "print build information and exit")
 
 	if err := fs.Parse(args); err != nil {

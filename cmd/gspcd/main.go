@@ -11,7 +11,7 @@
 //	      [-serve-stale] [-max-work 0] [-expose-stacks]
 //	      [-data-dir DIR] [-fsync=true] [-snapshot-every 256]
 //	      [-log-format text|json] [-trace-every 1] [-flight-events 256]
-//	      [-debug-addr ADDR] [-version]
+//	      [-debug-addr ADDR] [-node-name NAME] [-version]
 //
 // With -data-dir set, every job transition is appended to a
 // checksummed write-ahead journal and completed results are
@@ -107,7 +107,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := &http.Server{Addr: opt.addr, Handler: service.NewServer(engine)}
+	handler := service.NewServer(engine)
+	handler.NodeName = opt.nodeName
+	srv := &http.Server{Addr: opt.addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

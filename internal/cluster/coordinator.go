@@ -1,0 +1,544 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gspc/internal/telemetry"
+)
+
+// ErrNoMembers reports that no routable member could serve a request:
+// every node is dead or draining. HTTP maps it to 503.
+var ErrNoMembers = errors.New("cluster: no routable member")
+
+// Config shapes a Coordinator. Members is the only required field.
+type Config struct {
+	// Name identifies this coordinator in logs and the
+	// X-Gspc-Coordinator response header. Default "gspc-cluster".
+	Name string
+	// Members are the gspcd engines fronted by this coordinator. The
+	// set is fixed for the coordinator's lifetime; health state decides
+	// which members actually receive traffic.
+	Members []MemberSpec
+	// Vnodes is the virtual-node count per member (DefaultVnodes when 0).
+	Vnodes int
+	// Replication is how many ring successors receive a copy of each
+	// freshly computed result, so an owner's death degrades to
+	// replica-served reads. 0 disables replication. Default 1.
+	Replication int
+	// HealthInterval is the member health-check period. Default 2s.
+	HealthInterval time.Duration
+	// HealthTimeout caps one health check. Default 1s.
+	HealthTimeout time.Duration
+	// DeadAfter is how many consecutive failed health checks kill a
+	// member. A failed forward kills in one strike regardless — the
+	// evidence is direct. Default 2.
+	DeadAfter int
+	// Client performs forwarded requests. Default: a client with no
+	// overall timeout (simulations can run for minutes; the inbound
+	// request context bounds each forward).
+	Client *http.Client
+	// Logger sinks coordinator operational logs. Default slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "gspc-cluster"
+	}
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+	if c.Replication < 0 {
+		c.Replication = 0
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 2
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// flight is one cluster-level coalesced computation: the first
+// synchronous submitter of a key forwards it; every concurrent
+// identical submitter waits on done and replays the captured response.
+type flight struct {
+	done   chan struct{}
+	status int
+	header http.Header
+	body   []byte
+}
+
+// fwdResult is a forwarded response: everything needed to replay it to
+// the client (or to a coalesced waiter).
+type fwdResult struct {
+	status int
+	header http.Header
+	body   []byte
+	// member served the request (nil when coalesced onto a flight).
+	member *Member
+	// coalesced marks a response replayed from another submitter's
+	// in-flight forward rather than forwarded itself.
+	coalesced bool
+}
+
+// Coordinator fronts N gspcd engines: it owns the membership table, the
+// consistent-hash ring over routable members, the cluster-level
+// coalescing table, and the replication fan-out. NewServer exposes it
+// over HTTP.
+type Coordinator struct {
+	cfg          Config
+	client       *http.Client
+	healthClient *http.Client
+	members      map[string]*Member
+	names        []string // sorted member names, fixed at construction
+
+	mu      sync.Mutex
+	ring    *Ring
+	flights map[string]*flight
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	start time.Time
+
+	// Counters. Per-node vectors feed the gspc_cluster_* /metrics
+	// families; scalars are atomics so the forward hot path never takes
+	// the coordinator mutex.
+	forwards        *telemetry.CounterVec // successful forwards by node
+	forwardErrors   *telemetry.CounterVec // transport-failed forwards by node
+	replicasByNode  *telemetry.CounterVec // replicas installed by follower node
+	submits         atomic.Int64
+	statusReads     atomic.Int64
+	coalesced       atomic.Int64
+	reroutes        atomic.Int64
+	rebalances      atomic.Int64
+	replications    atomic.Int64
+	replicationErrs atomic.Int64
+	cacheProbeHits  atomic.Int64
+	noMemberErrs    atomic.Int64
+}
+
+// New builds a coordinator over the given members. Call Start to begin
+// health checking and Close to stop. The member set must be non-empty
+// with unique names.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Members) == 0 {
+		return nil, errors.New("cluster: at least one member required")
+	}
+	members := make(map[string]*Member, len(cfg.Members))
+	names := make([]string, 0, len(cfg.Members))
+	for _, spec := range cfg.Members {
+		if spec.Name == "" || spec.URL == "" {
+			return nil, fmt.Errorf("cluster: member needs both name and url, got %+v", spec)
+		}
+		if _, dup := members[spec.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member name %q", spec.Name)
+		}
+		if _, err := url.Parse(spec.URL); err != nil {
+			return nil, fmt.Errorf("cluster: member %s url: %v", spec.Name, err)
+		}
+		members[spec.Name] = newMember(spec)
+		names = append(names, spec.Name)
+	}
+	sort.Strings(names)
+	c := &Coordinator{
+		cfg:            cfg,
+		client:         cfg.Client,
+		healthClient:   &http.Client{Timeout: cfg.HealthTimeout},
+		members:        members,
+		names:          names,
+		flights:        map[string]*flight{},
+		stop:           make(chan struct{}),
+		start:          time.Now(),
+		forwards:       telemetry.NewCounterVec(),
+		forwardErrors:  telemetry.NewCounterVec(),
+		replicasByNode: telemetry.NewCounterVec(),
+	}
+	c.ring = NewRing(cfg.Vnodes, names...)
+	return c, nil
+}
+
+// Start launches the health-check loop. It returns immediately; the
+// first sweep runs synchronously so routing begins with fresh state.
+func (c *Coordinator) Start() {
+	c.CheckNow()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.CheckNow()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops health checking and waits for in-flight replications.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// CheckNow sweeps every member's /readyz once, synchronously, and
+// rebuilds the ring if routability changed. The health loop calls it
+// every interval; tests and the admin API call it to force convergence.
+func (c *Coordinator) CheckNow() {
+	changed := false
+	for _, name := range c.names {
+		m := c.members[name]
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
+		ready, info, err := checkMember(ctx, c.healthClient, m)
+		cancel()
+		if m.applyCheck(ready, info, err, c.cfg.DeadAfter) {
+			changed = true
+		}
+	}
+	if changed {
+		c.rebuildRing()
+	}
+}
+
+// rebuildRing recomputes the ring from the currently routable members.
+// Consistent hashing bounds the fallout: only keys owned by the members
+// that changed state move.
+func (c *Coordinator) rebuildRing() {
+	routable := make([]string, 0, len(c.names))
+	for _, name := range c.names {
+		if c.members[name].routable() {
+			routable = append(routable, name)
+		}
+	}
+	ring := NewRing(c.cfg.Vnodes, routable...)
+	c.mu.Lock()
+	c.ring = ring
+	c.mu.Unlock()
+	c.rebalances.Add(1)
+	c.cfg.Logger.Info("cluster ring rebuilt", "coordinator", c.cfg.Name,
+		"routable", len(routable), "members", len(c.names))
+}
+
+// currentRing returns the routing ring.
+func (c *Coordinator) currentRing() *Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
+
+// candidates lists members to try for key, in order: the owner, then
+// its replication-order successors (the nodes most likely to hold a
+// replica), then every remaining routable member as a last resort.
+func (c *Coordinator) candidates(key string) []*Member {
+	ring := c.currentRing()
+	names := ring.Owners(key, c.cfg.Replication+1)
+	out := make([]*Member, 0, len(c.names))
+	seen := make(map[string]bool, len(c.names))
+	for _, n := range names {
+		out = append(out, c.members[n])
+		seen[n] = true
+	}
+	for _, n := range ring.Nodes() {
+		if !seen[n] {
+			out = append(out, c.members[n])
+			seen[n] = true
+		}
+	}
+	return out
+}
+
+// Member returns the member by name.
+func (c *Coordinator) Member(name string) (*Member, bool) {
+	m, ok := c.members[name]
+	return m, ok
+}
+
+// Members snapshots every member, sorted by name.
+func (c *Coordinator) Members() []MemberStatus {
+	out := make([]MemberStatus, 0, len(c.names))
+	for _, name := range c.names {
+		out = append(out, c.members[name].snapshot())
+	}
+	return out
+}
+
+// Drain marks a member as draining via the admin API: it stops
+// receiving new runs (its keys move to ring successors) but keeps
+// answering status queries. Returns false for an unknown member.
+func (c *Coordinator) Drain(name string) bool {
+	m, ok := c.members[name]
+	if !ok {
+		return false
+	}
+	if m.setAdminDrain(true) {
+		c.rebuildRing()
+	}
+	return true
+}
+
+// Undrain reverses Drain.
+func (c *Coordinator) Undrain(name string) bool {
+	m, ok := c.members[name]
+	if !ok {
+		return false
+	}
+	if m.setAdminDrain(false) {
+		c.rebuildRing()
+	}
+	return true
+}
+
+// forward performs one HTTP exchange with a member and captures the
+// full response. A transport error (not an HTTP error status) is
+// returned as err; HTTP-level failures are the member's answer and are
+// relayed as-is.
+func (c *Coordinator) forward(ctx context.Context, m *Member, method, pathAndQuery string, body []byte, hdr map[string]string) (*fwdResult, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, m.Spec.URL+pathAndQuery, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Gspc-Coordinator", c.cfg.Name)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.forwardErrors.Add(m.Spec.Name, 1)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.forwardErrors.Add(m.Spec.Name, 1)
+		return nil, err
+	}
+	c.forwards.Add(m.Spec.Name, 1)
+	return &fwdResult{status: resp.StatusCode, header: resp.Header, body: b, member: m}, nil
+}
+
+// failMember records a transport-level forward failure and routes
+// around the member immediately.
+func (c *Coordinator) failMember(m *Member, err error) {
+	if m.noteForwardFailure(err) {
+		c.cfg.Logger.Warn("member marked dead after failed forward",
+			"coordinator", c.cfg.Name, "member", m.Spec.Name, "err", err)
+		c.rebuildRing()
+	}
+}
+
+// forwardRun routes one run submission: cache-first probes when the
+// owner is saturated, then the candidate chain with failover. The
+// returned result may be any HTTP status — a member's 4xx/5xx is its
+// answer and propagates to the client untouched.
+func (c *Coordinator) forwardRun(ctx context.Context, key string, rawQuery string, body []byte) (*fwdResult, error) {
+	cands := c.candidates(key)
+	if len(cands) == 0 {
+		c.noMemberErrs.Add(1)
+		return nil, ErrNoMembers
+	}
+	path := "/v1/runs"
+	if rawQuery != "" {
+		path += "?" + rawQuery
+	}
+	// Load-aware degrade: a saturated owner keeps its keys (stickiness
+	// is what makes coalescing work), but before queueing more onto it
+	// the coordinator asks the replica-holding successors whether the
+	// answer is already cached somewhere cheaper.
+	if cands[0].saturated() {
+		for _, m := range cands[1:] {
+			if !m.routable() {
+				continue
+			}
+			res, err := c.forward(ctx, m, http.MethodPost, path, body,
+				map[string]string{"X-Gspc-Cache-Only": "1"})
+			if err != nil {
+				c.failMember(m, err)
+				continue
+			}
+			if res.status == http.StatusOK {
+				c.cacheProbeHits.Add(1)
+				return res, nil
+			}
+		}
+	}
+	var lastErr error
+	for i, m := range cands {
+		if !m.routable() {
+			continue
+		}
+		if i > 0 {
+			c.reroutes.Add(1)
+		}
+		res, err := c.forward(ctx, m, http.MethodPost, path, body, nil)
+		if err != nil {
+			if ctx.Err() != nil {
+				// The client went away; don't blame the member.
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			c.failMember(m, err)
+			continue
+		}
+		return res, nil
+	}
+	c.noMemberErrs.Add(1)
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w (last error: %v)", ErrNoMembers, lastErr)
+	}
+	return nil, ErrNoMembers
+}
+
+// submitSync coalesces cluster-wide: concurrent synchronous submitters
+// of the same key — whichever coordinator connection they arrived on —
+// share one forwarded computation. The leader forwards; followers
+// replay its captured response, marked X-Gspc-Cluster-Coalesced.
+func (c *Coordinator) submitSync(ctx context.Context, key string, rawQuery string, body []byte) (*fwdResult, error) {
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.status == 0 {
+				// The leader's forward failed outright; don't replay an
+				// empty response — run our own forward chain.
+				return c.forwardRun(ctx, key, rawQuery, body)
+			}
+			c.coalesced.Add(1)
+			return &fwdResult{status: f.status, header: f.header, body: f.body, coalesced: true}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	res, err := c.forwardRun(ctx, key, rawQuery, body)
+	c.mu.Lock()
+	if res != nil {
+		f.status, f.header, f.body = res.status, res.header, res.body
+	}
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	return res, err
+}
+
+// replicate copies a freshly computed result onto the key's ring
+// successors (skipping the node that computed it), asynchronously — a
+// slow follower never holds up the client's reply. Failures are
+// counted, logged, and otherwise ignored: replication is a degradation
+// hedge, not a durability guarantee (each node's WAL provides that).
+func (c *Coordinator) replicate(key, experiment, runID string, body []byte, computedBy string) {
+	if c.cfg.Replication <= 0 {
+		return
+	}
+	followers := c.currentRing().Owners(key, c.cfg.Replication+1)
+	for _, name := range followers {
+		if name == computedBy {
+			continue
+		}
+		m := c.members[name]
+		if !m.routable() {
+			continue
+		}
+		c.wg.Add(1)
+		go func(m *Member) {
+			defer c.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			res, err := c.forward(ctx, m, http.MethodPut, "/v1/replicas/"+key, body,
+				map[string]string{"X-Gspc-Experiment": experiment, "X-Gspc-Run": runID})
+			if err == nil && res.status != http.StatusNoContent {
+				err = fmt.Errorf("replica install status %d", res.status)
+			}
+			if err != nil {
+				c.replicationErrs.Add(1)
+				c.cfg.Logger.Warn("replication failed", "coordinator", c.cfg.Name,
+					"member", m.Spec.Name, "key", key, "err", err)
+				return
+			}
+			c.replications.Add(1)
+			c.replicasByNode.Add(m.Spec.Name, 1)
+		}(m)
+	}
+}
+
+// forwardQuery routes a read (status, trace) to a specific member,
+// requiring only queryability: draining members still answer for their
+// runs. Dead members yield ErrNoMembers (HTTP 503, not 404 — the run
+// may well exist, its node is just unreachable).
+func (c *Coordinator) forwardQuery(ctx context.Context, node, pathAndQuery string) (*fwdResult, error) {
+	m, ok := c.members[node]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown member %q", node)
+	}
+	if !m.queryable() {
+		return nil, fmt.Errorf("%w: member %s is down", ErrNoMembers, node)
+	}
+	res, err := c.forward(ctx, m, http.MethodGet, pathAndQuery, nil, nil)
+	if err != nil {
+		c.failMember(m, err)
+		return nil, fmt.Errorf("%w: member %s unreachable: %v", ErrNoMembers, node, err)
+	}
+	return res, nil
+}
+
+// forwardAny routes a read to any routable (or failing that, queryable)
+// member — used for /v1/experiments, which every node answers
+// identically.
+func (c *Coordinator) forwardAny(ctx context.Context, pathAndQuery string) (*fwdResult, error) {
+	tried := map[string]bool{}
+	for _, pick := range []func(*Member) bool{(*Member).routable, (*Member).queryable} {
+		for _, name := range c.names {
+			m := c.members[name]
+			if tried[name] || !pick(m) {
+				continue
+			}
+			tried[name] = true
+			res, err := c.forward(ctx, m, http.MethodGet, pathAndQuery, nil, nil)
+			if err != nil {
+				c.failMember(m, err)
+				continue
+			}
+			return res, nil
+		}
+	}
+	c.noMemberErrs.Add(1)
+	return nil, ErrNoMembers
+}

@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"gspc/internal/service"
+)
+
+// MemberState is a member's place in the routing lifecycle.
+type MemberState string
+
+// Member lifecycle states.
+const (
+	// StateAlive members receive forwarded work.
+	StateAlive MemberState = "alive"
+	// StateDead members failed enough consecutive health checks (or a
+	// forward) to be routed around; the ring excludes them until a
+	// health check succeeds again.
+	StateDead MemberState = "dead"
+	// StateDraining members asked to leave (their /readyz reports
+	// draining, or an operator drained them through the coordinator):
+	// they stop receiving new runs but still answer status queries.
+	StateDraining MemberState = "draining"
+)
+
+// MemberSpec names one gspcd engine the coordinator fronts.
+type MemberSpec struct {
+	// Name is the stable member identity; run ids are qualified with it
+	// ("run-000017@gspc-1") and ring placement hashes it, so renaming a
+	// member moves its keys.
+	Name string `json:"name"`
+	// URL is the member's base serving address, e.g. "http://10.0.0.7:8080".
+	URL string `json:"url"`
+}
+
+// Member is the coordinator's view of one gspcd engine: its spec plus
+// the mutable health state the checker maintains.
+type Member struct {
+	Spec MemberSpec
+
+	mu         sync.Mutex
+	state      MemberState
+	adminDrain bool // drained via the coordinator admin API
+	fails      int  // consecutive failed health checks/forwards
+	lastErr    string
+	ready      bool
+	readyInfo  service.ReadyInfo
+	lastCheck  time.Time
+}
+
+// MemberStatus is the queryable snapshot of a member
+// (GET /v1/cluster/members).
+type MemberStatus struct {
+	MemberSpec
+	State      MemberState       `json:"state"`
+	AdminDrain bool              `json:"admin_drain,omitempty"`
+	Ready      bool              `json:"ready"`
+	ReadyInfo  service.ReadyInfo `json:"ready_info"`
+	LastError  string            `json:"last_error,omitempty"`
+	LastCheck  time.Time         `json:"last_check,omitempty"`
+}
+
+func newMember(spec MemberSpec) *Member {
+	// Members start alive and ready: the first health sweep corrects the
+	// optimism within one interval, while starting dead would refuse all
+	// traffic until the loop's first pass.
+	return &Member{Spec: spec, state: StateAlive, ready: true}
+}
+
+// snapshot captures the member under its lock.
+func (m *Member) snapshot() MemberStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemberStatus{
+		MemberSpec: m.Spec,
+		State:      m.state,
+		AdminDrain: m.adminDrain,
+		Ready:      m.ready,
+		ReadyInfo:  m.readyInfo,
+		LastError:  m.lastErr,
+		LastCheck:  m.lastCheck,
+	}
+}
+
+// routable reports whether new runs may be placed on the member: alive
+// and not draining (self-reported or operator-imposed).
+func (m *Member) routable() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state == StateAlive && !m.adminDrain
+}
+
+// queryable reports whether status/trace reads may be forwarded: any
+// state but dead — a draining member still answers for its runs.
+func (m *Member) queryable() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state != StateDead
+}
+
+// saturated reports an alive member whose last /readyz said unready for
+// load reasons (queue or breakers) while not draining: the key stays
+// sticky to it, but the coordinator will try replica cache probes first.
+func (m *Member) saturated() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state == StateAlive && !m.ready && !m.readyInfo.Draining
+}
+
+// noteForwardFailure records a transport-level forward error; it
+// reports whether the member just transitioned to dead (routing must
+// rebuild). Forward failures are unambiguous — the connection refused —
+// so one strike kills: the health loop revives the member when it
+// answers again.
+func (m *Member) noteForwardFailure(err error) (died bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fails++
+	m.lastErr = err.Error()
+	if m.state != StateDead {
+		m.state = StateDead
+		return true
+	}
+	return false
+}
+
+// applyCheck folds one health-check outcome into the member state and
+// reports whether routability changed. deadAfter is the consecutive
+// check failures tolerated before the member is declared dead.
+func (m *Member) applyCheck(ready bool, info service.ReadyInfo, err error, deadAfter int) (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wasRoutable := m.state == StateAlive && !m.adminDrain
+	m.lastCheck = time.Now()
+	if err != nil {
+		m.fails++
+		m.lastErr = err.Error()
+		if m.fails >= deadAfter {
+			m.state = StateDead
+		}
+	} else {
+		m.fails = 0
+		m.lastErr = ""
+		m.ready = ready
+		m.readyInfo = info
+		if info.Draining {
+			m.state = StateDraining
+		} else {
+			m.state = StateAlive
+		}
+	}
+	return wasRoutable != (m.state == StateAlive && !m.adminDrain)
+}
+
+// setAdminDrain flips the operator drain bit, reporting whether
+// routability changed.
+func (m *Member) setAdminDrain(drain bool) (changed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.adminDrain == drain {
+		return false
+	}
+	m.adminDrain = drain
+	return m.state == StateAlive
+}
+
+// checkMember performs one health check against the member's /readyz,
+// decoding the load-snapshot body gspcd serves. A 200 means ready; 503
+// with a parseable body is an alive-but-unready report (draining,
+// saturated, broken); anything else is a check failure.
+func checkMember(ctx context.Context, client *http.Client, m *Member) (bool, service.ReadyInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.Spec.URL+"/readyz", nil)
+	if err != nil {
+		return false, service.ReadyInfo{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, service.ReadyInfo{}, err
+	}
+	defer resp.Body.Close()
+	var info service.ReadyInfo
+	if derr := json.NewDecoder(resp.Body).Decode(&info); derr != nil {
+		return false, service.ReadyInfo{}, fmt.Errorf("readyz status %d: %v", resp.StatusCode, derr)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, info, nil
+	case http.StatusServiceUnavailable:
+		return false, info, nil
+	default:
+		return false, info, fmt.Errorf("readyz status %d", resp.StatusCode)
+	}
+}

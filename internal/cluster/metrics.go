@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"time"
+
+	"gspc/internal/telemetry"
+)
+
+// Metrics is the coordinator's counter snapshot, served as JSON at
+// /metricsz and rendered to Prometheus text at /metrics.
+type Metrics struct {
+	Coordinator   string  `json:"coordinator"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Submits     int64 `json:"submits"`
+	StatusReads int64 `json:"status_reads"`
+	// Coalesced counts synchronous submissions answered by replaying
+	// another connection's in-flight forward of the same key.
+	Coalesced int64 `json:"coalesced"`
+	// Reroutes counts forward attempts that skipped past the key's
+	// first-choice owner (dead, draining, or mid-forward failure).
+	Reroutes int64 `json:"reroutes"`
+	// Rebalances counts ring rebuilds from membership/routability change.
+	Rebalances        int64 `json:"rebalances"`
+	Replications      int64 `json:"replications"`
+	ReplicationErrors int64 `json:"replication_errors"`
+	// CacheProbeHits counts requests served from a follower's replica
+	// while the key's owner was saturated.
+	CacheProbeHits int64 `json:"cache_probe_hits"`
+	NoMemberErrors int64 `json:"no_member_errors"`
+
+	Forwards       map[string]int64 `json:"forwards_by_node"`
+	ForwardErrors  map[string]int64 `json:"forward_errors_by_node,omitempty"`
+	ReplicasByNode map[string]int64 `json:"replicas_by_node,omitempty"`
+
+	RingNodes []string       `json:"ring_nodes"`
+	Members   []MemberStatus `json:"members"`
+}
+
+// Metrics snapshots the coordinator counters and membership.
+func (c *Coordinator) Metrics() Metrics {
+	return Metrics{
+		Coordinator:   c.cfg.Name,
+		UptimeSeconds: time.Since(c.start).Seconds(),
+
+		Submits:           c.submits.Load(),
+		StatusReads:       c.statusReads.Load(),
+		Coalesced:         c.coalesced.Load(),
+		Reroutes:          c.reroutes.Load(),
+		Rebalances:        c.rebalances.Load(),
+		Replications:      c.replications.Load(),
+		ReplicationErrors: c.replicationErrs.Load(),
+		CacheProbeHits:    c.cacheProbeHits.Load(),
+		NoMemberErrors:    c.noMemberErrs.Load(),
+
+		Forwards:       c.forwards.Snapshot(),
+		ForwardErrors:  c.forwardErrors.Snapshot(),
+		ReplicasByNode: c.replicasByNode.Snapshot(),
+
+		RingNodes: c.currentRing().Nodes(),
+		Members:   c.Members(),
+	}
+}
+
+// PromExposition renders the coordinator state in the Prometheus text
+// format (GET /metrics). Label cardinality is bounded by the fixed
+// member set and the three member states.
+func (c *Coordinator) PromExposition() []byte {
+	m := c.Metrics()
+
+	states := map[string]int64{string(StateAlive): 0, string(StateDead): 0, string(StateDraining): 0}
+	for _, ms := range m.Members {
+		states[string(ms.State)]++
+	}
+
+	var x telemetry.Exposition
+	x.Gauge("gspc_cluster_uptime_seconds", "Seconds since the coordinator started.", m.UptimeSeconds)
+	x.Counter("gspc_cluster_submits_total", "Run submissions accepted for routing.", float64(m.Submits))
+	x.Counter("gspc_cluster_status_reads_total", "Run status/trace reads forwarded.", float64(m.StatusReads))
+	x.Counter("gspc_cluster_coalesced_total", "Submissions coalesced onto an identical in-flight forward.", float64(m.Coalesced))
+	x.Counter("gspc_cluster_reroutes_total", "Forward attempts routed past the first-choice owner.", float64(m.Reroutes))
+	x.Counter("gspc_cluster_rebalances_total", "Ring rebuilds from membership or routability change.", float64(m.Rebalances))
+	x.Counter("gspc_cluster_replications_total", "Results replicated onto ring successors.", float64(m.Replications))
+	x.Counter("gspc_cluster_replication_errors_total", "Failed replica installs.", float64(m.ReplicationErrors))
+	x.Counter("gspc_cluster_cache_probe_hits_total", "Requests served from a follower replica while the owner was saturated.", float64(m.CacheProbeHits))
+	x.Counter("gspc_cluster_no_member_errors_total", "Requests failed because no member was routable.", float64(m.NoMemberErrors))
+	x.CounterVec("gspc_cluster_forwards_total", "Forwarded requests by member.", "node", m.Forwards)
+	x.CounterVec("gspc_cluster_forward_errors_total", "Transport-failed forwards by member.", "node", m.ForwardErrors)
+	x.CounterVec("gspc_cluster_replicas_installed_total", "Replicas installed by follower member.", "node", m.ReplicasByNode)
+	x.GaugeVec("gspc_cluster_members", "Members by state.", "state", states)
+	x.Gauge("gspc_cluster_ring_nodes", "Members currently on the routing ring.", float64(len(m.RingNodes)))
+	return x.Bytes()
+}

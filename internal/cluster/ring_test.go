@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys synthesizes a deterministic key population shaped like the
+// service's real cache keys (hex digests).
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x", hash64(fmt.Sprintf("key-%d", i)))
+	}
+	return keys
+}
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("gspc-%d", i+1)
+	}
+	return nodes
+}
+
+// TestRingBalance: with DefaultVnodes virtual nodes, every member's key
+// share stays within ±35% of the uniform share for 3..16 nodes. The
+// tolerance is generous against the ~1/sqrt(vnodes) placement noise but
+// tight enough to catch a broken hash or vnode loop (which skews shares
+// by integer factors).
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(20000)
+	for n := 3; n <= 16; n++ {
+		r := NewRing(0, ringNodes(n)...)
+		counts := map[string]int{}
+		for _, k := range keys {
+			owner, ok := r.Owner(k)
+			if !ok {
+				t.Fatalf("n=%d: no owner for %s", n, k)
+			}
+			counts[owner]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(counts))
+		}
+		mean := float64(len(keys)) / float64(n)
+		for node, got := range counts {
+			ratio := float64(got) / mean
+			if ratio < 0.65 || ratio > 1.35 {
+				t.Errorf("n=%d: %s owns %d keys (%.2fx the uniform share)", n, node, got, ratio)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: one membership change may remap at most 2/N
+// of the keys (the issue's bound; consistent hashing's expectation is
+// ~1/(N+1) on join and exactly the leaver's share on leave).
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(20000)
+	for n := 3; n <= 16; n++ {
+		nodes := ringNodes(n)
+		before := NewRing(0, nodes...)
+		budget := 2.0 / float64(n) * float64(len(keys))
+
+		// Join: add one node.
+		joined := NewRing(0, append(append([]string{}, nodes...), "gspc-new")...)
+		moved := 0
+		for _, k := range keys {
+			a, _ := before.Owner(k)
+			b, _ := joined.Owner(k)
+			if a != b {
+				moved++
+				// Every key that moved must have moved TO the joiner; any
+				// other movement is unnecessary churn.
+				if b != "gspc-new" {
+					t.Fatalf("n=%d join: key %s moved %s→%s, not to the joiner", n, k, a, b)
+				}
+			}
+		}
+		if float64(moved) > budget {
+			t.Errorf("n=%d join: %d keys moved, budget %.0f", n, moved, budget)
+		}
+
+		// Leave: remove the first node.
+		left := NewRing(0, nodes[1:]...)
+		moved = 0
+		for _, k := range keys {
+			a, _ := before.Owner(k)
+			b, _ := left.Owner(k)
+			if a != b {
+				moved++
+				if a != nodes[0] {
+					t.Fatalf("n=%d leave: key %s moved %s→%s though %s left", n, k, a, b, nodes[0])
+				}
+			}
+		}
+		if float64(moved) > budget {
+			t.Errorf("n=%d leave: %d keys moved, budget %.0f", n, moved, budget)
+		}
+	}
+}
+
+// TestRingSuccession: the replication order is the failover order —
+// when the owner leaves, the new owner is the old second-in-line. This
+// is the property that makes replicating to Owners(key, R+1)[1:] serve
+// exactly the keys a dead owner strands.
+func TestRingSuccession(t *testing.T) {
+	nodes := ringNodes(5)
+	r := NewRing(0, nodes...)
+	for _, k := range ringKeys(2000) {
+		owners := r.Owners(k, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("owners(%s, 2) = %v", k, owners)
+		}
+		var rest []string
+		for _, n := range nodes {
+			if n != owners[0] {
+				rest = append(rest, n)
+			}
+		}
+		after := NewRing(0, rest...)
+		got, _ := after.Owner(k)
+		if got != owners[1] {
+			t.Fatalf("key %s: successor %s, but new owner after %s left is %s",
+				k, owners[1], owners[0], got)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(0)
+	if _, ok := empty.Owner("k"); ok {
+		t.Error("empty ring returned an owner")
+	}
+	if got := empty.Owners("k", 3); got != nil {
+		t.Errorf("empty ring Owners = %v", got)
+	}
+
+	one := NewRing(0, "solo")
+	if owners := one.Owners("k", 5); len(owners) != 1 || owners[0] != "solo" {
+		t.Errorf("single-node Owners = %v", owners)
+	}
+
+	dup := NewRing(0, "a", "a", "b", "")
+	if dup.Len() != 2 {
+		t.Errorf("dup/empty names not collapsed: %v", dup.Nodes())
+	}
+
+	// Determinism: same membership, same ring, whatever the input order.
+	x := NewRing(0, "a", "b", "c")
+	y := NewRing(0, "c", "a", "b")
+	for _, k := range ringKeys(100) {
+		ox, _ := x.Owner(k)
+		oy, _ := y.Owner(k)
+		if ox != oy {
+			t.Fatalf("owner order-dependent for %s: %s vs %s", k, ox, oy)
+		}
+	}
+}

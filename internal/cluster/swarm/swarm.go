@@ -1,0 +1,706 @@
+// Package swarm is a seeded load-and-chaos driver for a gspc cluster:
+// it boots N in-process gspcd engines behind real TCP listeners, fronts
+// them with a coordinator, and hammers the cluster with a randomized
+// schedule of submissions, status polls, node kills, restarts, drains
+// and undrains. Every decision flows from one seed, so a failing
+// schedule replays exactly.
+//
+// The harness asserts the cluster's two durability-facing contracts:
+//
+//   - Every acknowledged run stays visible with a consistent status:
+//     once a poll observes a terminal status (done/failed/cancelled),
+//     later polls must agree, byte-identical result included; a 404 for
+//     an acknowledged id is a violation at any point. Transient 5xx
+//     while a member is down is allowed — loss and inconsistency are not.
+//   - Coalescing holds under stable membership: a fresh key submitted
+//     concurrently through the coordinator simulates exactly once
+//     cluster-wide, proven by a per-key simulation counter inside the
+//     stub runner.
+//
+// The cmd/gspc-swarm binary wraps this package; TestSwarmChaos runs it
+// under -race in CI.
+package swarm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"gspc/internal/cluster"
+	"gspc/internal/harness"
+	"gspc/internal/service"
+)
+
+// Config shapes one swarm run. The zero value gets usable defaults.
+type Config struct {
+	// Nodes is the gspcd engine count. Default 3.
+	Nodes int
+	// Seed drives every random decision. Default 1.
+	Seed int64
+	// Ops is the chaos-schedule length. Default 200. Keep it well under
+	// the engines' KeepFinished horizon (1024) or old acknowledged runs
+	// are legitimately evicted and read as false losses.
+	Ops int
+	// Replication is the coordinator's replica fan-out. Default 1.
+	Replication int
+	// DataRoot holds one WAL directory per node. Empty: a temp dir,
+	// removed when the run ends.
+	DataRoot string
+	// SimDelay is the stub simulation's duration. Default 5ms.
+	SimDelay time.Duration
+	// Logger sinks coordinator/engine logs. Default: discard.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Ops <= 0 {
+		c.Ops = 200
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+	if c.SimDelay <= 0 {
+		c.SimDelay = 5 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return c
+}
+
+// Report is the outcome of a swarm run. Violations empty means every
+// asserted property held for the whole schedule.
+type Report struct {
+	Seed        int64    `json:"seed"`
+	Nodes       int      `json:"nodes"`
+	Ops         int      `json:"ops"`
+	Submits     int      `json:"submits"`
+	Acked       int      `json:"acked"`
+	SyncSubmits int      `json:"sync_submits"`
+	StatusReads int      `json:"status_reads"`
+	Kills       int      `json:"kills"`
+	Restarts    int      `json:"restarts"`
+	Drains      int      `json:"drains"`
+	Undrains    int      `json:"undrains"`
+	Proofs      int      `json:"coalescing_proofs"`
+	Simulations int      `json:"simulations"`
+	Violations  []string `json:"violations,omitempty"`
+}
+
+// simCounter counts stub simulations per cache key, cluster-wide.
+type simCounter struct {
+	mu   sync.Mutex
+	byKy map[string]int
+}
+
+func (s *simCounter) bump(key string) {
+	s.mu.Lock()
+	s.byKy[key]++
+	s.mu.Unlock()
+}
+
+func (s *simCounter) count(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byKy[key]
+}
+
+func (s *simCounter) total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, v := range s.byKy {
+		n += v
+	}
+	return n
+}
+
+// node is one in-process gspcd: engine + HTTP server on a TCP address
+// that stays stable across kill/restart, and a WAL directory that makes
+// acknowledged runs survive the kill.
+type node struct {
+	name    string
+	dataDir string
+	addr    string // fixed after first boot; restarts rebind it
+
+	engine  *service.Engine
+	hs      *http.Server
+	alive   bool
+	drained bool
+	stopped chan struct{} // closed once the killed engine released its WAL
+}
+
+// ackedRun tracks one acknowledged (202) submission and the terminal
+// state the cluster committed to, once observed.
+type ackedRun struct {
+	id       string
+	terminal service.Status
+	result   []byte
+}
+
+type swarm struct {
+	cfg    Config
+	rng    *rand.Rand
+	sims   *simCounter
+	nodes  []*node
+	co     *cluster.Coordinator
+	coSrv  *http.Server
+	coURL  string
+	client *http.Client
+
+	acked []*ackedRun
+	rep   *Report
+}
+
+// Run executes one seeded swarm schedule and reports.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	root := cfg.DataRoot
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "gspc-swarm-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+
+	s := &swarm{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		sims:   &simCounter{byKy: map[string]int{}},
+		client: &http.Client{Timeout: 30 * time.Second},
+		rep:    &Report{Seed: cfg.Seed, Nodes: cfg.Nodes, Ops: cfg.Ops},
+	}
+	if err := s.boot(root); err != nil {
+		return nil, err
+	}
+	defer s.teardown()
+
+	s.schedule()
+	s.quiesce()
+	s.rep.Simulations = s.sims.total()
+	return s.rep, nil
+}
+
+func (s *swarm) violate(format string, args ...any) {
+	s.rep.Violations = append(s.rep.Violations, fmt.Sprintf(format, args...))
+}
+
+// runner is the stub simulation: deterministic result per key, with a
+// real (cancellable) delay so kills land on in-flight work.
+func (s *swarm) runner(ctx context.Context, r service.Request) (*harness.Result, error) {
+	key := r.Key()
+	s.sims.bump(key)
+	select {
+	case <-time.After(s.cfg.SimDelay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &harness.Result{
+		SchemaVersion: harness.ResultSchemaVersion,
+		Experiment:    r.Experiment,
+		Title:         "swarm stub",
+		Scale:         r.Scale,
+		Rendered:      "key " + key,
+	}, nil
+}
+
+// startNode boots (or reboots) a node's engine and HTTP server. On
+// reboot the WAL under dataDir replays, so pre-kill runs stay queryable.
+func (s *swarm) startNode(n *node) error {
+	e, err := service.NewEngine(service.Config{
+		Workers: 2, QueueDepth: 64, CacheEntries: 64, KeepFinished: 2048,
+		Run: s.runner, DataDir: n.dataDir, Logger: s.cfg.Logger, TraceEvery: -1,
+	})
+	if err != nil {
+		return fmt.Errorf("node %s: %w", n.name, err)
+	}
+	srv := service.NewServer(e)
+	srv.NodeName = n.name
+
+	addr := n.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	for i := 0; ; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i >= 100 {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			e.Shutdown(ctx)
+			cancel()
+			return fmt.Errorf("node %s: rebind %s: %w", n.name, addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	n.addr = ln.Addr().String()
+	n.engine = e
+	n.hs = &http.Server{Handler: srv}
+	n.alive = true
+	n.stopped = nil
+	go n.hs.Serve(ln)
+	return nil
+}
+
+// kill closes the node's listener and connections immediately — clients
+// see a refused/reset connection, like a crashed process — and releases
+// the WAL in the background so a later restart can reopen it.
+func (s *swarm) kill(n *node) {
+	n.hs.Close()
+	n.alive = false
+	stopped := make(chan struct{})
+	n.stopped = stopped
+	engine := n.engine
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		engine.Shutdown(ctx)
+		close(stopped)
+	}()
+}
+
+// restart waits for the killed engine to release its WAL (single
+// writer), then boots a fresh engine on the same data dir and address.
+func (s *swarm) restart(n *node) error {
+	if n.stopped != nil {
+		<-n.stopped
+	}
+	return s.startNode(n)
+}
+
+func (s *swarm) boot(root string) error {
+	s.nodes = make([]*node, s.cfg.Nodes)
+	for i := range s.nodes {
+		n := &node{
+			name:    fmt.Sprintf("swarm-%d", i+1),
+			dataDir: filepath.Join(root, fmt.Sprintf("node-%d", i+1)),
+		}
+		if err := s.startNode(n); err != nil {
+			return err
+		}
+		s.nodes[i] = n
+	}
+
+	specs := make([]cluster.MemberSpec, len(s.nodes))
+	for i, n := range s.nodes {
+		specs[i] = cluster.MemberSpec{Name: n.name, URL: "http://" + n.addr}
+	}
+	co, err := cluster.New(cluster.Config{
+		Name: "gspc-swarm", Members: specs, Replication: s.cfg.Replication,
+		HealthInterval: 250 * time.Millisecond, HealthTimeout: 2 * time.Second,
+		DeadAfter: 1, Logger: s.cfg.Logger,
+	})
+	if err != nil {
+		return err
+	}
+	s.co = co
+	co.Start()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	s.coSrv = &http.Server{Handler: cluster.NewServer(co)}
+	s.coURL = "http://" + ln.Addr().String()
+	go s.coSrv.Serve(ln)
+	return nil
+}
+
+func (s *swarm) teardown() {
+	if s.coSrv != nil {
+		s.coSrv.Close()
+	}
+	if s.co != nil {
+		s.co.Close()
+	}
+	for _, n := range s.nodes {
+		if n.alive {
+			s.kill(n)
+		}
+	}
+	for _, n := range s.nodes {
+		if n.stopped != nil {
+			<-n.stopped
+		}
+	}
+}
+
+// routableCount is the harness's own view of placeable nodes; the
+// schedule uses it to never kill or drain the last one.
+func (s *swarm) routableCount() int {
+	c := 0
+	for _, n := range s.nodes {
+		if n.alive && !n.drained {
+			c++
+		}
+	}
+	return c
+}
+
+func (s *swarm) pick(want func(*node) bool) *node {
+	var cands []*node
+	for _, n := range s.nodes {
+		if want(n) {
+			cands = append(cands, n)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	return cands[s.rng.Intn(len(cands))]
+}
+
+// requestPool is the steady-state key population: small enough that
+// cache hits and coalescing actually occur, varied enough to spread
+// across the ring.
+var poolApps = [][]string{
+	{"Dirt"}, {"HAWX"}, {"Heaven"}, {"BioShock"},
+	{"Dirt", "HAWX"}, {"LostPlanet"},
+}
+
+func (s *swarm) poolRequest() string {
+	req := service.Request{
+		Experiment: [...]string{"fig12", "fig15"}[s.rng.Intn(2)],
+		Frames:     1 + s.rng.Intn(3),
+		Apps:       poolApps[s.rng.Intn(len(poolApps))],
+	}
+	b, _ := json.Marshal(req)
+	return string(b)
+}
+
+type statusBody struct {
+	ID     string          `json:"id"`
+	Status service.Status  `json:"status"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// allowedTransient reports HTTP statuses that chaos legitimately
+// produces: backpressure and down/unreachable members.
+func allowedTransient(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+func (s *swarm) post(path, body string) (*http.Response, []byte, error) {
+	resp, err := s.client.Post(s.coURL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp, b, err
+}
+
+func (s *swarm) opSubmitAsync() {
+	s.rep.Submits++
+	resp, b, err := s.post("/v1/runs?wait=0", s.poolRequest())
+	if err != nil {
+		s.violate("async submit transport error: %v", err)
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+		var ack map[string]string
+		if json.Unmarshal(b, &ack) != nil || ack["id"] == "" {
+			s.violate("202 ack without id: %s", b)
+			return
+		}
+		if !strings.Contains(ack["id"], "@") {
+			s.violate("ack id %q not node-qualified", ack["id"])
+			return
+		}
+		s.acked = append(s.acked, &ackedRun{id: ack["id"]})
+		s.rep.Acked++
+	case resp.StatusCode == http.StatusOK:
+		// A wait=0 submit whose answer is already cached is served
+		// immediately — the result body, not an ack.
+	case allowedTransient(resp.StatusCode):
+	default:
+		s.violate("async submit: unexpected status %d: %s", resp.StatusCode, b)
+	}
+}
+
+func (s *swarm) opSubmitSync() {
+	s.rep.SyncSubmits++
+	resp, b, err := s.post("/v1/runs", s.poolRequest())
+	if err != nil {
+		s.violate("sync submit transport error: %v", err)
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		if len(b) == 0 {
+			s.violate("sync 200 with empty body")
+		}
+	case allowedTransient(resp.StatusCode):
+	default:
+		s.violate("sync submit: unexpected status %d: %s", resp.StatusCode, b)
+	}
+}
+
+// opStatusPoll re-reads a random acknowledged run and checks the
+// consistency contract.
+func (s *swarm) opStatusPoll() {
+	if len(s.acked) == 0 {
+		return
+	}
+	run := s.acked[s.rng.Intn(len(s.acked))]
+	s.rep.StatusReads++
+	s.checkStatus(run, false)
+}
+
+// checkStatus performs one status read for run and folds the outcome
+// into the consistency state. strict rejects transient failures (used
+// during the final quiesce, when every member is up). It reports
+// whether the run has reached a terminal status.
+func (s *swarm) checkStatus(run *ackedRun, strict bool) bool {
+	resp, err := s.client.Get(s.coURL + "/v1/runs/" + run.id)
+	if err != nil {
+		s.violate("status %s: transport error: %v", run.id, err)
+		return false
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var st statusBody
+		if err := json.Unmarshal(b, &st); err != nil {
+			s.violate("status %s: bad body: %v", run.id, err)
+			return false
+		}
+		terminal := st.Status == service.StatusDone ||
+			st.Status == service.StatusFailed || st.Status == service.StatusCancelled
+		if run.terminal != "" {
+			if st.Status != run.terminal {
+				s.violate("run %s: terminal status changed %s → %s",
+					run.id, run.terminal, st.Status)
+			} else if run.terminal == service.StatusDone && !bytes.Equal(run.result, st.Result) {
+				s.violate("run %s: done result bytes changed across reads", run.id)
+			}
+			return true
+		}
+		if terminal {
+			run.terminal = st.Status
+			run.result = st.Result
+		}
+		return terminal
+	case resp.StatusCode == http.StatusNotFound:
+		s.violate("run %s: acknowledged but not found (status 404)", run.id)
+		return false
+	case allowedTransient(resp.StatusCode):
+		if strict {
+			s.violate("run %s: still unreachable after quiesce: %d", run.id, resp.StatusCode)
+		}
+		return false
+	default:
+		s.violate("status %s: unexpected status %d: %s", run.id, resp.StatusCode, b)
+		return false
+	}
+}
+
+func (s *swarm) opKill() {
+	n := s.pick(func(n *node) bool {
+		if !n.alive {
+			return false
+		}
+		// Killing a drained node never affects routability; killing a
+		// routable one needs another routable survivor.
+		return n.drained || s.routableCount() >= 2
+	})
+	if n == nil {
+		return
+	}
+	s.kill(n)
+	s.rep.Kills++
+	s.co.CheckNow()
+}
+
+func (s *swarm) opRestart() {
+	n := s.pick(func(n *node) bool { return !n.alive })
+	if n == nil {
+		return
+	}
+	if err := s.restart(n); err != nil {
+		s.violate("restart %s: %v", n.name, err)
+		return
+	}
+	s.rep.Restarts++
+	s.co.CheckNow()
+}
+
+func (s *swarm) opDrain() {
+	n := s.pick(func(n *node) bool { return n.alive && !n.drained })
+	if n == nil || s.routableCount() < 2 {
+		return
+	}
+	n.drained = true
+	s.co.Drain(n.name)
+	s.rep.Drains++
+}
+
+func (s *swarm) opUndrain() {
+	n := s.pick(func(n *node) bool { return n.drained })
+	if n == nil {
+		return
+	}
+	n.drained = false
+	s.co.Undrain(n.name)
+	s.rep.Undrains++
+}
+
+// proveCoalescing submits a never-before-seen key concurrently through
+// the coordinator and asserts exactly one simulation ran. The schedule
+// is single-threaded, so membership cannot change mid-proof; if any
+// submission failed transiently the proof degrades to "at most the
+// failover bound" (a leader whose forward dies mid-flight legitimately
+// recomputes once on the successor).
+func (s *swarm) proveCoalescing(nonce int) {
+	s.rep.Proofs++
+	body := fmt.Sprintf(`{"experiment":"fig12","frames":%d,"apps":["Civilization"]}`, 100+nonce)
+	var req service.Request
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		s.violate("proof body: %v", err)
+		return
+	}
+	nreq, err := req.Normalize()
+	if err != nil {
+		s.violate("proof normalize: %v", err)
+		return
+	}
+	key := nreq.Key()
+
+	const fan = 3
+	type outcome struct {
+		code int
+		body []byte
+		err  error
+	}
+	results := make(chan outcome, fan)
+	var wg sync.WaitGroup
+	for i := 0; i < fan; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, b, err := s.post("/v1/runs", body)
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			results <- outcome{code: resp.StatusCode, body: b}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	allOK := true
+	var first []byte
+	for r := range results {
+		if r.err != nil || r.code != http.StatusOK {
+			allOK = false
+			continue
+		}
+		if first == nil {
+			first = r.body
+		} else if !bytes.Equal(first, r.body) {
+			s.violate("proof %d: concurrent same-key responses differ", nonce)
+		}
+	}
+	n := s.sims.count(key)
+	if allOK && n != 1 {
+		s.violate("proof %d: %d simulations for one key under stable membership, want 1", nonce, n)
+	}
+	if n > 2 {
+		s.violate("proof %d: coalescing blown open, %d simulations", nonce, n)
+	}
+}
+
+// schedule runs the seeded op mix.
+func (s *swarm) schedule() {
+	proofs := 0
+	for op := 0; op < s.cfg.Ops; op++ {
+		if op > 0 && op%25 == 0 {
+			proofs++
+			s.proveCoalescing(proofs)
+			continue
+		}
+		switch roll := s.rng.Float64(); {
+		case roll < 0.40:
+			s.opSubmitAsync()
+		case roll < 0.55:
+			s.opSubmitSync()
+		case roll < 0.80:
+			s.opStatusPoll()
+		case roll < 0.86:
+			s.opKill()
+		case roll < 0.92:
+			s.opRestart()
+		case roll < 0.96:
+			s.opDrain()
+		default:
+			s.opUndrain()
+		}
+	}
+}
+
+// quiesce heals the cluster — every node up, nothing drained — and then
+// requires every acknowledged run to reach a stable terminal status.
+func (s *swarm) quiesce() {
+	for _, n := range s.nodes {
+		if !n.alive {
+			if err := s.restart(n); err != nil {
+				s.violate("quiesce restart %s: %v", n.name, err)
+			}
+		}
+		if n.drained {
+			n.drained = false
+			s.co.Undrain(n.name)
+		}
+	}
+	s.co.CheckNow()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for _, run := range s.acked {
+		for {
+			if s.checkStatus(run, false) {
+				break
+			}
+			if time.Now().After(deadline) {
+				s.violate("run %s: no terminal status after quiesce (deadline)", run.id)
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// One more read per run: every member is up now, so the read must
+	// succeed and the terminal status must hold.
+	for _, run := range s.acked {
+		if run.terminal != "" {
+			s.checkStatus(run, true)
+		}
+	}
+}

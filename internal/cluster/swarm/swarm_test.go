@@ -1,0 +1,50 @@
+package swarm
+
+import (
+	"testing"
+)
+
+// TestSwarmChaos runs the seeded chaos schedule against an in-process
+// 3-node cluster. CI runs this under -race; any violation is the
+// cluster breaking one of its durability/consistency contracts.
+func TestSwarmChaos(t *testing.T) {
+	rep, err := Run(Config{
+		Nodes: 3, Seed: 1, Ops: 150, DataRoot: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Acked == 0 {
+		t.Error("schedule acknowledged no runs — chaos proved nothing")
+	}
+	if rep.Kills == 0 || rep.Restarts == 0 {
+		t.Errorf("schedule had %d kills / %d restarts — membership never changed",
+			rep.Kills, rep.Restarts)
+	}
+	if rep.Proofs == 0 {
+		t.Error("no coalescing proofs ran")
+	}
+	t.Logf("seed=%d ops=%d acked=%d statusReads=%d kills=%d restarts=%d drains=%d proofs=%d sims=%d",
+		rep.Seed, rep.Ops, rep.Acked, rep.StatusReads, rep.Kills, rep.Restarts,
+		rep.Drains, rep.Proofs, rep.Simulations)
+}
+
+// TestSwarmSeeds sweeps a few more seeds at a shorter schedule so the
+// chaos explores different kill/drain orderings.
+func TestSwarmSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep skipped in -short")
+	}
+	for _, seed := range []int64{2, 7} {
+		rep, err := Run(Config{Nodes: 4, Seed: seed, Ops: 100, DataRoot: t.TempDir()})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d violation: %s", seed, v)
+		}
+	}
+}

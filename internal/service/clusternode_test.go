@@ -1,0 +1,154 @@
+package service
+
+// Tests for the node-mode surface the gspc-cluster coordinator drives:
+// the /readyz JSON body, replica installation, cache-only probes, and
+// the X-Gspc-Node response header.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gspc/internal/harness"
+)
+
+// resultBytes builds a schema-valid serialized result, as another
+// node's engine would have produced it.
+func resultBytes(t *testing.T, experiment string) []byte {
+	t.Helper()
+	b, err := json.Marshal(&harness.Result{
+		SchemaVersion: harness.ResultSchemaVersion,
+		Experiment:    experiment,
+		Title:         "replica stub",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func putReplica(t *testing.T, url, key, experiment, runID string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url+"/v1/replicas/"+key, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Gspc-Experiment", experiment)
+	req.Header.Set("X-Gspc-Run", runID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func postCacheOnly(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/runs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Gspc-Cache-Only", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, sb.String()
+}
+
+func TestReplicaInstallAndCacheOnly(t *testing.T) {
+	var calls int64
+	ts, e := newTestServer(t, Config{Workers: 1, CacheEntries: 8, Run: countingRunner(&calls)})
+
+	req := Request{Experiment: "fig12", Apps: []string{"Dirt"}}
+	nreq, err := req.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := nreq.Key()
+
+	// Cache-only before any install: 404, and crucially no simulation.
+	resp, _ := postCacheOnly(t, ts.URL, `{"experiment":"fig12","apps":["Dirt"]}`)
+	if resp.StatusCode != 404 {
+		t.Fatalf("cache-only miss = %d, want 404", resp.StatusCode)
+	}
+	if calls != 0 {
+		t.Fatalf("cache-only probe ran %d simulations, want 0", calls)
+	}
+
+	body := resultBytes(t, "fig12")
+	if resp := putReplica(t, ts.URL, key, "fig12", "run-000042@peer", body); resp.StatusCode != 204 {
+		t.Fatalf("replica install = %d, want 204", resp.StatusCode)
+	}
+
+	// The replica now serves cache-only probes byte-identically.
+	resp, got := postCacheOnly(t, ts.URL, `{"experiment":"fig12","apps":["Dirt"]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("cache-only after install = %d, want 200", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Gspc-Cache") != "hit" {
+		t.Errorf("cache-only disposition = %q, want hit", resp.Header.Get("X-Gspc-Cache"))
+	}
+	if strings.TrimRight(got, "\n") != string(body) {
+		t.Errorf("replica body not byte-identical: got %q want %q", got, body)
+	}
+	if calls != 0 {
+		t.Fatalf("replica-served probe ran %d simulations, want 0", calls)
+	}
+
+	// It also seeds serve-stale and the normal synchronous path.
+	rep, err := e.Do(t.Context(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Cached || !bytes.Equal(rep.Body, body) {
+		t.Errorf("Do after replica: cached=%v body=%q", rep.Cached, rep.Body)
+	}
+
+	m := e.Metrics()
+	if m.ReplicasInstalled != 1 {
+		t.Errorf("replicas_installed = %d, want 1", m.ReplicasInstalled)
+	}
+}
+
+func TestReplicaInstallRejectsBadBodies(t *testing.T) {
+	ts, _ := newTestServer(t, Config{Workers: 1, CacheEntries: 8, Run: countingRunner(new(int64))})
+
+	if resp := putReplica(t, ts.URL, "k1", "fig12", "r", []byte("not json")); resp.StatusCode != 400 {
+		t.Errorf("garbage replica = %d, want 400", resp.StatusCode)
+	}
+	future, _ := json.Marshal(&harness.Result{SchemaVersion: 99, Experiment: "fig12"})
+	if resp := putReplica(t, ts.URL, "k2", "fig12", "r", future); resp.StatusCode != 400 {
+		t.Errorf("future-schema replica = %d, want 400", resp.StatusCode)
+	}
+	if err := (&Engine{}).InstallReplica("", "fig12", "r", nil); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestNodeNameHeader(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1, CacheEntries: 8, Run: countingRunner(new(int64))})
+	srv := NewServer(e)
+	srv.NodeName = "gspc-7"
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	resp := getJSON(t, ts.URL+"/healthz", nil)
+	if got := resp.Header.Get("X-Gspc-Node"); got != "gspc-7" {
+		t.Errorf("X-Gspc-Node = %q, want gspc-7", got)
+	}
+}

@@ -303,6 +303,7 @@ type Engine struct {
 	timeouts, breakerTrips        int64
 	breakerFastFails, staleServed int64
 	journalErrors                 int64
+	replicasInstalled             int64
 	lat                           latencies
 }
 
@@ -805,32 +806,104 @@ func (e *Engine) pruneLocked(id string) {
 	}
 }
 
-// Readiness reports whether the engine should receive new work and, when
-// it should not, why: draining, queue beyond the high-water mark, or
-// every known experiment breaker open. Liveness is not Readiness — a
-// draining engine is alive but unready.
+// ReadyInfo is the JSON body of GET /readyz: the ready/unready verdict
+// plus the load signals a cluster coordinator needs to make routing
+// decisions — queue pressure, open breakers, and whether the node is
+// draining (about to leave) versus merely saturated (keep keys sticky,
+// prefer replicas for reads).
+type ReadyInfo struct {
+	Status        string `json:"status"` // "ready" or "unready"
+	Reason        string `json:"reason"`
+	Draining      bool   `json:"draining"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	BreakersOpen  int    `json:"breakers_open"`
+}
+
+// ReadinessInfo reports whether the engine should receive new work and
+// the load snapshot behind that verdict: draining, queue beyond the
+// high-water mark, or every known experiment breaker open. Liveness is
+// not readiness — a draining engine is alive but unready.
+func (e *Engine) ReadinessInfo() (bool, ReadyInfo) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	info := ReadyInfo{
+		QueueDepth:    len(e.queue),
+		QueueCapacity: e.cfg.QueueDepth,
+		Draining:      e.closing,
+	}
+	if e.cfg.BreakerThreshold > 0 {
+		now := time.Now()
+		for _, b := range e.breakers {
+			if b.openNow(now) {
+				info.BreakersOpen++
+			}
+		}
+	}
+	ready := true
+	reason := "ready"
+	switch {
+	case e.closing:
+		ready, reason = false, "draining"
+	case info.QueueDepth >= e.cfg.ReadyHighWater:
+		ready, reason = false, fmt.Sprintf("queue saturated (%d/%d)", info.QueueDepth, e.cfg.QueueDepth)
+	case len(e.breakers) > 0 && info.BreakersOpen == len(e.breakers):
+		ready, reason = false, "all circuit breakers open"
+	}
+	info.Reason = reason
+	info.Status = "ready"
+	if !ready {
+		info.Status = "unready"
+	}
+	return ready, info
+}
+
+// Readiness is ReadinessInfo reduced to the verdict and its reason.
 func (e *Engine) Readiness() (ready bool, reason string) {
+	ok, info := e.ReadinessInfo()
+	return ok, info.Reason
+}
+
+// Cached answers key from the local result cache without submitting any
+// work: the cluster coordinator's cache-only probes (and replica-backed
+// degraded reads) use it to ask "do you already hold this result?"
+// without committing the node to a simulation.
+func (e *Engine) Cached(key string) (*Reply, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v, ok := e.cache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return &Reply{Body: v.body, RunID: v.runID, Cached: true}, true
+}
+
+// InstallReplica stores a result computed elsewhere in the cluster into
+// the local result cache and serve-stale table under its cluster-wide
+// key. The body must decode as a current-schema harness result — a
+// replica from a build with a different result layout is rejected
+// rather than poisoning the cache. Replicated entries ride the normal
+// snapshot path, so they survive this node's restarts too.
+func (e *Engine) InstallReplica(key, experiment, runID string, body []byte) error {
+	if key == "" {
+		return &BadRequestError{Reason: "replica key must not be empty"}
+	}
+	if _, err := harness.DecodeResult(body); err != nil {
+		return &BadRequestError{Reason: "replica body: " + err.Error()}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closing {
-		return false, "draining"
+		return ErrShuttingDown
 	}
-	if len(e.queue) >= e.cfg.ReadyHighWater {
-		return false, fmt.Sprintf("queue saturated (%d/%d)", len(e.queue), e.cfg.QueueDepth)
+	entry := &cached{body: body, runID: runID}
+	e.cache.Put(key, entry)
+	if experiment != "" {
+		e.lastGood[experiment] = entry
 	}
-	if e.cfg.BreakerThreshold > 0 && len(e.breakers) > 0 {
-		now := time.Now()
-		open := 0
-		for _, b := range e.breakers {
-			if b.openNow(now) {
-				open++
-			}
-		}
-		if open == len(e.breakers) {
-			return false, "all circuit breakers open"
-		}
-	}
-	return true, "ready"
+	e.replicasInstalled++
+	e.flight.Add(telemetry.Event{Type: "replica-installed", RunID: runID, Detail: experiment + " " + key})
+	return nil
 }
 
 // Shutdown stops accepting work, drains queued and running jobs, and

@@ -76,6 +76,10 @@ type Metrics struct {
 	Panics   int64 `json:"panics"`
 	Timeouts int64 `json:"timeouts"`
 
+	// ReplicasInstalled counts results replicated onto this node by a
+	// cluster coordinator (PUT /v1/replicas/{key}).
+	ReplicasInstalled int64 `json:"replicas_installed"`
+
 	BreakerTrips     int64             `json:"breaker_trips"`
 	BreakerFastFails int64             `json:"breaker_fast_fails"`
 	BreakersOpen     int               `json:"breakers_open"`
@@ -169,6 +173,8 @@ func (e *Engine) Metrics() Metrics {
 		Retries:  e.retries,
 		Panics:   e.panics,
 		Timeouts: e.timeouts,
+
+		ReplicasInstalled: e.replicasInstalled,
 
 		BreakerTrips:     e.breakerTrips,
 		BreakerFastFails: e.breakerFastFails,

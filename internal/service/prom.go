@@ -28,6 +28,8 @@ func (e *Engine) PromExposition() []byte {
 	x.Counter("gspc_panics_total", "Experiment panics recovered by the worker pool.", float64(m.Panics))
 	x.Counter("gspc_timeouts_total", "Jobs that failed by deadline.", float64(m.Timeouts))
 
+	x.Counter("gspc_replicas_installed_total", "Results replicated onto this node by a cluster coordinator.", float64(m.ReplicasInstalled))
+
 	x.Counter("gspc_breaker_trips_total", "Circuit breakers tripped open.", float64(m.BreakerTrips))
 	x.Counter("gspc_breaker_fast_fails_total", "Submissions fast-failed by an open breaker.", float64(m.BreakerFastFails))
 	x.Gauge("gspc_breakers_open", "Experiment breakers currently open.", float64(m.BreakersOpen))

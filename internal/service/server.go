@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -25,6 +26,8 @@ import (
 //	                         ?timeout_ms=N caps the run's deadline
 //	GET  /v1/runs/{id}       job status and, when done, its result
 //	GET  /v1/runs/{id}/trace Chrome/Perfetto trace-event JSON of the run
+//	PUT  /v1/replicas/{key}  install a result replicated from another
+//	                         cluster node (X-Gspc-Experiment/-Run headers)
 //
 // Successful POST bodies are the exact cached result bytes; serving
 // metadata (cache disposition, run id, duration) travels in X-Gspc-*
@@ -32,6 +35,11 @@ import (
 type Server struct {
 	engine *Engine
 	mux    *http.ServeMux
+
+	// NodeName, when set, is stamped on every response as X-Gspc-Node so
+	// cluster clients (and the gspc-cluster coordinator's tests) can see
+	// which member actually served a request. Set it before serving.
+	NodeName string
 }
 
 // NewServer wires the routes for an engine.
@@ -47,11 +55,17 @@ func NewServer(e *Engine) *Server {
 	s.mux.HandleFunc("POST /v1/runs", s.handleRun)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRunStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
+	s.mux.HandleFunc("PUT /v1/replicas/{key}", s.handleReplicaPut)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.NodeName != "" {
+		w.Header().Set("X-Gspc-Node", s.NodeName)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -83,15 +97,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReady answers readiness with the full load snapshot: a cluster
+// coordinator health-checking this endpoint routes on the body (queue
+// depth, open breakers, draining), not just the status code.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	ready, reason := s.engine.Readiness()
+	ready, info := s.engine.ReadinessInfo()
 	code := http.StatusOK
-	status := "ready"
 	if !ready {
 		code = http.StatusServiceUnavailable
-		status = "unready"
 	}
-	writeJSON(w, code, map[string]string{"status": status, "reason": reason})
+	writeJSON(w, code, info)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -135,6 +150,36 @@ func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
 	w.Write(b)
 }
 
+// maxReplicaBytes bounds a replicated result body; the largest real
+// results (full-suite tables) are well under a megabyte.
+const maxReplicaBytes = 32 << 20
+
+// handleReplicaPut installs a result computed by another cluster node
+// into this node's cache: the coordinator replicates hot results onto
+// ring followers so an owner's death degrades to replica-served reads
+// instead of recomputation. The experiment id and originating run id
+// travel in X-Gspc-Experiment / X-Gspc-Run headers; the body is the
+// exact result bytes.
+func (s *Server) handleReplicaPut(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxReplicaBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read replica body: "+err.Error())
+		return
+	}
+	if len(body) > maxReplicaBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("replica body exceeds %d bytes", maxReplicaBytes))
+		return
+	}
+	err = s.engine.InstallReplica(r.PathValue("key"),
+		r.Header.Get("X-Gspc-Experiment"), r.Header.Get("X-Gspc-Run"), body)
+	if err != nil {
+		s.writeEngineErrorNoCtx(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"experiments": Experiments()})
 }
@@ -156,6 +201,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		if req.TimeoutMS == 0 || ms < req.TimeoutMS {
 			req.TimeoutMS = ms
 		}
+	}
+	if r.Header.Get("X-Gspc-Cache-Only") != "" {
+		// A cache-only probe never commits this node to a simulation: the
+		// coordinator uses it to serve from a replica while the key's
+		// owner is saturated. 404 means "not here", not "does not exist".
+		nreq, err := req.Normalize()
+		if err != nil {
+			s.writeEngineErrorNoCtx(w, err)
+			return
+		}
+		if rep, ok := s.engine.Cached(nreq.Key()); ok {
+			s.writeReply(w, http.StatusOK, rep)
+			return
+		}
+		writeError(w, http.StatusNotFound, "result not cached on this node")
+		return
 	}
 	if r.URL.Query().Get("wait") == "0" {
 		s.handleRunAsync(w, req)

@@ -269,9 +269,13 @@ func TestServerReadyzLifecycle(t *testing.T) {
 	ts, e := newTestServer(t, Config{Workers: 1, QueueDepth: 2, ReadyHighWater: 1,
 		CacheEntries: 8, Run: gatedRunner(started, release, &calls)})
 
-	var st map[string]string
+	var st map[string]any
 	if resp := getJSON(t, ts.URL+"/readyz", &st); resp.StatusCode != 200 || st["status"] != "ready" {
 		t.Fatalf("idle readyz = %d %v", resp.StatusCode, st)
+	}
+	// The body carries the load signals a cluster coordinator routes on.
+	if st["queue_capacity"] != float64(2) || st["draining"] != false {
+		t.Fatalf("idle readyz body = %v, want queue_capacity 2 draining false", st)
 	}
 
 	// One running + one queued job puts the queue at the high-water mark.
@@ -304,6 +308,9 @@ func TestServerReadyzLifecycle(t *testing.T) {
 	}
 	if resp := getJSON(t, ts.URL+"/readyz", &st); resp.StatusCode != 503 || st["reason"] != "draining" {
 		t.Errorf("draining readyz = %d %v, want 503 draining", resp.StatusCode, st)
+	}
+	if st["draining"] != true {
+		t.Errorf("draining readyz body = %v, want draining true", st)
 	}
 	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != 200 {
 		t.Errorf("healthz while draining = %d, want 200", resp.StatusCode)
