@@ -5,10 +5,17 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchtime 3x . | benchjson -pr 6 -label after > BENCH.json
+//	benchjson -compare BENCH_A.json BENCH_B.json [-threshold 0.05]
 //
 // Each benchmark line ("BenchmarkFig12-4  3  1101518978 ns/op  0.90 x")
 // becomes one entry with ns_per_op, iterations, and every extra reported
 // metric keyed by its unit.
+//
+// With -compare, the two documents are diffed on ns_per_op per
+// benchmark and the exit code is 1 if any benchmark present in both
+// regressed by more than -threshold (default 5%). Benchmarks missing
+// from either side are reported as warnings, not failures — CI's perf
+// gate must fail on slowdowns, not on renames.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,7 +47,17 @@ type doc struct {
 func main() {
 	label := flag.String("label", "", "free-form label recorded in the output (e.g. a commit or 'seed')")
 	pr := flag.Int("pr", 0, "PR number recorded in the output (matches the BENCH_PR<N>.json filename)")
+	compare := flag.Bool("compare", false, "compare two BENCH json files (baseline, candidate) instead of parsing stdin")
+	threshold := flag.Float64("threshold", 0.05, "with -compare: max allowed ns/op regression as a fraction (0.05 = 5%)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: baseline.json candidate.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	out := doc{PR: *pr, Label: *label, Benchmarks: map[string]entry{}}
 	sc := bufio.NewScanner(os.Stdin)
@@ -99,4 +117,84 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+func loadDoc(path string) (doc, error) {
+	var d doc
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(b, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// runCompare diffs candidate against baseline on ns_per_op and returns
+// the process exit code: 0 when every shared benchmark is within the
+// regression threshold, 1 when any hot path got slower than allowed,
+// 2 when a file is unreadable. Benchmarks that appear on only one side
+// warn but never fail — a perf gate that fails on a renamed or newly
+// added benchmark teaches people to delete the gate.
+func runCompare(basePath, candPath string, threshold float64) int {
+	base, err := loadDoc(basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	cand, err := loadDoc(candPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-36s %16s %16s %9s\n", "benchmark", "base ns/op", "cand ns/op", "delta")
+	regressions := 0
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cand.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-36s %16.0f %16s %9s  (missing from candidate)\n",
+				name, b.NsPerOp, "-", "-")
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			fmt.Printf("%-36s %16s %16.0f %9s  (no baseline ns/op)\n",
+				name, "-", c.NsPerOp, "-")
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := ""
+		if delta > threshold {
+			verdict = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-36s %16.0f %16.0f %+8.1f%%%s\n",
+			name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+	}
+	var added []string
+	for name := range cand.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("%-36s %16s %16.0f %9s  (new, no baseline)\n",
+			name, "-", cand.Benchmarks[name].NsPerOp, "-")
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.1f%% over %s\n",
+			regressions, threshold*100, basePath)
+		return 1
+	}
+	fmt.Printf("ok: no benchmark regressed more than %.1f%%\n", threshold*100)
+	return 0
 }

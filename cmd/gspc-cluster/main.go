@@ -9,9 +9,20 @@
 //
 //	gspc-cluster [-addr :8090] [-replication 1] [-vnodes 256]
 //	             [-health-interval 2s] [-health-timeout 1s] [-dead-after 2]
+//	             [-dead-after-timeout 3] [-forward-timeout 2m]
+//	             [-hedge-delay 500ms] [-max-inflight 256]
 //	             [-name gspc-cluster] [-log-format text|json] [-version]
 //	             -member gspc-1=http://127.0.0.1:8081
 //	             -member gspc-2=http://127.0.0.2:8082 ...
+//
+// The partition-tolerance knobs: -dead-after counts hard strikes
+// (connection refused/reset — the node is provably absent), while
+// -dead-after-timeout counts total strikes including timeouts, which
+// are weaker evidence (a slow link looks the same). -forward-timeout
+// bounds every proxied exchange; -hedge-delay is how long a forward
+// waits on the owner before probing replicas for a cached copy (0 for
+// the default, negative to disable hedging); -max-inflight bounds
+// concurrent forwards per member, shedding load with 503s beyond it.
 //
 // Each -member is "name=url". Names are the ring identities: run ids
 // are qualified with them ("run-000017@gspc-1") and key placement
@@ -89,7 +100,11 @@ func run(args []string, stderr io.Writer) int {
 	vnodes := fs.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per member on the hash ring")
 	healthInterval := fs.Duration("health-interval", 2*time.Second, "member health-check period")
 	healthTimeout := fs.Duration("health-timeout", time.Second, "single health-check timeout")
-	deadAfter := fs.Int("dead-after", 2, "consecutive failed health checks before a member is routed around")
+	deadAfter := fs.Int("dead-after", 2, "hard strikes (refused/reset) before a member is routed around")
+	deadAfterTimeout := fs.Int("dead-after-timeout", 0, "total strikes including timeouts before death (default dead-after+1)")
+	forwardTimeout := fs.Duration("forward-timeout", 0, "per-forward exchange bound (default 2m, negative disables)")
+	hedgeDelay := fs.Duration("hedge-delay", 0, "wait on a slow owner before probing replicas for a cached copy (default 500ms, negative disables)")
+	maxInflight := fs.Int("max-inflight", 0, "concurrent forwards per member before shedding 503s (default 256)")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
@@ -109,7 +124,9 @@ func run(args []string, stderr io.Writer) int {
 	co, err := cluster.New(cluster.Config{
 		Name: *name, Members: members, Vnodes: *vnodes,
 		Replication: *replication, HealthInterval: *healthInterval,
-		HealthTimeout: *healthTimeout, DeadAfter: *deadAfter, Logger: logger,
+		HealthTimeout: *healthTimeout, DeadAfter: *deadAfter,
+		DeadAfterTimeout: *deadAfterTimeout, ForwardTimeout: *forwardTimeout,
+		HedgeDelay: *hedgeDelay, MaxInflight: *maxInflight, Logger: logger,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "gspc-cluster:", err)

@@ -10,6 +10,15 @@
 //
 //	gspc-swarm [-nodes 3] [-seed 1] [-ops 200] [-replication 1]
 //	           [-data-root DIR] [-sim-delay 5ms] [-v]
+//	gspc-swarm -soak [-duration 2m] [-blocked-after 15s] [...]
+//
+// With -soak, the fixed-length schedule is replaced by a
+// duration-bounded soak: every node sits behind a seeded
+// fault-injecting TCP proxy, a rolling weather schedule partitions,
+// slows, and corrupts links while traffic and process chaos continue,
+// and goroutine hygiene — zero growth over the post-boot baseline, no
+// goroutine parked on a synchronization site past -blocked-after — is
+// asserted at interval and at exit.
 //
 // The whole schedule flows from -seed: a failing run replays exactly
 // with the same flags. The report prints as JSON on stdout; the exit
@@ -35,12 +44,16 @@ func main() {
 	replication := fs.Int("replication", 1, "coordinator replica fan-out")
 	dataRoot := fs.String("data-root", "", "directory for node journals (default: temp, removed after)")
 	simDelay := fs.Duration("sim-delay", 5*time.Millisecond, "stub simulation duration")
+	soak := fs.Bool("soak", false, "run the duration-bounded network-weather soak instead of the fixed schedule")
+	duration := fs.Duration("duration", 2*time.Minute, "soak length (with -soak)")
+	blockedAfter := fs.Duration("blocked-after", 15*time.Second, "partial-deadlock threshold: max time parked on one sync site (with -soak)")
 	verbose := fs.Bool("v", false, "log engine/coordinator operational output to stderr")
 	fs.Parse(os.Args[1:])
 
 	cfg := swarm.Config{
 		Nodes: *nodes, Seed: *seed, Ops: *ops,
 		Replication: *replication, DataRoot: *dataRoot, SimDelay: *simDelay,
+		Soak: *soak, Duration: *duration, BlockedAfter: *blockedAfter,
 	}
 	if *verbose {
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))

@@ -21,6 +21,11 @@ import (
 // every node is dead or draining. HTTP maps it to 503.
 var ErrNoMembers = errors.New("cluster: no routable member")
 
+// ErrMemberBusy reports that a member's in-flight forward bound
+// (Config.MaxInflight) is exhausted. It is backpressure, not evidence of
+// failure: it never contributes a strike.
+var ErrMemberBusy = errors.New("cluster: member at in-flight capacity")
+
 // Config shapes a Coordinator. Members is the only required field.
 type Config struct {
 	// Name identifies this coordinator in logs and the
@@ -40,13 +45,44 @@ type Config struct {
 	HealthInterval time.Duration
 	// HealthTimeout caps one health check. Default 1s.
 	HealthTimeout time.Duration
-	// DeadAfter is how many consecutive failed health checks kill a
-	// member. A failed forward kills in one strike regardless — the
-	// evidence is direct. Default 2.
+	// DeadAfter is how many consecutive refusal-class failures (health
+	// probe or forward: connection refused, reset, EOF) kill a member. A
+	// single blip suspects it; strikes clear on the next success.
+	// Default 2.
 	DeadAfter int
-	// Client performs forwarded requests. Default: a client with no
-	// overall timeout (simulations can run for minutes; the inbound
-	// request context bounds each forward).
+	// DeadAfterTimeout is how many consecutive failures of any class
+	// kill a member when the refusal count alone hasn't. Timeout-class
+	// failures (deadline exceeded, i/o timeout, black-holed link) are
+	// weaker evidence — the member may be healthy behind a slow or lossy
+	// link — so they get the larger budget. Default DeadAfter+1.
+	DeadAfterTimeout int
+	// ForwardTimeout caps one forwarded exchange (health checks are
+	// separately capped by HealthTimeout). It is both the per-attempt
+	// deadline inside the failover chain and the default Client timeout.
+	// Default 2m — simulations can legitimately run for minutes, but an
+	// exchange must never be unbounded. Negative disables.
+	ForwardTimeout time.Duration
+	// HedgeDelay is how long a run forward may dawdle at the key's owner
+	// before the coordinator hedges with cache-only probes to the
+	// replica-holding successors: if a follower already has the answer
+	// cached, the client gets it without waiting out a slow owner, and
+	// without risking a duplicate computation. Default 500ms. Negative
+	// disables hedging.
+	HedgeDelay time.Duration
+	// MaxInflight bounds concurrently forwarded requests per member;
+	// excess attempts fail fast with ErrMemberBusy and fall through to
+	// the next candidate. Default 256. Negative disables the bound.
+	MaxInflight int
+	// ReplicateRetries is how many times a failed replica install is
+	// retried (with exponential backoff from ReplicateBackoff) before
+	// the copy is abandoned. Default 3.
+	ReplicateRetries int
+	// ReplicateBackoff is the initial retry backoff for replica
+	// installs. Default 250ms.
+	ReplicateBackoff time.Duration
+	// Client performs forwarded requests and health checks. Default: a
+	// client with ForwardTimeout as its overall timeout, so a forgotten
+	// caller context can never pin a forward forever.
 	Client *http.Client
 	// Logger sinks coordinator operational logs. Default slog.Default().
 	Logger *slog.Logger
@@ -74,8 +110,37 @@ func (c Config) withDefaults() Config {
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 2
 	}
+	if c.DeadAfterTimeout <= 0 {
+		c.DeadAfterTimeout = c.DeadAfter + 1
+	}
+	if c.ForwardTimeout == 0 {
+		c.ForwardTimeout = 2 * time.Minute
+	}
+	if c.ForwardTimeout < 0 {
+		c.ForwardTimeout = 0
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 500 * time.Millisecond
+	}
+	if c.HedgeDelay < 0 {
+		c.HedgeDelay = 0
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
+	}
+	if c.MaxInflight < 0 {
+		c.MaxInflight = 0
+	}
+	if c.ReplicateRetries < 0 {
+		c.ReplicateRetries = 0
+	} else if c.ReplicateRetries == 0 {
+		c.ReplicateRetries = 3
+	}
+	if c.ReplicateBackoff <= 0 {
+		c.ReplicateBackoff = 250 * time.Millisecond
+	}
 	if c.Client == nil {
-		c.Client = &http.Client{}
+		c.Client = &http.Client{Timeout: c.ForwardTimeout}
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -111,11 +176,10 @@ type fwdResult struct {
 // coalescing table, and the replication fan-out. NewServer exposes it
 // over HTTP.
 type Coordinator struct {
-	cfg          Config
-	client       *http.Client
-	healthClient *http.Client
-	members      map[string]*Member
-	names        []string // sorted member names, fixed at construction
+	cfg     Config
+	client  *http.Client
+	members map[string]*Member
+	names   []string // sorted member names, fixed at construction
 
 	mu      sync.Mutex
 	ring    *Ring
@@ -140,8 +204,14 @@ type Coordinator struct {
 	rebalances      atomic.Int64
 	replications    atomic.Int64
 	replicationErrs atomic.Int64
+	replicationRtry atomic.Int64
 	cacheProbeHits  atomic.Int64
 	noMemberErrs    atomic.Int64
+	forwardTimeouts atomic.Int64
+	forwardRefusals atomic.Int64
+	inflightRejects atomic.Int64
+	hedges          atomic.Int64
+	hedgeWins       atomic.Int64
 }
 
 // New builds a coordinator over the given members. Call Start to begin
@@ -171,7 +241,6 @@ func New(cfg Config) (*Coordinator, error) {
 	c := &Coordinator{
 		cfg:            cfg,
 		client:         cfg.Client,
-		healthClient:   &http.Client{Timeout: cfg.HealthTimeout},
 		members:        members,
 		names:          names,
 		flights:        map[string]*flight{},
@@ -219,9 +288,9 @@ func (c *Coordinator) CheckNow() {
 	for _, name := range c.names {
 		m := c.members[name]
 		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
-		ready, info, err := checkMember(ctx, c.healthClient, m)
+		ready, info, err := checkMember(ctx, c.client, m)
 		cancel()
-		if m.applyCheck(ready, info, err, c.cfg.DeadAfter) {
+		if m.applyCheck(ready, info, err, c.cfg.DeadAfter, c.cfg.DeadAfterTimeout) {
 			changed = true
 		}
 	}
@@ -321,8 +390,22 @@ func (c *Coordinator) Undrain(name string) bool {
 // forward performs one HTTP exchange with a member and captures the
 // full response. A transport error (not an HTTP error status) is
 // returned as err; HTTP-level failures are the member's answer and are
-// relayed as-is.
+// relayed as-is. Each exchange is bounded by ForwardTimeout and claims
+// one of the member's MaxInflight slots; any completed exchange (even a
+// 5xx — the transport worked) clears the member's strikes.
 func (c *Coordinator) forward(ctx context.Context, m *Member, method, pathAndQuery string, body []byte, hdr map[string]string) (*fwdResult, error) {
+	if max := c.cfg.MaxInflight; max > 0 {
+		if !m.acquire(int64(max)) {
+			c.inflightRejects.Add(1)
+			return nil, fmt.Errorf("%w: %s", ErrMemberBusy, m.Spec.Name)
+		}
+		defer m.release()
+	}
+	if c.cfg.ForwardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.ForwardTimeout)
+		defer cancel()
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -348,21 +431,42 @@ func (c *Coordinator) forward(ctx context.Context, m *Member, method, pathAndQue
 		return nil, err
 	}
 	c.forwards.Add(m.Spec.Name, 1)
+	m.clearStrikes()
 	return &fwdResult{status: resp.StatusCode, header: resp.Header, body: b, member: m}, nil
 }
 
-// failMember records a transport-level forward failure and routes
-// around the member immediately.
+// failMember folds one transport-level forward failure into the
+// member's strike accounting: a first blip merely suspects it (it stays
+// on the ring — one dropped packet must not eject a healthy owner);
+// crossing a strike limit kills it and routes around. Backpressure
+// rejections and caller cancellations are not evidence and are skipped.
 func (c *Coordinator) failMember(m *Member, err error) {
-	if m.noteForwardFailure(err) {
+	if errors.Is(err, ErrMemberBusy) || errors.Is(err, context.Canceled) {
+		return
+	}
+	timeout := timeoutClass(err)
+	if timeout {
+		c.forwardTimeouts.Add(1)
+	} else {
+		c.forwardRefusals.Add(1)
+	}
+	suspected, died := m.strike(timeout, err, c.cfg.DeadAfter, c.cfg.DeadAfterTimeout)
+	if suspected {
+		c.cfg.Logger.Warn("member suspected after failed forward",
+			"coordinator", c.cfg.Name, "member", m.Spec.Name,
+			"timeout", timeout, "err", err)
+	}
+	if died {
 		c.cfg.Logger.Warn("member marked dead after failed forward",
-			"coordinator", c.cfg.Name, "member", m.Spec.Name, "err", err)
+			"coordinator", c.cfg.Name, "member", m.Spec.Name,
+			"timeout", timeout, "err", err)
 		c.rebuildRing()
 	}
 }
 
 // forwardRun routes one run submission: cache-first probes when the
-// owner is saturated, then the candidate chain with failover. The
+// owner is saturated, then the candidate chain with failover, hedging
+// each attempt with replica cache probes when the member is slow. The
 // returned result may be any HTTP status — a member's 4xx/5xx is its
 // answer and propagates to the client untouched.
 func (c *Coordinator) forwardRun(ctx context.Context, key string, rawQuery string, body []byte) (*fwdResult, error) {
@@ -404,7 +508,7 @@ func (c *Coordinator) forwardRun(ctx context.Context, key string, rawQuery strin
 		if i > 0 {
 			c.reroutes.Add(1)
 		}
-		res, err := c.forward(ctx, m, http.MethodPost, path, body, nil)
+		res, err := c.forwardRunOnce(ctx, m, cands, path, body)
 		if err != nil {
 			if ctx.Err() != nil {
 				// The client went away; don't blame the member.
@@ -421,6 +525,87 @@ func (c *Coordinator) forwardRun(ctx context.Context, key string, rawQuery strin
 		return nil, fmt.Errorf("%w (last error: %v)", ErrNoMembers, lastErr)
 	}
 	return nil, ErrNoMembers
+}
+
+// forwardRunOnce forwards a run submission to one member, hedging when
+// the member dawdles: after HedgeDelay without an answer, the
+// coordinator probes the other candidates cache-only. A replica that
+// already holds the result answers the client immediately; the slow
+// owner's forward is then abandoned (the owner finishes and caches on
+// its own schedule). Hedges are cache probes, never duplicate
+// submissions, so the at-most-one-simulation coalescing guarantee
+// survives hedging.
+func (c *Coordinator) forwardRunOnce(ctx context.Context, m *Member, cands []*Member, path string, body []byte) (*fwdResult, error) {
+	if c.cfg.HedgeDelay <= 0 || len(cands) <= 1 {
+		return c.forward(ctx, m, http.MethodPost, path, body, nil)
+	}
+
+	type outcome struct {
+		res *fwdResult
+		err error
+	}
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	primary := make(chan outcome, 1)
+	go func() {
+		res, err := c.forward(pctx, m, http.MethodPost, path, body, nil)
+		primary <- outcome{res, err}
+	}()
+
+	delay := time.NewTimer(c.cfg.HedgeDelay)
+	defer delay.Stop()
+	select {
+	case o := <-primary:
+		return o.res, o.err
+	case <-ctx.Done():
+		o := <-primary // forward honors ctx, so this wait is bounded
+		return o.res, o.err
+	case <-delay.C:
+	}
+
+	// The owner is slow. Ask the replica-holding candidates whether the
+	// answer is already cached; first hit wins the race against the
+	// owner. Probe failures strike the probed member as usual (a
+	// partitioned follower is real evidence) except when the hedge was
+	// cancelled because the owner answered first.
+	c.hedges.Add(1)
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	hedged := make(chan *fwdResult, 1)
+	go func() {
+		for _, f := range cands {
+			if f == m || !f.routable() {
+				continue
+			}
+			res, err := c.forward(hctx, f, http.MethodPost, path, body,
+				map[string]string{"X-Gspc-Cache-Only": "1"})
+			if err != nil {
+				if hctx.Err() == nil {
+					c.failMember(f, err)
+				}
+				continue
+			}
+			if res.status == http.StatusOK {
+				select {
+				case hedged <- res:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	select {
+	case o := <-primary:
+		return o.res, o.err
+	case res := <-hedged:
+		c.hedgeWins.Add(1)
+		pcancel() // abandon the slow owner; its goroutine drains into the buffered chan
+		return res, nil
+	case <-ctx.Done():
+		o := <-primary
+		return o.res, o.err
+	}
 }
 
 // submitSync coalesces cluster-wide: concurrent synchronous submitters
@@ -461,9 +646,12 @@ func (c *Coordinator) submitSync(ctx context.Context, key string, rawQuery strin
 
 // replicate copies a freshly computed result onto the key's ring
 // successors (skipping the node that computed it), asynchronously — a
-// slow follower never holds up the client's reply. Failures are
-// counted, logged, and otherwise ignored: replication is a degradation
-// hedge, not a durability guarantee (each node's WAL provides that).
+// slow follower never holds up the client's reply. Transient install
+// failures retry with exponential backoff (ReplicateRetries times from
+// ReplicateBackoff) before the copy is abandoned; abandonment is
+// counted and logged but otherwise tolerated — replication is a
+// degradation hedge, not a durability guarantee (each node's WAL
+// provides that).
 func (c *Coordinator) replicate(key, experiment, runID string, body []byte, computedBy string) {
 	if c.cfg.Replication <= 0 {
 		return
@@ -480,21 +668,44 @@ func (c *Coordinator) replicate(key, experiment, runID string, body []byte, comp
 		c.wg.Add(1)
 		go func(m *Member) {
 			defer c.wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			defer cancel()
-			res, err := c.forward(ctx, m, http.MethodPut, "/v1/replicas/"+key, body,
-				map[string]string{"X-Gspc-Experiment": experiment, "X-Gspc-Run": runID})
-			if err == nil && res.status != http.StatusNoContent {
-				err = fmt.Errorf("replica install status %d", res.status)
+			backoff := c.cfg.ReplicateBackoff
+			var lastErr error
+			for attempt := 0; attempt <= c.cfg.ReplicateRetries; attempt++ {
+				if attempt > 0 {
+					c.replicationRtry.Add(1)
+					t := time.NewTimer(backoff)
+					select {
+					case <-t.C:
+					case <-c.stop:
+						t.Stop()
+						c.replicationErrs.Add(1)
+						return
+					}
+					backoff *= 2
+					if !m.queryable() {
+						// The member died while we backed off; its health-loop
+						// revival will not bring this copy back — give up.
+						break
+					}
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				res, err := c.forward(ctx, m, http.MethodPut, "/v1/replicas/"+key, body,
+					map[string]string{"X-Gspc-Experiment": experiment, "X-Gspc-Run": runID})
+				cancel()
+				if err == nil && res.status != http.StatusNoContent {
+					err = fmt.Errorf("replica install status %d", res.status)
+				}
+				if err == nil {
+					c.replications.Add(1)
+					c.replicasByNode.Add(m.Spec.Name, 1)
+					return
+				}
+				lastErr = err
 			}
-			if err != nil {
-				c.replicationErrs.Add(1)
-				c.cfg.Logger.Warn("replication failed", "coordinator", c.cfg.Name,
-					"member", m.Spec.Name, "key", key, "err", err)
-				return
-			}
-			c.replications.Add(1)
-			c.replicasByNode.Add(m.Spec.Name, 1)
+			c.replicationErrs.Add(1)
+			c.cfg.Logger.Warn("replication abandoned", "coordinator", c.cfg.Name,
+				"member", m.Spec.Name, "key", key,
+				"attempts", c.cfg.ReplicateRetries+1, "err", lastErr)
 		}(m)
 	}
 }

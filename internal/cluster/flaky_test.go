@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"gspc/internal/faultinject"
+	"gspc/internal/leakcheck"
+)
+
+// hostOf extracts the "127.0.0.1:port" host a faultinject.Transport
+// keys its per-link specs by.
+func hostOf(t *testing.T, rawURL string) string {
+	t.Helper()
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u.Host
+}
+
+// flakyCoordinator builds a coordinator whose every exchange (forwards
+// and health checks alike) crosses a seeded fault-injecting transport,
+// so tests can impose per-link weather on real HTTP traffic.
+func flakyCoordinator(t *testing.T, nodes []*testNode, mutate func(*Config)) (*Coordinator, *httptest.Server, *faultinject.Transport) {
+	t.Helper()
+	ft := faultinject.NewTransport(42, faultinject.NetSpec{})
+	co, ts := newTestCoordinator(t, nodes, func(c *Config) {
+		c.Client = &http.Client{Transport: ft}
+		if mutate != nil {
+			mutate(c)
+		}
+	})
+	return co, ts, ft
+}
+
+// TestFlakyLinkOneBlipDoesNotEject is the headline regression: with the
+// default strike budget, a single dropped forward suspects the owner
+// but leaves it on the ring, and the very next clean exchange fully
+// vindicates it. One blip must never eject a healthy member.
+func TestFlakyLinkOneBlipDoesNotEject(t *testing.T) {
+	leakcheck.Check(t)
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 3, sims, 5*time.Millisecond)
+	co2, ts2, ft := flakyCoordinator(t, nodes, func(c *Config) {
+		c.DeadAfter = 2 // the production default, not the tests' hair-trigger 1
+	})
+
+	body := `{"experiment":"fig12","apps":["Unigine"]}`
+	key := keyOf(t, body)
+	owners := co2.currentRing().Owners(key, 2)
+	owner, successor := owners[0], owners[1]
+	ownerHost := hostOf(t, nodeByName(nodes, owner).ts.URL)
+
+	// Compute once over a clean link and let the replica land.
+	if resp, b := postJSON(t, ts2.URL, body); resp.StatusCode != 200 {
+		t.Fatalf("initial submit = %d: %s", resp.StatusCode, b)
+	}
+	waitUntil(t, "replication", func() bool {
+		return nodeByName(nodes, successor).engine.Metrics().ReplicasInstalled >= 1
+	})
+
+	// One blip: the owner's link resets every exchange.
+	ft.SetHostSpec(ownerHost, faultinject.NetSpec{ResetRate: 1})
+	resp, b := postJSON(t, ts2.URL, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("blip submit = %d: %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Gspc-Node"); got != successor {
+		t.Errorf("blip submit served by %s, want replica holder %s", got, successor)
+	}
+	m, _ := co2.Member(owner)
+	if s := m.snapshot(); s.State != StateSuspect || s.Strikes != 1 {
+		t.Fatalf("after one blip: state=%s strikes=%d, want suspect/1", s.State, s.Strikes)
+	}
+	onRing := false
+	for _, n := range co2.currentRing().Nodes() {
+		onRing = onRing || n == owner
+	}
+	if !onRing {
+		t.Fatalf("one blip ejected %s from the ring", owner)
+	}
+	if mm := co2.Metrics(); mm.ForwardRefusals == 0 {
+		t.Errorf("forward_refusals = 0, want > 0 after a reset-class failure")
+	}
+
+	// Heal the link: the next exchange vindicates the owner completely.
+	ft.SetHostSpec(ownerHost, faultinject.NetSpec{})
+	resp, _ = postJSON(t, ts2.URL, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-heal submit = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Gspc-Node"); got != owner {
+		t.Errorf("post-heal submit served by %s, want owner %s", got, owner)
+	}
+	if s := m.snapshot(); s.State != StateAlive || s.Strikes != 0 || s.TimeoutStrikes != 0 {
+		t.Errorf("after heal: state=%s strikes=%d/%d, want alive/0/0",
+			s.State, s.Strikes, s.TimeoutStrikes)
+	}
+	if n := sims.count(key); n != 1 {
+		t.Errorf("flaky link caused recomputation: %d simulations", n)
+	}
+}
+
+// TestFlakyLinkOneBlipHealthProbe: a single failed health probe — the
+// cheapest, most common blip — suspects but does not eject, and the
+// next successful sweep restores alive with strikes cleared.
+func TestFlakyLinkOneBlipHealthProbe(t *testing.T) {
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 3, sims, time.Millisecond)
+	co, _, ft := flakyCoordinator(t, nodes, func(c *Config) {
+		c.DeadAfter = 2
+		c.HealthTimeout = 200 * time.Millisecond
+	})
+
+	victim := nodes[0]
+	victimHost := hostOf(t, victim.ts.URL)
+
+	co.CheckNow()
+	if got := co.currentRing().Len(); got != 3 {
+		t.Fatalf("ring after clean sweep = %d", got)
+	}
+
+	ft.SetHostSpec(victimHost, faultinject.NetSpec{Partition: faultinject.PartitionRefuse})
+	co.CheckNow() // one failed probe
+	m, _ := co.Member(victim.name)
+	if s := m.snapshot(); s.State != StateSuspect {
+		t.Fatalf("after one failed probe: state=%s, want suspect", s.State)
+	}
+	if got := co.currentRing().Len(); got != 3 {
+		t.Fatalf("one failed probe shrank the ring to %d", got)
+	}
+
+	ft.SetHostSpec(victimHost, faultinject.NetSpec{})
+	co.CheckNow()
+	if s := m.snapshot(); s.State != StateAlive || s.Strikes != 0 {
+		t.Errorf("after healed probe: state=%s strikes=%d, want alive/0", s.State, s.Strikes)
+	}
+}
+
+// TestFlakyLinkTimeoutClassSofterThanRefusal: timeout-flavored failures
+// (black-holed link) draw from the larger DeadAfterTimeout budget, so a
+// member behind a lossy link survives strikes that would have killed it
+// under the refusal budget — while a refusal-class link dies on
+// schedule.
+func TestFlakyLinkTimeoutClassSofterThanRefusal(t *testing.T) {
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 3, sims, time.Millisecond)
+	co, _, ft := flakyCoordinator(t, nodes, func(c *Config) {
+		c.DeadAfter = 1
+		c.DeadAfterTimeout = 3
+		c.HealthTimeout = 100 * time.Millisecond
+	})
+
+	slow, gone := nodes[0], nodes[1]
+	co.CheckNow()
+
+	// Black-hole one link (timeouts), refuse the other (refusals).
+	ft.SetHostSpec(hostOf(t, slow.ts.URL), faultinject.NetSpec{Partition: faultinject.PartitionBlackhole})
+	ft.SetHostSpec(hostOf(t, gone.ts.URL), faultinject.NetSpec{Partition: faultinject.PartitionRefuse})
+
+	co.CheckNow() // sweep 1
+	ms, _ := co.Member(slow.name)
+	mg, _ := co.Member(gone.name)
+	if s := ms.snapshot(); s.State != StateSuspect || s.TimeoutStrikes != 1 {
+		t.Fatalf("slow after 1 sweep: state=%s timeouts=%d, want suspect/1", s.State, s.TimeoutStrikes)
+	}
+	if s := mg.snapshot(); s.State != StateDead {
+		t.Fatalf("gone after 1 sweep: state=%s, want dead (DeadAfter=1)", s.State)
+	}
+
+	co.CheckNow() // sweep 2: slow at 2 timeout strikes, budget 3 — alive
+	if s := ms.snapshot(); s.State != StateSuspect {
+		t.Fatalf("slow after 2 sweeps: state=%s, want still suspect", s.State)
+	}
+
+	co.CheckNow() // sweep 3: timeout budget exhausted
+	if s := ms.snapshot(); s.State != StateDead {
+		t.Fatalf("slow after 3 sweeps: state=%s, want dead", s.State)
+	}
+}
+
+// TestHedgedForwardServesReplicaFromSlowOwner: when the owner's link is
+// merely slow (not down), the coordinator hedges after HedgeDelay with
+// cache-only probes and serves the replica's copy — without ejecting
+// the owner and without a duplicate simulation.
+func TestHedgedForwardServesReplicaFromSlowOwner(t *testing.T) {
+	leakcheck.Check(t)
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 3, sims, 5*time.Millisecond)
+	co, ts, ft := flakyCoordinator(t, nodes, func(c *Config) {
+		c.DeadAfter = 2
+		c.HedgeDelay = 100 * time.Millisecond
+	})
+
+	body := `{"experiment":"fig15","apps":["LostPlanet"]}`
+	key := keyOf(t, body)
+	owners := co.currentRing().Owners(key, 2)
+	owner, successor := owners[0], owners[1]
+
+	if resp, b := postJSON(t, ts.URL, body); resp.StatusCode != 200 {
+		t.Fatalf("initial submit = %d: %s", resp.StatusCode, b)
+	}
+	waitUntil(t, "replication", func() bool {
+		return nodeByName(nodes, successor).engine.Metrics().ReplicasInstalled >= 1
+	})
+
+	// The owner's link turns slow: every exchange stalls 5s — far past
+	// HedgeDelay, far under ForwardTimeout. The owner itself is healthy.
+	ft.SetHostSpec(hostOf(t, nodeByName(nodes, owner).ts.URL),
+		faultinject.NetSpec{DelayRate: 1, Latency: 5 * time.Second})
+
+	start := time.Now()
+	resp, b := postJSON(t, ts.URL, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("hedged submit = %d: %s", resp.StatusCode, b)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Errorf("hedged submit took %v, should beat the owner's 5s stall", d)
+	}
+	if got := resp.Header.Get("X-Gspc-Node"); got != successor {
+		t.Errorf("hedged submit served by %s, want replica holder %s", got, successor)
+	}
+	if got := resp.Header.Get("X-Gspc-Cache"); got != "hit" {
+		t.Errorf("hedged disposition = %q, want hit", got)
+	}
+	m := co.Metrics()
+	if m.Hedges == 0 || m.HedgeWins == 0 {
+		t.Errorf("hedges=%d hedge_wins=%d, want both > 0", m.Hedges, m.HedgeWins)
+	}
+	if n := sims.count(key); n != 1 {
+		t.Errorf("hedging caused recomputation: %d simulations", n)
+	}
+	// The slow owner was never struck dead — slowness is not death.
+	mo, _ := co.Member(owner)
+	if s := mo.snapshot(); s.State == StateDead {
+		t.Errorf("slow owner was ejected: state=%s", s.State)
+	}
+}
+
+// TestMemberBusyIsBackpressureNotEvidence: an exhausted in-flight bound
+// fails fast with ErrMemberBusy, counts a reject, and never strikes.
+func TestMemberBusyIsBackpressureNotEvidence(t *testing.T) {
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 1, sims, time.Millisecond)
+	co, _ := newTestCoordinator(t, nodes, func(c *Config) { c.MaxInflight = 1 })
+
+	m, _ := co.Member(nodes[0].name)
+	m.inflight.Add(1) // occupy the only slot
+	_, err := co.forward(context.Background(), m, http.MethodGet, "/healthz", nil, nil)
+	m.inflight.Add(-1)
+	if !errors.Is(err, ErrMemberBusy) {
+		t.Fatalf("forward at capacity = %v, want ErrMemberBusy", err)
+	}
+	if got := co.Metrics().InflightRejects; got != 1 {
+		t.Errorf("inflight_rejects = %d, want 1", got)
+	}
+	// Busy and caller-cancel are not evidence of member failure.
+	co.failMember(m, fmt.Errorf("routing: %w", ErrMemberBusy))
+	co.failMember(m, context.Canceled)
+	if s := m.snapshot(); s.State != StateAlive || s.Strikes != 0 || s.TimeoutStrikes != 0 {
+		t.Errorf("backpressure struck the member: state=%s strikes=%d/%d",
+			s.State, s.Strikes, s.TimeoutStrikes)
+	}
+}
+
+// TestReplicationRetriesTransientFailure: a replica install that fails
+// while the follower's link is down succeeds after the link heals,
+// via the coordinator's backoff retry — instead of silently dropping
+// the copy.
+func TestReplicationRetriesTransientFailure(t *testing.T) {
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 3, sims, time.Millisecond)
+	co, ts, ft := flakyCoordinator(t, nodes, func(c *Config) {
+		c.DeadAfter = 10 // keep the follower alive through the flaps
+		c.ReplicateRetries = 5
+		c.ReplicateBackoff = 50 * time.Millisecond
+	})
+
+	body := `{"experiment":"fig12","apps":["StalkerCOP"]}`
+	key := keyOf(t, body)
+	owners := co.currentRing().Owners(key, 2)
+	successor := owners[1]
+	succHost := hostOf(t, nodeByName(nodes, successor).ts.URL)
+
+	// The follower's link is down when the result computes...
+	ft.SetHostSpec(succHost, faultinject.NetSpec{Partition: faultinject.PartitionRefuse})
+	if resp, b := postJSON(t, ts.URL, body); resp.StatusCode != 200 {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, b)
+	}
+	// ...and heals once the retry loop has begun backing off.
+	waitUntil(t, "first replication retry", func() bool {
+		return co.Metrics().ReplicationRetries >= 1
+	})
+	ft.SetHostSpec(succHost, faultinject.NetSpec{})
+
+	waitUntil(t, "replica landing after retry", func() bool {
+		return nodeByName(nodes, successor).engine.Metrics().ReplicasInstalled >= 1
+	})
+	m := co.Metrics()
+	if m.ReplicationRetries == 0 {
+		t.Errorf("replication_retries = 0, want > 0")
+	}
+	if n := sims.count(key); n != 1 {
+		t.Errorf("replication retry recomputed: %d simulations", n)
+	}
+}
+
+// TestForwardTimeoutBoundsExchanges: the per-forward timeout turns an
+// unbounded stall into a classified timeout failure instead of pinning
+// the request forever (the old default Client had no timeout at all).
+func TestForwardTimeoutBoundsExchanges(t *testing.T) {
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 1, sims, time.Millisecond)
+	co, _, ft := flakyCoordinator(t, nodes, func(c *Config) {
+		c.ForwardTimeout = 100 * time.Millisecond
+		c.HedgeDelay = -1 // isolate the timeout path
+	})
+	ft.SetSpec(faultinject.NetSpec{Partition: faultinject.PartitionBlackhole})
+
+	m, _ := co.Member(nodes[0].name)
+	start := time.Now()
+	_, err := co.forward(context.Background(), m, http.MethodGet, "/healthz", nil, nil)
+	if err == nil {
+		t.Fatal("forward through a black hole succeeded")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("forward took %v, want ~100ms bound", d)
+	}
+	if !timeoutClass(err) {
+		t.Errorf("black-holed forward error %v not classified as timeout", err)
+	}
+	c := co // the strike for it lands via failMember, as callers do
+	c.failMember(m, err)
+	if s := m.snapshot(); s.TimeoutStrikes != 1 {
+		t.Errorf("timeout strikes = %d, want 1", s.TimeoutStrikes)
+	}
+	if got := co.Metrics().ForwardTimeouts; got != 1 {
+		t.Errorf("forward_timeouts = %d, want 1", got)
+	}
+}
+
+// TestDefaultClientHasTimeout guards the config default directly: a
+// coordinator built without an explicit Client must not get an
+// unbounded one.
+func TestDefaultClientHasTimeout(t *testing.T) {
+	cfg := Config{Members: []MemberSpec{{Name: "a", URL: "http://127.0.0.1:1"}}}.withDefaults()
+	if cfg.Client.Timeout <= 0 {
+		t.Fatalf("default Client.Timeout = %v, want > 0", cfg.Client.Timeout)
+	}
+	if cfg.Client.Timeout != cfg.ForwardTimeout {
+		t.Errorf("default Client.Timeout = %v, want ForwardTimeout %v",
+			cfg.Client.Timeout, cfg.ForwardTimeout)
+	}
+	if cfg.DeadAfterTimeout != cfg.DeadAfter+1 {
+		t.Errorf("DeadAfterTimeout = %d, want DeadAfter+1 = %d",
+			cfg.DeadAfterTimeout, cfg.DeadAfter+1)
+	}
+}

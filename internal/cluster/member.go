@@ -3,9 +3,12 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gspc/internal/service"
@@ -18,9 +21,13 @@ type MemberState string
 const (
 	// StateAlive members receive forwarded work.
 	StateAlive MemberState = "alive"
-	// StateDead members failed enough consecutive health checks (or a
-	// forward) to be routed around; the ring excludes them until a
-	// health check succeeds again.
+	// StateSuspect members dropped a recent probe or forward but have
+	// not crossed a strike limit: they keep receiving work (a single
+	// blip must not eject a healthy owner) while the coordinator
+	// watches them. Strikes clear on the next successful exchange.
+	StateSuspect MemberState = "suspect"
+	// StateDead members crossed a strike limit and are routed around;
+	// the ring excludes them until a health check succeeds again.
 	StateDead MemberState = "dead"
 	// StateDraining members asked to leave (their /readyz reports
 	// draining, or an operator drained them through the coordinator):
@@ -43,10 +50,16 @@ type MemberSpec struct {
 type Member struct {
 	Spec MemberSpec
 
+	// inflight is the member's current forwarded-request count, bounded
+	// by Config.MaxInflight. Atomic: the forward hot path must not take
+	// the state lock.
+	inflight atomic.Int64
+
 	mu         sync.Mutex
 	state      MemberState
 	adminDrain bool // drained via the coordinator admin API
-	fails      int  // consecutive failed health checks/forwards
+	hardFails  int  // consecutive refusal-class failures (refused, reset, EOF)
+	softFails  int  // consecutive timeout-class failures (deadline, i/o timeout)
 	lastErr    string
 	ready      bool
 	readyInfo  service.ReadyInfo
@@ -61,8 +74,13 @@ type MemberStatus struct {
 	AdminDrain bool              `json:"admin_drain,omitempty"`
 	Ready      bool              `json:"ready"`
 	ReadyInfo  service.ReadyInfo `json:"ready_info"`
-	LastError  string            `json:"last_error,omitempty"`
-	LastCheck  time.Time         `json:"last_check,omitempty"`
+	// Strikes are the consecutive refusal-class failures; TimeoutStrikes
+	// the consecutive timeout-class ones. Both clear on any success.
+	Strikes        int       `json:"strikes,omitempty"`
+	TimeoutStrikes int       `json:"timeout_strikes,omitempty"`
+	InFlight       int64     `json:"in_flight,omitempty"`
+	LastError      string    `json:"last_error,omitempty"`
+	LastCheck      time.Time `json:"last_check,omitempty"`
 }
 
 func newMember(spec MemberSpec) *Member {
@@ -72,31 +90,48 @@ func newMember(spec MemberSpec) *Member {
 	return &Member{Spec: spec, state: StateAlive, ready: true}
 }
 
-// snapshot captures the member under its lock.
+// snapshot captures the member under its lock. The reported state is
+// the effective one: an operator drain presents as draining (that is
+// what the admin surface and the members metric mean by the word) even
+// though the health state machine underneath keeps running.
 func (m *Member) snapshot() MemberStatus {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	state := m.state
+	if m.adminDrain && state != StateDead {
+		state = StateDraining
+	}
 	return MemberStatus{
-		MemberSpec: m.Spec,
-		State:      m.state,
-		AdminDrain: m.adminDrain,
-		Ready:      m.ready,
-		ReadyInfo:  m.readyInfo,
-		LastError:  m.lastErr,
-		LastCheck:  m.lastCheck,
+		MemberSpec:     m.Spec,
+		State:          state,
+		AdminDrain:     m.adminDrain,
+		Ready:          m.ready,
+		ReadyInfo:      m.readyInfo,
+		Strikes:        m.hardFails,
+		TimeoutStrikes: m.softFails,
+		InFlight:       m.inflight.Load(),
+		LastError:      m.lastErr,
+		LastCheck:      m.lastCheck,
 	}
 }
 
 // routable reports whether new runs may be placed on the member: alive
-// and not draining (self-reported or operator-imposed).
+// or merely suspect, and not draining (self-reported or
+// operator-imposed). Suspicion is not death — a suspect member still
+// owns its keys.
 func (m *Member) routable() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.state == StateAlive && !m.adminDrain
+	return m.routableLocked()
+}
+
+func (m *Member) routableLocked() bool {
+	return (m.state == StateAlive || m.state == StateSuspect) && !m.adminDrain
 }
 
 // queryable reports whether status/trace reads may be forwarded: any
-// state but dead — a draining member still answers for its runs.
+// state but dead — a draining or suspect member still answers for its
+// runs.
 func (m *Member) queryable() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -109,42 +144,93 @@ func (m *Member) queryable() bool {
 func (m *Member) saturated() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.state == StateAlive && !m.ready && !m.readyInfo.Draining
+	return (m.state == StateAlive || m.state == StateSuspect) &&
+		!m.ready && !m.readyInfo.Draining
 }
 
-// noteForwardFailure records a transport-level forward error; it
-// reports whether the member just transitioned to dead (routing must
-// rebuild). Forward failures are unambiguous — the connection refused —
-// so one strike kills: the health loop revives the member when it
-// answers again.
-func (m *Member) noteForwardFailure(err error) (died bool) {
+// acquire claims an in-flight forward slot, refusing past max.
+func (m *Member) acquire(max int64) bool {
+	if m.inflight.Add(1) > max {
+		m.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// release returns an in-flight forward slot.
+func (m *Member) release() { m.inflight.Add(-1) }
+
+// strike folds one failed exchange (health probe or forward) into the
+// strike counters under the caller-supplied limits, and reports the
+// transitions: suspected is a fresh alive→suspect move, died a
+// transition into dead (routing must rebuild).
+//
+// The two failure classes carry different evidence weight, so they get
+// separate limits: a refusal (connection refused, reset, EOF) means the
+// process is likely gone; a timeout may just be a slow or lossy link —
+// the member could well be healthy and mid-computation. Either counter
+// crossing its limit kills; any success clears both.
+func (m *Member) strike(timeout bool, err error, deadAfter, deadAfterTimeout int) (suspected, died bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.fails++
-	m.lastErr = err.Error()
-	if m.state != StateDead {
-		m.state = StateDead
-		return true
+	if timeout {
+		m.softFails++
+	} else {
+		m.hardFails++
 	}
-	return false
+	m.lastErr = err.Error()
+	if m.state == StateDead {
+		return false, false
+	}
+	if m.hardFails >= deadAfter || m.hardFails+m.softFails >= deadAfterTimeout {
+		m.state = StateDead
+		return false, true
+	}
+	if m.state == StateAlive {
+		m.state = StateSuspect
+		return true, false
+	}
+	return false, false
+}
+
+// clearStrikes notes a successful exchange: the counters reset and a
+// suspect member is vindicated back to alive. Other states are left
+// alone — a successful status read from a draining member is not a
+// state change, and dead members revive only through the health loop
+// (which also refreshes readiness).
+func (m *Member) clearStrikes() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hardFails, m.softFails = 0, 0
+	m.lastErr = ""
+	if m.state == StateSuspect {
+		m.state = StateAlive
+	}
 }
 
 // applyCheck folds one health-check outcome into the member state and
-// reports whether routability changed. deadAfter is the consecutive
-// check failures tolerated before the member is declared dead.
-func (m *Member) applyCheck(ready bool, info service.ReadyInfo, err error, deadAfter int) (changed bool) {
+// reports whether routability changed. Failed checks go through the
+// same strike accounting as failed forwards; successful checks refresh
+// readiness and revive dead members.
+func (m *Member) applyCheck(ready bool, info service.ReadyInfo, err error, deadAfter, deadAfterTimeout int) (changed bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	wasRoutable := m.state == StateAlive && !m.adminDrain
+	wasRoutable := m.routableLocked()
 	m.lastCheck = time.Now()
 	if err != nil {
-		m.fails++
+		if timeoutClass(err) {
+			m.softFails++
+		} else {
+			m.hardFails++
+		}
 		m.lastErr = err.Error()
-		if m.fails >= deadAfter {
+		if m.hardFails >= deadAfter || m.hardFails+m.softFails >= deadAfterTimeout {
 			m.state = StateDead
+		} else if m.state == StateAlive {
+			m.state = StateSuspect
 		}
 	} else {
-		m.fails = 0
+		m.hardFails, m.softFails = 0, 0
 		m.lastErr = ""
 		m.ready = ready
 		m.readyInfo = info
@@ -154,7 +240,7 @@ func (m *Member) applyCheck(ready bool, info service.ReadyInfo, err error, deadA
 			m.state = StateAlive
 		}
 	}
-	return wasRoutable != (m.state == StateAlive && !m.adminDrain)
+	return wasRoutable != m.routableLocked()
 }
 
 // setAdminDrain flips the operator drain bit, reporting whether
@@ -166,7 +252,19 @@ func (m *Member) setAdminDrain(drain bool) (changed bool) {
 		return false
 	}
 	m.adminDrain = drain
-	return m.state == StateAlive
+	return m.state == StateAlive || m.state == StateSuspect
+}
+
+// timeoutClass reports whether a failed exchange is timeout-flavored
+// (deadline exceeded, i/o timeout, black-holed link) rather than
+// refusal-flavored (connection refused, reset, EOF). The two classes
+// feed separate strike limits.
+func timeoutClass(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // checkMember performs one health check against the member's /readyz,

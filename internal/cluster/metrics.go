@@ -24,10 +24,24 @@ type Metrics struct {
 	Rebalances        int64 `json:"rebalances"`
 	Replications      int64 `json:"replications"`
 	ReplicationErrors int64 `json:"replication_errors"`
+	// ReplicationRetries counts replica installs retried after a
+	// transient failure.
+	ReplicationRetries int64 `json:"replication_retries"`
 	// CacheProbeHits counts requests served from a follower's replica
 	// while the key's owner was saturated.
 	CacheProbeHits int64 `json:"cache_probe_hits"`
 	NoMemberErrors int64 `json:"no_member_errors"`
+	// ForwardTimeouts / ForwardRefusals split transport-failed forwards
+	// by strike class (timeout-flavored vs refusal-flavored).
+	ForwardTimeouts int64 `json:"forward_timeouts"`
+	ForwardRefusals int64 `json:"forward_refusals"`
+	// InflightRejects counts forward attempts refused because the
+	// member's MaxInflight bound was exhausted.
+	InflightRejects int64 `json:"inflight_rejects"`
+	// Hedges counts slow-owner forwards that triggered replica cache
+	// probes; HedgeWins counts those answered by a replica first.
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
 
 	Forwards       map[string]int64 `json:"forwards_by_node"`
 	ForwardErrors  map[string]int64 `json:"forward_errors_by_node,omitempty"`
@@ -43,15 +57,21 @@ func (c *Coordinator) Metrics() Metrics {
 		Coordinator:   c.cfg.Name,
 		UptimeSeconds: time.Since(c.start).Seconds(),
 
-		Submits:           c.submits.Load(),
-		StatusReads:       c.statusReads.Load(),
-		Coalesced:         c.coalesced.Load(),
-		Reroutes:          c.reroutes.Load(),
-		Rebalances:        c.rebalances.Load(),
-		Replications:      c.replications.Load(),
-		ReplicationErrors: c.replicationErrs.Load(),
-		CacheProbeHits:    c.cacheProbeHits.Load(),
-		NoMemberErrors:    c.noMemberErrs.Load(),
+		Submits:            c.submits.Load(),
+		StatusReads:        c.statusReads.Load(),
+		Coalesced:          c.coalesced.Load(),
+		Reroutes:           c.reroutes.Load(),
+		Rebalances:         c.rebalances.Load(),
+		Replications:       c.replications.Load(),
+		ReplicationErrors:  c.replicationErrs.Load(),
+		ReplicationRetries: c.replicationRtry.Load(),
+		CacheProbeHits:     c.cacheProbeHits.Load(),
+		NoMemberErrors:     c.noMemberErrs.Load(),
+		ForwardTimeouts:    c.forwardTimeouts.Load(),
+		ForwardRefusals:    c.forwardRefusals.Load(),
+		InflightRejects:    c.inflightRejects.Load(),
+		Hedges:             c.hedges.Load(),
+		HedgeWins:          c.hedgeWins.Load(),
 
 		Forwards:       c.forwards.Snapshot(),
 		ForwardErrors:  c.forwardErrors.Snapshot(),
@@ -64,11 +84,14 @@ func (c *Coordinator) Metrics() Metrics {
 
 // PromExposition renders the coordinator state in the Prometheus text
 // format (GET /metrics). Label cardinality is bounded by the fixed
-// member set and the three member states.
+// member set and the four member states.
 func (c *Coordinator) PromExposition() []byte {
 	m := c.Metrics()
 
-	states := map[string]int64{string(StateAlive): 0, string(StateDead): 0, string(StateDraining): 0}
+	states := map[string]int64{
+		string(StateAlive): 0, string(StateSuspect): 0,
+		string(StateDead): 0, string(StateDraining): 0,
+	}
 	for _, ms := range m.Members {
 		states[string(ms.State)]++
 	}
@@ -82,8 +105,14 @@ func (c *Coordinator) PromExposition() []byte {
 	x.Counter("gspc_cluster_rebalances_total", "Ring rebuilds from membership or routability change.", float64(m.Rebalances))
 	x.Counter("gspc_cluster_replications_total", "Results replicated onto ring successors.", float64(m.Replications))
 	x.Counter("gspc_cluster_replication_errors_total", "Failed replica installs.", float64(m.ReplicationErrors))
+	x.Counter("gspc_cluster_replication_retries_total", "Replica installs retried after a transient failure.", float64(m.ReplicationRetries))
 	x.Counter("gspc_cluster_cache_probe_hits_total", "Requests served from a follower replica while the owner was saturated.", float64(m.CacheProbeHits))
 	x.Counter("gspc_cluster_no_member_errors_total", "Requests failed because no member was routable.", float64(m.NoMemberErrors))
+	x.Counter("gspc_cluster_forward_timeouts_total", "Transport-failed forwards classified as timeout-flavored.", float64(m.ForwardTimeouts))
+	x.Counter("gspc_cluster_forward_refusals_total", "Transport-failed forwards classified as refusal-flavored.", float64(m.ForwardRefusals))
+	x.Counter("gspc_cluster_inflight_rejects_total", "Forward attempts refused at a member's in-flight bound.", float64(m.InflightRejects))
+	x.Counter("gspc_cluster_hedges_total", "Slow-owner forwards that triggered replica cache probes.", float64(m.Hedges))
+	x.Counter("gspc_cluster_hedge_wins_total", "Hedged forwards answered by a replica before the owner.", float64(m.HedgeWins))
 	x.CounterVec("gspc_cluster_forwards_total", "Forwarded requests by member.", "node", m.Forwards)
 	x.CounterVec("gspc_cluster_forward_errors_total", "Transport-failed forwards by member.", "node", m.ForwardErrors)
 	x.CounterVec("gspc_cluster_replicas_installed_total", "Replicas installed by follower member.", "node", m.ReplicasByNode)

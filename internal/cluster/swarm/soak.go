@@ -1,0 +1,140 @@
+package swarm
+
+import (
+	"time"
+
+	"gspc/internal/faultinject"
+	"gspc/internal/leakcheck"
+)
+
+// weatherSystem is one entry in the soak's rolling weather palette.
+type weatherSystem struct {
+	name string
+	spec faultinject.NetSpec
+}
+
+// weatherPalette is the set of link conditions the soak rolls across
+// nodes. Rates are high enough to exercise every fault path within a
+// 2-minute run; partitions are budgeted separately (at most one node
+// partitioned at a time) so the cluster always has a quorum of clean
+// links to keep serving through.
+var weatherPalette = []weatherSystem{
+	{"clear", faultinject.NetSpec{}},
+	{"slow", faultinject.NetSpec{DelayRate: 0.7, Latency: 120 * time.Millisecond, Jitter: 80 * time.Millisecond}},
+	{"lossy", faultinject.NetSpec{DropRate: 0.15, DelayRate: 0.3, Latency: 40 * time.Millisecond}},
+	{"flaky", faultinject.NetSpec{ResetRate: 0.25, TruncateRate: 0.1}},
+	{"choked", faultinject.NetSpec{BandwidthBps: 32 << 10}},
+	{"refused", faultinject.NetSpec{Partition: faultinject.PartitionRefuse}},
+	{"blackhole", faultinject.NetSpec{Partition: faultinject.PartitionBlackhole}},
+}
+
+// shiftWeather rolls new weather onto one random node's link. At most
+// one link is partitioned at a time: a second partition draw downgrades
+// to clearing the first instead, which keeps the run a test of
+// partition *tolerance* rather than full outage behavior.
+func (s *swarm) shiftWeather() {
+	i := s.rng.Intn(len(s.proxies))
+	w := weatherPalette[s.rng.Intn(len(weatherPalette))]
+	if w.spec.Partition != faultinject.PartitionNone {
+		for j, name := range s.weather {
+			if j != i && (name == "refused" || name == "blackhole") {
+				w = weatherPalette[0]
+				break
+			}
+		}
+	}
+	if w.spec.Partition != faultinject.PartitionNone {
+		s.rep.Partitions++
+	}
+	s.proxies[i].SetSpec(w.spec)
+	s.weather[i] = w.name
+	s.rep.WeatherShifts++
+	s.cfg.Logger.Info("soak weather shift", "node", s.nodes[i].name, "weather", w.name)
+}
+
+// soak drives the duration-bounded soak: randomized traffic through the
+// fault proxies under rolling weather and process chaos, with inline
+// goroutine-hygiene sampling. The driver goroutine itself does all
+// sampling — a sampler goroutine would count itself.
+//
+// Asserted at interval: no module goroutine parked on a sync primitive
+// at one site past BlockedAfter (the stack-scan analogue of partial
+// deadlock detection). Asserted at exit, after heal and quiesce: the
+// same, plus zero module-goroutine growth over the post-boot baseline,
+// and the usual sticky acked-run visibility and one-simulation
+// coalescing contracts.
+func (s *swarm) soak() {
+	mon := leakcheck.NewMonitor(leakcheck.Options{Allow: []string{
+		// Idle engine workers park forever receiving from their queue;
+		// that is their steady state, not a deadlock.
+		"(*Engine).worker",
+	}})
+	s.rep.GoroutineBaseline = mon.Baseline()
+	s.rep.GoroutinePeak = s.rep.GoroutineBaseline
+
+	start := time.Now()
+	end := start.Add(s.cfg.Duration)
+	var lastWeather, lastBlocked, lastProof time.Time
+	proofs := 0
+
+	for time.Now().Before(end) {
+		switch roll := s.rng.Float64(); {
+		case roll < 0.40:
+			s.opSubmitAsync()
+		case roll < 0.55:
+			s.opSubmitSync()
+		case roll < 0.85:
+			s.opStatusPoll()
+		case roll < 0.90:
+			s.opKill()
+		case roll < 0.97:
+			s.opRestart()
+		case roll < 0.985:
+			s.opDrain()
+		default:
+			s.opUndrain()
+		}
+		s.rep.Ops++
+
+		if n := mon.Sample(); n > s.rep.GoroutinePeak {
+			s.rep.GoroutinePeak = n
+		}
+		now := time.Now()
+		if now.Sub(lastWeather) >= 2*time.Second {
+			lastWeather = now
+			s.shiftWeather()
+		}
+		if now.Sub(lastBlocked) >= 5*time.Second {
+			lastBlocked = now
+			s.rep.BlockedChecks++
+			if blocked := mon.Blocked(s.cfg.BlockedAfter); len(blocked) > 0 {
+				s.violate("soak: %d goroutines blocked past %v:\n%s",
+					len(blocked), s.cfg.BlockedAfter, leakcheck.FormatStacks(blocked))
+			}
+		}
+		if now.Sub(lastProof) >= 15*time.Second {
+			lastProof = now
+			proofs++
+			// The one-simulation guarantee is a stable-membership
+			// property, so each proof runs in a calm window: heal, prove,
+			// let the weather resume on the next shift.
+			s.heal()
+			s.proveCoalescing(proofs)
+		}
+	}
+
+	// Exit assertions on a healed, quiesced cluster.
+	s.heal()
+	s.quiesce()
+	s.rep.SoakSeconds = time.Since(start).Seconds()
+
+	mon.Sample()
+	if blocked := mon.Blocked(s.cfg.BlockedAfter); len(blocked) > 0 {
+		s.violate("soak exit: %d goroutines still blocked past %v:\n%s",
+			len(blocked), s.cfg.BlockedAfter, leakcheck.FormatStacks(blocked))
+	}
+	if extra, stacks := mon.Growth(15 * time.Second); extra > 0 {
+		s.violate("soak exit: %d goroutines above the post-boot baseline %d:\n%s",
+			extra, s.rep.GoroutineBaseline, leakcheck.FormatStacks(stacks))
+	}
+}

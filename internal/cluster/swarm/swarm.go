@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"gspc/internal/cluster"
+	"gspc/internal/faultinject"
 	"gspc/internal/harness"
 	"gspc/internal/service"
 )
@@ -59,6 +60,18 @@ type Config struct {
 	DataRoot string
 	// SimDelay is the stub simulation's duration. Default 5ms.
 	SimDelay time.Duration
+	// Soak switches from the fixed-length chaos schedule to the
+	// duration-bounded soak: every node sits behind a fault-injecting
+	// TCP proxy, a rolling weather schedule partitions and slows links,
+	// and goroutine hygiene (zero growth, no partial deadlock) is
+	// asserted at interval and at exit.
+	Soak bool
+	// Duration bounds a soak run. Default 2m.
+	Duration time.Duration
+	// BlockedAfter is how long a module goroutine may sit parked on one
+	// synchronization site before the soak calls it partially
+	// deadlocked. Default 15s.
+	BlockedAfter time.Duration
 	// Logger sinks coordinator/engine logs. Default: discard.
 	Logger *slog.Logger
 }
@@ -79,6 +92,12 @@ func (c Config) withDefaults() Config {
 	if c.SimDelay <= 0 {
 		c.SimDelay = 5 * time.Millisecond
 	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Minute
+	}
+	if c.BlockedAfter <= 0 {
+		c.BlockedAfter = 15 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -88,20 +107,27 @@ func (c Config) withDefaults() Config {
 // Report is the outcome of a swarm run. Violations empty means every
 // asserted property held for the whole schedule.
 type Report struct {
-	Seed        int64    `json:"seed"`
-	Nodes       int      `json:"nodes"`
-	Ops         int      `json:"ops"`
-	Submits     int      `json:"submits"`
-	Acked       int      `json:"acked"`
-	SyncSubmits int      `json:"sync_submits"`
-	StatusReads int      `json:"status_reads"`
-	Kills       int      `json:"kills"`
-	Restarts    int      `json:"restarts"`
-	Drains      int      `json:"drains"`
-	Undrains    int      `json:"undrains"`
-	Proofs      int      `json:"coalescing_proofs"`
-	Simulations int      `json:"simulations"`
-	Violations  []string `json:"violations,omitempty"`
+	Seed        int64 `json:"seed"`
+	Nodes       int   `json:"nodes"`
+	Ops         int   `json:"ops"`
+	Submits     int   `json:"submits"`
+	Acked       int   `json:"acked"`
+	SyncSubmits int   `json:"sync_submits"`
+	StatusReads int   `json:"status_reads"`
+	Kills       int   `json:"kills"`
+	Restarts    int   `json:"restarts"`
+	Drains      int   `json:"drains"`
+	Undrains    int   `json:"undrains"`
+	Proofs      int   `json:"coalescing_proofs"`
+	Simulations int   `json:"simulations"`
+	// Soak-only fields.
+	SoakSeconds       float64  `json:"soak_seconds,omitempty"`
+	WeatherShifts     int      `json:"weather_shifts,omitempty"`
+	Partitions        int      `json:"partitions,omitempty"`
+	BlockedChecks     int      `json:"blocked_checks,omitempty"`
+	GoroutineBaseline int      `json:"goroutine_baseline,omitempty"`
+	GoroutinePeak     int      `json:"goroutine_peak,omitempty"`
+	Violations        []string `json:"violations,omitempty"`
 }
 
 // simCounter counts stub simulations per cache key, cluster-wide.
@@ -165,6 +191,12 @@ type swarm struct {
 	coURL  string
 	client *http.Client
 
+	// Soak mode: one fault-injecting proxy per node (the coordinator
+	// dials the proxy, the proxy dials the node) and the current weather
+	// name per node, for logs and the partition budget.
+	proxies []*faultinject.Proxy
+	weather []string
+
 	acked []*ackedRun
 	rep   *Report
 }
@@ -194,8 +226,12 @@ func Run(cfg Config) (*Report, error) {
 	}
 	defer s.teardown()
 
-	s.schedule()
-	s.quiesce()
+	if cfg.Soak {
+		s.soak()
+	} else {
+		s.schedule()
+		s.quiesce()
+	}
 	s.rep.Simulations = s.sims.total()
 	return s.rep, nil
 }
@@ -302,15 +338,43 @@ func (s *swarm) boot(root string) error {
 		s.nodes[i] = n
 	}
 
-	specs := make([]cluster.MemberSpec, len(s.nodes))
-	for i, n := range s.nodes {
-		specs[i] = cluster.MemberSpec{Name: n.name, URL: "http://" + n.addr}
-	}
-	co, err := cluster.New(cluster.Config{
-		Name: "gspc-swarm", Members: specs, Replication: s.cfg.Replication,
+	ccfg := cluster.Config{
+		Name: "gspc-swarm", Replication: s.cfg.Replication,
 		HealthInterval: 250 * time.Millisecond, HealthTimeout: 2 * time.Second,
 		DeadAfter: 1, Logger: s.cfg.Logger,
-	})
+	}
+	specs := make([]cluster.MemberSpec, len(s.nodes))
+	if s.cfg.Soak {
+		// Every link crosses a seeded fault-injecting proxy; the node's
+		// real address stays the proxy's fixed target across restarts.
+		s.proxies = make([]*faultinject.Proxy, len(s.nodes))
+		s.weather = make([]string, len(s.nodes))
+		for i, n := range s.nodes {
+			p, err := faultinject.NewProxy(n.addr, s.cfg.Seed+int64(i)*7919, faultinject.NetSpec{})
+			if err != nil {
+				return err
+			}
+			s.proxies[i] = p
+			s.weather[i] = "clear"
+			specs[i] = cluster.MemberSpec{Name: n.name, URL: "http://" + p.Addr()}
+		}
+		// Soak-specific coordinator posture: production-like strike
+		// budgets (a blip must not eject), tight per-forward timeouts so
+		// black-holed links fail over in seconds, eager hedging, and no
+		// keep-alives — a healed partition must not leave the coordinator
+		// holding connections that pre-date the weather.
+		ccfg.DeadAfter = 2
+		ccfg.ForwardTimeout = 2 * time.Second
+		ccfg.HedgeDelay = 250 * time.Millisecond
+		ccfg.ReplicateBackoff = 100 * time.Millisecond
+		ccfg.Client = &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	} else {
+		for i, n := range s.nodes {
+			specs[i] = cluster.MemberSpec{Name: n.name, URL: "http://" + n.addr}
+		}
+	}
+	ccfg.Members = specs
+	co, err := cluster.New(ccfg)
 	if err != nil {
 		return err
 	}
@@ -333,6 +397,9 @@ func (s *swarm) teardown() {
 	}
 	if s.co != nil {
 		s.co.Close()
+	}
+	for _, p := range s.proxies {
+		p.Close()
 	}
 	for _, n := range s.nodes {
 		if n.alive {
@@ -667,13 +734,13 @@ func (s *swarm) schedule() {
 	}
 }
 
-// quiesce heals the cluster — every node up, nothing drained — and then
-// requires every acknowledged run to reach a stable terminal status.
-func (s *swarm) quiesce() {
+// heal restores full cluster health: every node running, nothing
+// drained, every proxy link clear, membership converged.
+func (s *swarm) heal() {
 	for _, n := range s.nodes {
 		if !n.alive {
 			if err := s.restart(n); err != nil {
-				s.violate("quiesce restart %s: %v", n.name, err)
+				s.violate("heal restart %s: %v", n.name, err)
 			}
 		}
 		if n.drained {
@@ -681,7 +748,17 @@ func (s *swarm) quiesce() {
 			s.co.Undrain(n.name)
 		}
 	}
+	for i, p := range s.proxies {
+		p.SetSpec(faultinject.NetSpec{})
+		s.weather[i] = "clear"
+	}
 	s.co.CheckNow()
+}
+
+// quiesce heals the cluster — every node up, nothing drained — and then
+// requires every acknowledged run to reach a stable terminal status.
+func (s *swarm) quiesce() {
+	s.heal()
 
 	deadline := time.Now().Add(30 * time.Second)
 	for _, run := range s.acked {

@@ -2,6 +2,9 @@ package swarm
 
 import (
 	"testing"
+	"time"
+
+	"gspc/internal/leakcheck"
 )
 
 // TestSwarmChaos runs the seeded chaos schedule against an in-process
@@ -30,6 +33,40 @@ func TestSwarmChaos(t *testing.T) {
 	t.Logf("seed=%d ops=%d acked=%d statusReads=%d kills=%d restarts=%d drains=%d proofs=%d sims=%d",
 		rep.Seed, rep.Ops, rep.Acked, rep.StatusReads, rep.Kills, rep.Restarts,
 		rep.Drains, rep.Proofs, rep.Simulations)
+}
+
+// TestSwarmSoakShort runs a compressed network-weather soak: traffic
+// through the fault proxies under rolling weather, with the leak and
+// partial-deadlock assertions live. CI runs the full 90-second version
+// through cmd/gspc-swarm; this keeps the soak machinery itself under
+// -race on every test run.
+func TestSwarmSoakShort(t *testing.T) {
+	leakcheck.Check(t)
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	rep, err := Run(Config{
+		Nodes: 3, Seed: 5, DataRoot: t.TempDir(),
+		Soak: true, Duration: 8 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.WeatherShifts == 0 {
+		t.Error("soak shifted no weather")
+	}
+	if rep.BlockedChecks == 0 {
+		t.Error("soak ran no blocked-goroutine checks")
+	}
+	if rep.GoroutineBaseline == 0 {
+		t.Error("soak recorded no goroutine baseline")
+	}
+	t.Logf("seed=%d ops=%d shifts=%d partitions=%d peak=%d/%d sims=%d",
+		rep.Seed, rep.Ops, rep.WeatherShifts, rep.Partitions,
+		rep.GoroutinePeak, rep.GoroutineBaseline, rep.Simulations)
 }
 
 // TestSwarmSeeds sweeps a few more seeds at a shorter schedule so the

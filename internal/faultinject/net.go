@@ -1,0 +1,392 @@
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// PartitionMode says how a severed link manifests to the caller.
+type PartitionMode int
+
+// Partition modes.
+const (
+	// PartitionNone leaves the link connected.
+	PartitionNone PartitionMode = iota
+	// PartitionRefuse fails connections immediately, like a host whose
+	// process is gone: the caller sees a refused/reset connection.
+	PartitionRefuse
+	// PartitionBlackhole swallows traffic without answering, like a
+	// dropped route: the caller hangs until its own deadline fires.
+	PartitionBlackhole
+)
+
+func (p PartitionMode) String() string {
+	switch p {
+	case PartitionRefuse:
+		return "refuse"
+	case PartitionBlackhole:
+		return "blackhole"
+	default:
+		return "none"
+	}
+}
+
+// NetSpec parameterizes one link's weather. Rates are probabilities in
+// [0, 1] evaluated per exchange in the order drop, reset, truncate,
+// delay — at most one fires (plus the unconditional Partition and
+// BandwidthBps, which apply always). The zero value is a clean link.
+type NetSpec struct {
+	// Partition severs the link entirely, regardless of the rates.
+	Partition PartitionMode
+
+	// DropRate black-holes an exchange: the request is consumed and no
+	// response ever comes; the caller hangs until its deadline.
+	DropRate float64
+	// ResetRate kills the connection before any response byte — the
+	// caller sees a reset/EOF transport error.
+	ResetRate float64
+	// TruncateRate cuts the response off after TruncateBytes body bytes.
+	TruncateRate float64
+	// TruncateBytes is the response prefix delivered before a truncate
+	// (default 64).
+	TruncateBytes int
+	// DelayRate adds Latency (±Jitter) to an exchange.
+	DelayRate float64
+	// Latency is the added delay when DelayRate fires.
+	Latency time.Duration
+	// Jitter widens Latency to Latency±Jitter, drawn from the seed.
+	Jitter time.Duration
+
+	// BandwidthBps caps response throughput in bytes/second (0 = no cap).
+	BandwidthBps int
+}
+
+// clean reports a spec with no faults at all.
+func (s NetSpec) clean() bool {
+	return s.Partition == PartitionNone && s.DropRate == 0 && s.ResetRate == 0 &&
+		s.TruncateRate == 0 && s.DelayRate == 0 && s.BandwidthBps == 0
+}
+
+// NetDecision is one injected outcome kind, recorded in decision logs.
+type NetDecision string
+
+// Decision kinds.
+const (
+	NetPass      NetDecision = "pass"
+	NetDelay     NetDecision = "delay"
+	NetDrop      NetDecision = "drop"
+	NetReset     NetDecision = "reset"
+	NetTruncate  NetDecision = "truncate"
+	NetRefused   NetDecision = "partition-refused"
+	NetBlackhole NetDecision = "partition-blackhole"
+)
+
+// NetCounts tallies decisions for assertions and metrics.
+type NetCounts struct {
+	Exchanges   int64
+	Passes      int64
+	Delays      int64
+	Drops       int64
+	Resets      int64
+	Truncates   int64
+	Partitioned int64
+}
+
+// netOutcome is one fully drawn decision: the kind plus the concrete
+// parameters (delay duration, truncate length) drawn from the seed, so
+// identical seeds produce bit-identical outcome sequences.
+type netOutcome struct {
+	kind     NetDecision
+	delay    time.Duration
+	truncate int
+	n        int64 // decision sequence number, for attribution
+}
+
+// roller is the shared seeded decision engine behind Transport and
+// Proxy: every decision is drawn under one lock from one seeded source,
+// so the same seed yields the same outcome sequence regardless of
+// wall-clock or scheduling (concurrent callers still each get a
+// deterministic multiset of outcomes, exactly like Random).
+type roller struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	n      int64
+	counts NetCounts
+	record bool
+	log    []NetDecision
+}
+
+func newRoller(seed int64, record bool) *roller {
+	return &roller{rng: rand.New(rand.NewSource(seed)), record: record}
+}
+
+// decide draws the next outcome for spec.
+func (r *roller) decide(spec NetSpec) netOutcome {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	r.counts.Exchanges++
+	out := netOutcome{kind: NetPass, n: r.n}
+	switch spec.Partition {
+	case PartitionRefuse:
+		out.kind = NetRefused
+	case PartitionBlackhole:
+		out.kind = NetBlackhole
+	default:
+		roll := r.rng.Float64()
+		switch {
+		case roll < spec.DropRate:
+			out.kind = NetDrop
+		case roll < spec.DropRate+spec.ResetRate:
+			out.kind = NetReset
+		case roll < spec.DropRate+spec.ResetRate+spec.TruncateRate:
+			out.kind = NetTruncate
+			out.truncate = spec.TruncateBytes
+			if out.truncate <= 0 {
+				out.truncate = 64
+			}
+		case roll < spec.DropRate+spec.ResetRate+spec.TruncateRate+spec.DelayRate:
+			out.kind = NetDelay
+			out.delay = spec.Latency
+			if spec.Jitter > 0 {
+				out.delay += time.Duration(r.rng.Int63n(2*int64(spec.Jitter))) - spec.Jitter
+			}
+			if out.delay < 0 {
+				out.delay = 0
+			}
+		}
+	}
+	switch out.kind {
+	case NetPass:
+		r.counts.Passes++
+	case NetDelay:
+		r.counts.Delays++
+	case NetDrop:
+		r.counts.Drops++
+	case NetReset:
+		r.counts.Resets++
+	case NetTruncate:
+		r.counts.Truncates++
+	case NetRefused, NetBlackhole:
+		r.counts.Partitioned++
+	}
+	if r.record {
+		r.log = append(r.log, out.kind)
+	}
+	return out
+}
+
+func (r *roller) enableRecord() {
+	r.mu.Lock()
+	r.record = true
+	r.mu.Unlock()
+}
+
+func (r *roller) snapshot() NetCounts {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts
+}
+
+func (r *roller) decisions() []NetDecision {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]NetDecision(nil), r.log...)
+}
+
+// NetError is an injected transport-level failure. Timeout-flavored
+// injections (drops, black-holes) report Timeout() true so callers that
+// classify timeout-vs-refusal (the cluster coordinator) see the same
+// taxonomy real links produce.
+type NetError struct {
+	// Kind is the decision that produced the error.
+	Kind NetDecision
+	// N is the decision sequence number, for attributable storm logs.
+	N int64
+	// IsTimeout marks timeout-class failures.
+	IsTimeout bool
+}
+
+// Error implements error.
+func (e *NetError) Error() string {
+	return fmt.Sprintf("faultinject: injected net fault %s #%d", e.Kind, e.N)
+}
+
+// Timeout implements net.Error's timeout classification.
+func (e *NetError) Timeout() bool { return e.IsTimeout }
+
+// Temporary marks every injected net fault as transient.
+func (e *NetError) Temporary() bool { return true }
+
+// Transport is a NetSpec-driven http.RoundTripper: it wraps a base
+// transport and injects link weather per exchange, with an optional
+// per-host override so a single client can see asymmetric conditions —
+// e.g. a partition between this caller and one specific member while
+// every other link stays clean. All decisions flow from the seed;
+// specs are live-reconfigurable.
+type Transport struct {
+	// Base performs real exchanges (http.DefaultTransport when nil).
+	Base http.RoundTripper
+
+	r  *roller
+	mu sync.Mutex
+	// def is the default link spec; perHost overrides it by URL host.
+	def     NetSpec
+	perHost map[string]NetSpec
+}
+
+// NewTransport builds a seeded fault-injecting round tripper with the
+// given default link spec.
+func NewTransport(seed int64, spec NetSpec) *Transport {
+	return &Transport{r: newRoller(seed, false), def: spec, perHost: map[string]NetSpec{}}
+}
+
+// Record starts logging every decision kind (for determinism tests);
+// call before any traffic.
+func (t *Transport) Record() *Transport { t.r.enableRecord(); return t }
+
+// SetSpec replaces the default link spec, live.
+func (t *Transport) SetSpec(spec NetSpec) {
+	t.mu.Lock()
+	t.def = spec
+	t.mu.Unlock()
+}
+
+// SetHostSpec overrides the spec for one host ("127.0.0.1:8081"),
+// live. A zero NetSpec removes the override.
+func (t *Transport) SetHostSpec(host string, spec NetSpec) {
+	t.mu.Lock()
+	if spec.clean() {
+		delete(t.perHost, host)
+	} else {
+		t.perHost[host] = spec
+	}
+	t.mu.Unlock()
+}
+
+// specFor resolves the spec governing a request's link.
+func (t *Transport) specFor(host string) NetSpec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.perHost[host]; ok {
+		return s
+	}
+	return t.def
+}
+
+// Counts snapshots the decision tally.
+func (t *Transport) Counts() NetCounts { return t.r.snapshot() }
+
+// Decisions returns the recorded decision log (Record must have been
+// enabled).
+func (t *Transport) Decisions() []NetDecision { return t.r.decisions() }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	spec := t.specFor(req.URL.Host)
+	out := t.r.decide(spec)
+	n := out.n
+
+	ctx := req.Context()
+	switch out.kind {
+	case NetRefused:
+		return nil, &NetError{Kind: out.kind, N: n}
+	case NetBlackhole, NetDrop:
+		// Swallow the exchange: hang until the caller's own deadline.
+		<-ctx.Done()
+		return nil, &NetError{Kind: out.kind, N: n, IsTimeout: true}
+	case NetReset:
+		return nil, &NetError{Kind: out.kind, N: n}
+	case NetDelay:
+		tm := time.NewTimer(out.delay)
+		defer tm.Stop()
+		select {
+		case <-tm.C:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if out.kind == NetTruncate {
+		resp.Body = &truncatedBody{rc: resp.Body, remain: out.truncate, kind: out.kind, n: n}
+		resp.ContentLength = -1
+	} else if spec.BandwidthBps > 0 {
+		resp.Body = &throttledBody{rc: resp.Body, bps: spec.BandwidthBps, ctx: ctx}
+	}
+	return resp, nil
+}
+
+// truncatedBody delivers a prefix of the real body, then fails the read
+// the way a torn connection does.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int
+	kind   NetDecision
+	n      int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, &NetError{Kind: b.kind, N: b.n}
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= n
+	if err == io.EOF {
+		// The whole body fit under the cut; nothing was truncated.
+		return n, err
+	}
+	if b.remain <= 0 && err == nil {
+		return n, &NetError{Kind: b.kind, N: b.n}
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// throttledBody caps read throughput at bps, sleeping between chunks.
+type throttledBody struct {
+	rc  io.ReadCloser
+	bps int
+	ctx context.Context
+}
+
+func (b *throttledBody) Read(p []byte) (int, error) {
+	// Cap each read to ~50ms worth of budget so the pacing is smooth.
+	chunk := b.bps / 20
+	if chunk < 1 {
+		chunk = 1
+	}
+	if len(p) > chunk {
+		p = p[:chunk]
+	}
+	n, err := b.rc.Read(p)
+	if n > 0 {
+		d := time.Duration(float64(n) / float64(b.bps) * float64(time.Second))
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-b.ctx.Done():
+			return n, b.ctx.Err()
+		}
+	}
+	return n, err
+}
+
+func (b *throttledBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,414 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stormSpec exercises every probabilistic fault kind at once.
+var stormSpec = NetSpec{
+	DropRate: 0.1, ResetRate: 0.2, TruncateRate: 0.2, TruncateBytes: 8,
+	DelayRate: 0.2, Latency: time.Millisecond, Jitter: time.Millisecond,
+}
+
+// TestRollerSeededDeterminism: the acceptance property — the same seed
+// yields a bit-identical decision sequence, for every fault kind; a
+// different seed yields a different storm.
+func TestRollerSeededDeterminism(t *testing.T) {
+	draw := func(seed int64, spec NetSpec, n int) []NetDecision {
+		r := newRoller(seed, true)
+		for i := 0; i < n; i++ {
+			r.decide(spec)
+		}
+		return r.decisions()
+	}
+
+	a := draw(42, stormSpec, 500)
+	b := draw(42, stormSpec, 500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different decision sequences")
+	}
+	if reflect.DeepEqual(a, draw(43, stormSpec, 500)) {
+		t.Error("different seeds produced identical 500-decision sequences")
+	}
+
+	// Every kind must actually occur in a 500-decision storm.
+	seen := map[NetDecision]bool{}
+	for _, d := range a {
+		seen[d] = true
+	}
+	for _, want := range []NetDecision{NetPass, NetDelay, NetDrop, NetReset, NetTruncate} {
+		if !seen[want] {
+			t.Errorf("decision kind %s never drawn in 500 decisions", want)
+		}
+	}
+}
+
+// TestRollerOutcomeParameters: not just the kinds — the drawn
+// parameters (delay durations) are seed-deterministic too.
+func TestRollerOutcomeParameters(t *testing.T) {
+	spec := NetSpec{DelayRate: 1, Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	draw := func(seed int64) []time.Duration {
+		r := newRoller(seed, false)
+		out := make([]time.Duration, 100)
+		for i := range out {
+			o := r.decide(spec)
+			if o.kind != NetDelay {
+				t.Fatalf("DelayRate=1 drew %s", o.kind)
+			}
+			out[i] = o.delay
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed drew different delay durations")
+	}
+	varied := false
+	for _, d := range a {
+		if d < 5*time.Millisecond || d > 15*time.Millisecond {
+			t.Fatalf("delay %v outside Latency±Jitter", d)
+		}
+		if d != a[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("jitter never varied the delay")
+	}
+}
+
+// TestRollerPartitionOverridesRates: a partition decides every exchange
+// regardless of the probabilistic rates.
+func TestRollerPartitionOverridesRates(t *testing.T) {
+	spec := stormSpec
+	spec.Partition = PartitionRefuse
+	r := newRoller(1, true)
+	for i := 0; i < 50; i++ {
+		if o := r.decide(spec); o.kind != NetRefused {
+			t.Fatalf("partitioned link drew %s", o.kind)
+		}
+	}
+	spec.Partition = PartitionBlackhole
+	if o := r.decide(spec); o.kind != NetBlackhole {
+		t.Fatalf("blackhole partition drew %s", o.kind)
+	}
+	if c := r.snapshot(); c.Partitioned != 51 {
+		t.Errorf("Partitioned = %d, want 51", c.Partitioned)
+	}
+}
+
+func newEchoServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestTransportFaultKinds drives each fault kind through the
+// RoundTripper against a real server and asserts the caller-visible
+// shape: refusals and resets error immediately, drops hang until the
+// deadline with a timeout-classified error, truncation tears the body
+// mid-read, delays add latency, passes are untouched.
+func TestTransportFaultKinds(t *testing.T) {
+	const body = "0123456789abcdef0123456789abcdef0123456789abcdef" // 48 bytes
+	ts := newEchoServer(t, body)
+
+	t.Run("refused", func(t *testing.T) {
+		tr := NewTransport(1, NetSpec{Partition: PartitionRefuse})
+		_, err := (&http.Client{Transport: tr}).Get(ts.URL)
+		var ne *NetError
+		if !errors.As(err, &ne) || ne.Kind != NetRefused {
+			t.Fatalf("err = %v, want injected partition-refused", err)
+		}
+		if ne.Timeout() {
+			t.Error("refusal classified as timeout")
+		}
+	})
+
+	t.Run("blackhole-times-out", func(t *testing.T) {
+		tr := NewTransport(1, NetSpec{Partition: PartitionBlackhole})
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+		start := time.Now()
+		_, err := (&http.Client{Transport: tr}).Do(req)
+		if time.Since(start) < 40*time.Millisecond {
+			t.Error("blackhole returned before the deadline")
+		}
+		var ne *NetError
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("err = %v, want timeout-classified injected fault", err)
+		}
+	})
+
+	t.Run("reset", func(t *testing.T) {
+		tr := NewTransport(1, NetSpec{ResetRate: 1})
+		_, err := (&http.Client{Transport: tr}).Get(ts.URL)
+		var ne *NetError
+		if !errors.As(err, &ne) || ne.Kind != NetReset {
+			t.Fatalf("err = %v, want injected reset", err)
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		tr := NewTransport(1, NetSpec{TruncateRate: 1, TruncateBytes: 8})
+		resp, err := (&http.Client{Transport: tr}).Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err == nil {
+			t.Fatalf("truncated body read succeeded with %d bytes", len(b))
+		}
+		if len(b) > 8 {
+			t.Errorf("read %d bytes past the truncation point", len(b))
+		}
+		if string(b) != body[:len(b)] {
+			t.Errorf("delivered prefix corrupted: %q", b)
+		}
+	})
+
+	t.Run("delay", func(t *testing.T) {
+		tr := NewTransport(1, NetSpec{DelayRate: 1, Latency: 60 * time.Millisecond})
+		start := time.Now()
+		resp, err := (&http.Client{Transport: tr}).Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if d := time.Since(start); d < 60*time.Millisecond {
+			t.Errorf("exchange took %v, want >= 60ms injected latency", d)
+		}
+	})
+
+	t.Run("pass", func(t *testing.T) {
+		tr := NewTransport(1, NetSpec{})
+		resp, err := (&http.Client{Transport: tr}).Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if string(b) != body {
+			t.Errorf("clean link corrupted the body: %q", b)
+		}
+	})
+
+	t.Run("bandwidth", func(t *testing.T) {
+		// 480 bytes/sec over a 48-byte body ≈ 100ms.
+		tr := NewTransport(1, NetSpec{BandwidthBps: 480})
+		start := time.Now()
+		resp, err := (&http.Client{Transport: tr}).Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil || string(b) != body {
+			t.Fatalf("throttled body corrupted: %q err=%v", b, err)
+		}
+		if d := time.Since(start); d < 50*time.Millisecond {
+			t.Errorf("48 bytes at 480 B/s took %v, want >= 50ms", d)
+		}
+	})
+}
+
+// TestTransportAsymmetricHostSpec: a per-host override partitions one
+// link while the default keeps the other clean — the asymmetric
+// (coordinator, member)-pair shape.
+func TestTransportAsymmetricHostSpec(t *testing.T) {
+	a := newEchoServer(t, "alpha")
+	b := newEchoServer(t, "beta")
+	hostOf := func(u string) string { return strings.TrimPrefix(u, "http://") }
+
+	tr := NewTransport(9, NetSpec{})
+	tr.SetHostSpec(hostOf(a.URL), NetSpec{Partition: PartitionRefuse})
+	client := &http.Client{Transport: tr}
+
+	if _, err := client.Get(a.URL); err == nil {
+		t.Fatal("partitioned host served a request")
+	}
+	resp, err := client.Get(b.URL)
+	if err != nil {
+		t.Fatalf("clean host failed: %v", err)
+	}
+	resp.Body.Close()
+
+	// Live reconfiguration: clearing the override heals the link.
+	tr.SetHostSpec(hostOf(a.URL), NetSpec{})
+	resp, err = client.Get(a.URL)
+	if err != nil {
+		t.Fatalf("healed host still failing: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestTransportDeterministicStorm: two identically-seeded transports
+// fed identical traffic log identical decisions.
+func TestTransportDeterministicStorm(t *testing.T) {
+	ts := newEchoServer(t, "payload")
+	run := func(seed int64) []NetDecision {
+		tr := NewTransport(seed, NetSpec{ResetRate: 0.3, TruncateRate: 0.3, TruncateBytes: 2}).Record()
+		client := &http.Client{Transport: tr}
+		for i := 0; i < 60; i++ {
+			resp, err := client.Get(ts.URL)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return tr.Decisions()
+	}
+	if !reflect.DeepEqual(run(1234), run(1234)) {
+		t.Fatal("identically seeded transports diverged")
+	}
+}
+
+// dialProxy opens a raw TCP conn to the proxy and performs one
+// HTTP/1.0-ish exchange, returning the response bytes and read error.
+func dialProxy(t *testing.T, addr string, timeout time.Duration) ([]byte, error) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	io.WriteString(conn, "GET / HTTP/1.0\r\nHost: x\r\n\r\n")
+	return io.ReadAll(conn)
+}
+
+func TestProxyPassesCleanTraffic(t *testing.T) {
+	ts := newEchoServer(t, "clean payload")
+	p, err := NewProxy(strings.TrimPrefix(ts.URL, "http://"), 1, NetSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	b, err := dialProxy(t, p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("clean proxy exchange failed: %v", err)
+	}
+	if !strings.Contains(string(b), "clean payload") {
+		t.Errorf("body missing payload: %q", b)
+	}
+	if c := p.Counts(); c.Passes != 1 {
+		t.Errorf("passes = %d, want 1", c.Passes)
+	}
+}
+
+func TestProxyPartitionRefuse(t *testing.T) {
+	ts := newEchoServer(t, "x")
+	p, err := NewProxy(strings.TrimPrefix(ts.URL, "http://"), 1, NetSpec{Partition: PartitionRefuse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	b, _ := dialProxy(t, p.Addr(), time.Second)
+	if len(b) != 0 {
+		t.Errorf("partitioned proxy answered: %q", b)
+	}
+
+	// Live heal: clearing the partition restores service on the same
+	// proxy address.
+	p.SetSpec(NetSpec{})
+	b, err = dialProxy(t, p.Addr(), 2*time.Second)
+	if err != nil || !strings.Contains(string(b), "200 OK") {
+		t.Errorf("healed proxy exchange: %q err=%v", b, err)
+	}
+}
+
+func TestProxyBlackholeHangsUntilClientDeadline(t *testing.T) {
+	ts := newEchoServer(t, "x")
+	p, err := NewProxy(strings.TrimPrefix(ts.URL, "http://"), 1, NetSpec{Partition: PartitionBlackhole})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	start := time.Now()
+	b, rerr := dialProxy(t, p.Addr(), 150*time.Millisecond)
+	if len(b) != 0 {
+		t.Errorf("blackholed proxy answered: %q", b)
+	}
+	if rerr == nil {
+		t.Error("blackholed read returned no error")
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Errorf("blackhole returned after %v, want to hang to the deadline", d)
+	}
+}
+
+func TestProxySetSpecSeversEstablishedConns(t *testing.T) {
+	ts := newEchoServer(t, "x")
+	p, err := NewProxy(strings.TrimPrefix(ts.URL, "http://"), 1, NetSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Let the proxy accept and register the conn before the flip.
+	time.Sleep(50 * time.Millisecond)
+
+	p.SetSpec(NetSpec{Partition: PartitionRefuse})
+	conn.SetDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("established conn survived a partition flip")
+	}
+}
+
+func TestProxyTruncatesResponses(t *testing.T) {
+	body := strings.Repeat("z", 4096)
+	ts := newEchoServer(t, body)
+	p, err := NewProxy(strings.TrimPrefix(ts.URL, "http://"), 1,
+		NetSpec{TruncateRate: 1, TruncateBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	b, _ := dialProxy(t, p.Addr(), 2*time.Second)
+	if len(b) == 0 || len(b) > 100 {
+		t.Errorf("truncated exchange delivered %d bytes, want 1..100", len(b))
+	}
+}
+
+func TestProxyDeterministicDecisions(t *testing.T) {
+	ts := newEchoServer(t, "d")
+	spec := NetSpec{ResetRate: 0.4, DelayRate: 0.3, Latency: time.Millisecond}
+	run := func(seed int64) []NetDecision {
+		p, err := NewProxy(strings.TrimPrefix(ts.URL, "http://"), seed, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		p.Record()
+		for i := 0; i < 40; i++ {
+			dialProxy(t, p.Addr(), 500*time.Millisecond)
+		}
+		return p.Decisions()
+	}
+	if !reflect.DeepEqual(run(77), run(77)) {
+		t.Fatal("identically seeded proxies diverged")
+	}
+}

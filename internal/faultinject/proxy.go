@@ -1,0 +1,269 @@
+package faultinject
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a fault-injecting TCP proxy: it listens on its own address,
+// pipes every accepted connection to a fixed target, and applies the
+// current NetSpec to each connection — added latency, bandwidth caps,
+// resets, response truncation, black-holes, and full partitions. Put
+// one in front of each cluster member and the coordinator experiences
+// real network weather on real sockets, not mocked errors.
+//
+// Per-connection decisions flow from the seed in accept order, so a
+// given seed produces a deterministic outcome sequence; which
+// connection draws which outcome depends on arrival order, exactly like
+// the call-order semantics of Random.
+//
+// SetSpec reconfigures the weather live. Raising a partition also
+// severs established connections — keep-alive connections must not
+// tunnel through a partition that post-dates them.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	r      *roller
+
+	mu     sync.Mutex
+	spec   NetSpec
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewProxy starts a proxy for target ("127.0.0.1:8081") on a fresh
+// loopback address, seeded and with initial weather spec.
+func NewProxy(target string, seed int64, spec NetSpec) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln: ln, target: target, r: newRoller(seed, false),
+		spec: spec, conns: map[net.Conn]struct{}{}, done: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listening address; point clients here instead of
+// at the target.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Target is the address the proxy forwards to.
+func (p *Proxy) Target() string { return p.target }
+
+// Record starts logging decisions (determinism tests); call before any
+// traffic.
+func (p *Proxy) Record() *Proxy { p.r.enableRecord(); return p }
+
+// Counts snapshots the decision tally.
+func (p *Proxy) Counts() NetCounts { return p.r.snapshot() }
+
+// Decisions returns the recorded decision log.
+func (p *Proxy) Decisions() []NetDecision { return p.r.decisions() }
+
+// Spec returns the current weather.
+func (p *Proxy) Spec() NetSpec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spec
+}
+
+// SetSpec replaces the weather live. Entering a partition severs every
+// established connection, so in-flight exchanges fail the way a real
+// route withdrawal fails them.
+func (p *Proxy) SetSpec(spec NetSpec) {
+	p.mu.Lock()
+	p.spec = spec
+	var sever []net.Conn
+	if spec.Partition != PartitionNone {
+		for c := range p.conns {
+			sever = append(sever, c)
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range sever {
+		c.Close()
+	}
+}
+
+// Close stops the listener, severs every connection, and waits for the
+// piping goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// track registers a connection for partition severing; it reports false
+// when the proxy is already closed (caller must close the conn itself).
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if !p.track(conn) {
+			conn.Close()
+			return
+		}
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+// sleep waits d, aborting early when the proxy closes. It reports
+// whether the full wait completed.
+func (p *Proxy) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// serve applies one connection's drawn outcome and pipes bytes.
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(client)
+	defer client.Close()
+
+	spec := p.Spec()
+	out := p.r.decide(spec)
+
+	switch out.kind {
+	case NetRefused:
+		return // immediate close: the client sees a reset/EOF
+	case NetBlackhole, NetDrop:
+		// Swallow everything and never answer. The discard loop returns
+		// when the client gives up (its deadline) or the proxy severs the
+		// conn (Close or a SetSpec partition flip).
+		io.Copy(io.Discard, client)
+		return
+	case NetReset:
+		// Consume the request, then kill the conn before any response
+		// byte: the client's read fails mid-exchange. A short grace lets
+		// the request actually hit the wire first.
+		buf := make([]byte, 4096)
+		client.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		client.Read(buf)
+		return
+	case NetDelay:
+		if !p.sleep(out.delay) {
+			return
+		}
+	}
+
+	server, err := net.DialTimeout("tcp", p.target, 10*time.Second)
+	if err != nil {
+		return
+	}
+	if !p.track(server) {
+		server.Close()
+		return
+	}
+	defer p.untrack(server)
+	defer server.Close()
+
+	// Request path: plain pipe. Closing either side unblocks the other
+	// copy via read errors.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		io.Copy(server, client)
+		// Half-close toward the server so it sees EOF on the request
+		// stream but the response path stays open.
+		if tc, ok := server.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+
+	// Response path: apply truncation and bandwidth shaping.
+	switch {
+	case out.kind == NetTruncate:
+		io.CopyN(client, server, int64(out.truncate))
+		// Abrupt close mid-response: the client sees a torn body.
+	case spec.BandwidthBps > 0:
+		p.throttleCopy(client, server, spec.BandwidthBps)
+	default:
+		io.Copy(client, server)
+	}
+}
+
+// throttleCopy pipes server→client capped at bps, re-reading the live
+// spec each chunk so weather changes apply to long transfers; it aborts
+// when a partition rises or the proxy closes.
+func (p *Proxy) throttleCopy(dst io.Writer, src io.Reader, bps int) {
+	chunk := bps / 20
+	if chunk < 1 {
+		chunk = 1
+	}
+	buf := make([]byte, chunk)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+			spec := p.Spec()
+			if spec.Partition != PartitionNone {
+				return
+			}
+			if spec.BandwidthBps > 0 {
+				d := time.Duration(float64(n) / float64(spec.BandwidthBps) * float64(time.Second))
+				if !p.sleep(d) {
+					return
+				}
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package leakcheck is a dependency-free goroutine hygiene probe shared
+// by the service, cluster, and swarm test suites and by the soak
+// harness. It scans runtime stack dumps for goroutines that run code
+// from this module (any gspc/internal/ frame) and answers two
+// questions:
+//
+//   - Leak: are more module goroutines alive now than at a recorded
+//     baseline? Stdlib helpers (net/http keep-alives, test machinery)
+//     are invisible to the filter, so growth means the engine itself
+//     leaked.
+//
+//   - Partial deadlock: is any module goroutine parked on a
+//     synchronization primitive — a mutex, a channel operation, a
+//     WaitGroup — at the same site for longer than a threshold? This is
+//     the stack-scan analogue of Golf's runtime detection of partially
+//     deadlocked goroutines: double-locks park in sync.Mutex.Lock
+//     forever, abandoned channel waiters park in chan send/receive.
+//     Legitimate long waiters (an idle worker ranging over its queue)
+//     are excused by an allowlist of frame substrings, never by
+//     loosening the states.
+//
+// The Monitor tracks blocked-site residency across explicit Sample
+// calls, so a harness that samples every few hundred milliseconds gets
+// sub-minute detection (the runtime's own "N minutes" annotation is far
+// too coarse for a 2-minute soak).
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultFilter is the stack substring that marks a goroutine as owned
+// by this module.
+const DefaultFilter = "gspc/internal/"
+
+// blockedStates are the runtime wait reasons that indicate a goroutine
+// parked on a synchronization primitive. "select", "sleep", and "IO
+// wait" are deliberately absent: ticker loops, backoff timers, and
+// listeners legitimately park there forever.
+var blockedStates = map[string]bool{
+	"chan send":               true,
+	"chan receive":            true,
+	"chan send (nil chan)":    true,
+	"chan receive (nil chan)": true,
+	"sync.Mutex.Lock":         true,
+	"sync.RWMutex.Lock":       true,
+	"sync.RWMutex.RLock":      true,
+	"sync.WaitGroup.Wait":     true,
+	"sync.Cond.Wait":          true,
+	"semacquire":              true,
+}
+
+// Goroutine is one parsed stack-dump record.
+type Goroutine struct {
+	// ID is the runtime goroutine id from the dump header.
+	ID int64
+	// State is the wait reason ("running", "chan receive", ...), with
+	// the runtime's ", N minutes" suffix stripped.
+	State string
+	// WaitMinutes is the runtime's own coarse wait annotation (0 when
+	// the goroutine has been parked under a minute).
+	WaitMinutes int
+	// Site is the innermost non-runtime function, the stable identity of
+	// where the goroutine is parked.
+	Site string
+	// Stack is the raw dump record, for failure messages.
+	Stack string
+}
+
+// Blocked reports whether the goroutine is parked on a synchronization
+// primitive (as opposed to running, in a select, sleeping, or in I/O).
+func (g Goroutine) Blocked() bool { return blockedStates[g.State] }
+
+// parseDump splits one runtime.Stack(buf, true) dump into records,
+// dropping the first (the calling goroutine).
+func parseDump(dump string) []Goroutine {
+	var out []Goroutine
+	for i, rec := range strings.Split(dump, "\n\n") {
+		if i == 0 || rec == "" {
+			continue
+		}
+		out = append(out, parseRecord(rec))
+	}
+	return out
+}
+
+// parseRecord decodes one "goroutine N [state, K minutes]:" record.
+func parseRecord(rec string) Goroutine {
+	g := Goroutine{Stack: rec}
+	head, rest, _ := strings.Cut(rec, "\n")
+	if open := strings.IndexByte(head, '['); open >= 0 && strings.HasSuffix(head, "]:") {
+		state := head[open+1 : len(head)-2]
+		if s, mins, ok := strings.Cut(state, ", "); ok {
+			state = s
+			g.WaitMinutes, _ = strconv.Atoi(strings.TrimSuffix(mins, " minutes"))
+		}
+		g.State = state
+		fields := strings.Fields(head[:open])
+		if len(fields) >= 2 {
+			g.ID, _ = strconv.ParseInt(fields[1], 10, 64)
+		}
+	}
+	// The site is the first function line that isn't runtime or sync
+	// plumbing — the caller that owns the park, not the primitive's own
+	// slow path. Function lines alternate with "\tfile:line" lines.
+	for _, line := range strings.Split(rest, "\n") {
+		if strings.HasPrefix(line, "\t") || line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "runtime."),
+			strings.HasPrefix(line, "sync."),
+			strings.HasPrefix(line, "internal/sync."),
+			strings.HasPrefix(line, "internal/runtime"):
+			continue
+		}
+		g.Site = line
+		break
+	}
+	return g
+}
+
+// Stacks returns every live goroutine (except the caller) whose stack
+// contains filter; an empty filter matches all.
+func Stacks(filter string) []Goroutine {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []Goroutine
+	for _, g := range parseDump(string(buf)) {
+		if filter == "" || strings.Contains(g.Stack, filter) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Options shapes a Monitor.
+type Options struct {
+	// Filter is the stack substring that marks module goroutines.
+	// Default DefaultFilter.
+	Filter string
+	// Allow lists site substrings excused from blocked-goroutine
+	// verdicts: known-legitimate forever-waiters, e.g. an idle worker
+	// parked receiving from its queue. Growth accounting still sees them.
+	Allow []string
+}
+
+// blockedKey identifies one parked goroutine at one site: if the same
+// goroutine is found parked in the same state at the same site across
+// two samples, it has been stuck the whole time (goroutine ids are
+// never reused while the goroutine lives).
+type blockedKey struct {
+	id    int64
+	state string
+	site  string
+}
+
+// Monitor tracks module-goroutine count against a baseline and
+// blocked-site residency across samples.
+type Monitor struct {
+	opts Options
+
+	mu       sync.Mutex
+	baseline int
+	first    map[blockedKey]time.Time
+}
+
+// NewMonitor builds a monitor. Call Baseline once the system under test
+// is booted and idle, Sample periodically while it runs, and
+// Growth/Blocked to read verdicts.
+func NewMonitor(opts Options) *Monitor {
+	if opts.Filter == "" {
+		opts.Filter = DefaultFilter
+	}
+	return &Monitor{opts: opts, first: map[blockedKey]time.Time{}}
+}
+
+// Baseline records the current module-goroutine count as the reference
+// for Growth and returns it.
+func (m *Monitor) Baseline() int {
+	n := len(Stacks(m.opts.Filter))
+	m.mu.Lock()
+	m.baseline = n
+	m.mu.Unlock()
+	return n
+}
+
+// Sample scans once, updating blocked-site residency: parked module
+// goroutines keep their first-seen time while they stay at the same
+// site; everything else is forgotten. Returns the live module count.
+func (m *Monitor) Sample() int {
+	now := time.Now()
+	stacks := Stacks(m.opts.Filter)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := map[blockedKey]bool{}
+	for _, g := range stacks {
+		if !g.Blocked() {
+			continue
+		}
+		k := blockedKey{id: g.ID, state: g.State, site: g.Site}
+		seen[k] = true
+		if _, ok := m.first[k]; !ok {
+			m.first[k] = now
+		}
+	}
+	for k := range m.first {
+		if !seen[k] {
+			delete(m.first, k)
+		}
+	}
+	return len(stacks)
+}
+
+// Blocked returns the module goroutines that have been parked on a
+// synchronization primitive at the same site for at least threshold
+// (measured across Sample calls), excluding allowlisted sites. The
+// caller must have been Sampling at a period well under threshold.
+func (m *Monitor) Blocked(threshold time.Duration) []Goroutine {
+	now := time.Now()
+	stacks := Stacks(m.opts.Filter)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Goroutine
+	for _, g := range stacks {
+		if !g.Blocked() || m.allowed(g.Site) {
+			continue
+		}
+		k := blockedKey{id: g.ID, state: g.State, site: g.Site}
+		first, ok := m.first[k]
+		if ok && now.Sub(first) >= threshold {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func (m *Monitor) allowed(site string) bool {
+	for _, a := range m.opts.Allow {
+		if a != "" && strings.Contains(site, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Growth polls until the module-goroutine count drops back to the
+// baseline or the window expires; it returns the excess count (0 when
+// clean) and the offending stacks. The poll absorbs legitimate
+// wind-down latency (connections draining, Shutdown finishing), the
+// same way the old per-test leak checker did.
+func (m *Monitor) Growth(window time.Duration) (int, []Goroutine) {
+	m.mu.Lock()
+	base := m.baseline
+	m.mu.Unlock()
+	deadline := time.Now().Add(window)
+	for {
+		stacks := Stacks(m.opts.Filter)
+		if len(stacks) <= base {
+			return 0, nil
+		}
+		if time.Now().After(deadline) {
+			return len(stacks) - base, stacks
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// FormatStacks renders goroutine records for a failure message.
+func FormatStacks(gs []Goroutine) string {
+	var b strings.Builder
+	for _, g := range gs {
+		fmt.Fprintf(&b, "%s\n\n", g.Stack)
+	}
+	return b.String()
+}
+
+// TB is the subset of testing.TB the Check helper needs; declared here
+// so the package stays importable outside tests.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the module-owned goroutine count and registers a
+// cleanup that fails the test if, after a drain window, more of them
+// are alive than at the start. Call it before constructing the system
+// under test so the cleanup runs after the system's own shutdown
+// cleanup (Cleanup is LIFO).
+func Check(t TB) {
+	t.Helper()
+	m := NewMonitor(Options{})
+	m.Baseline()
+	t.Cleanup(func() {
+		if extra, stacks := m.Growth(5 * time.Second); extra > 0 {
+			t.Errorf("goroutine leak: %d extra gspc goroutines alive:\n%s",
+				extra, FormatStacks(stacks))
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package leakcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitLoop parks goroutines in shapes the classifier must recognize.
+// The functions live in this package, so their stacks carry the
+// gspc/internal/ filter substring naturally.
+
+// abandonedReceiver parks forever on a channel nobody will send to —
+// the "abandoned channel waiter" Golf microbenchmark shape.
+func abandonedReceiver(ch chan int, done chan struct{}) {
+	defer close(done)
+	<-ch
+}
+
+// doubleLocker locks a mutex it already holds — the "double lock"
+// shape. It parks in sync.Mutex.Lock forever.
+func doubleLocker(mu *sync.Mutex, done chan struct{}) {
+	defer close(done)
+	mu.Lock()
+	mu.Lock() //nolint:staticcheck // the deadlock is the point
+}
+
+func TestParseRecord(t *testing.T) {
+	rec := "goroutine 42 [chan receive, 3 minutes]:\n" +
+		"gspc/internal/leakcheck.abandonedReceiver(0xc0000a4000)\n" +
+		"\t/root/repo/internal/leakcheck/leakcheck_test.go:17 +0x3c\n" +
+		"created by gspc/internal/leakcheck.TestX\n" +
+		"\t/root/repo/internal/leakcheck/leakcheck_test.go:30 +0x5a"
+	g := parseRecord(rec)
+	if g.ID != 42 {
+		t.Errorf("ID = %d, want 42", g.ID)
+	}
+	if g.State != "chan receive" {
+		t.Errorf("State = %q, want chan receive", g.State)
+	}
+	if g.WaitMinutes != 3 {
+		t.Errorf("WaitMinutes = %d, want 3", g.WaitMinutes)
+	}
+	if !strings.Contains(g.Site, "abandonedReceiver") {
+		t.Errorf("Site = %q, want abandonedReceiver frame", g.Site)
+	}
+	if !g.Blocked() {
+		t.Error("chan receive not classified as blocked")
+	}
+}
+
+func TestParseRecordRunning(t *testing.T) {
+	g := parseRecord("goroutine 7 [running]:\nmain.main()\n\t/x/main.go:1 +0x0")
+	if g.State != "running" || g.Blocked() {
+		t.Errorf("running goroutine misparsed: state=%q blocked=%v", g.State, g.Blocked())
+	}
+}
+
+// TestMonitorDetectsAbandonedWaiter: a goroutine parked receiving on a
+// dead channel must be reported once it has sat past the threshold, and
+// must stop being reported once released.
+func TestMonitorDetectsAbandonedWaiter(t *testing.T) {
+	m := NewMonitor(Options{})
+	m.Baseline()
+
+	ch := make(chan int)
+	done := make(chan struct{})
+	go abandonedReceiver(ch, done)
+	defer func() {
+		ch <- 1
+		<-done
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var hit []Goroutine
+	for time.Now().Before(deadline) {
+		m.Sample()
+		time.Sleep(20 * time.Millisecond)
+		hit = m.Blocked(50 * time.Millisecond)
+		if len(hit) > 0 {
+			break
+		}
+	}
+	if len(hit) == 0 {
+		t.Fatal("abandoned channel waiter never reported as blocked")
+	}
+	found := false
+	for _, g := range hit {
+		if strings.Contains(g.Site, "abandonedReceiver") && g.State == "chan receive" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("blocked report misses the waiter:\n%s", FormatStacks(hit))
+	}
+}
+
+// TestMonitorDetectsDoubleLock: the double-lock shape parks in
+// sync.Mutex.Lock and must be flagged.
+func TestMonitorDetectsDoubleLock(t *testing.T) {
+	m := NewMonitor(Options{})
+	m.Baseline()
+
+	var mu sync.Mutex
+	done := make(chan struct{})
+	go doubleLocker(&mu, done)
+	defer func() {
+		mu.Unlock() // releases the second Lock; the goroutine exits
+		<-done
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var hit []Goroutine
+	for time.Now().Before(deadline) {
+		m.Sample()
+		time.Sleep(20 * time.Millisecond)
+		for _, g := range m.Blocked(50 * time.Millisecond) {
+			if strings.Contains(g.Site, "doubleLocker") && g.State == "sync.Mutex.Lock" {
+				hit = append(hit, g)
+			}
+		}
+		if len(hit) > 0 {
+			break
+		}
+	}
+	if len(hit) == 0 {
+		t.Fatal("double-locked goroutine never reported as blocked")
+	}
+}
+
+// TestMonitorAllowlist: an allowlisted site is never reported, no
+// matter how long it sits.
+func TestMonitorAllowlist(t *testing.T) {
+	m := NewMonitor(Options{Allow: []string{"abandonedReceiver"}})
+	m.Baseline()
+
+	ch := make(chan int)
+	done := make(chan struct{})
+	go abandonedReceiver(ch, done)
+	defer func() {
+		ch <- 1
+		<-done
+	}()
+
+	for i := 0; i < 10; i++ {
+		m.Sample()
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, g := range m.Blocked(20 * time.Millisecond) {
+		if strings.Contains(g.Site, "abandonedReceiver") {
+			t.Errorf("allowlisted waiter reported blocked:\n%s", g.Stack)
+		}
+	}
+}
+
+// TestMonitorGrowth: Growth reports the excess over baseline and drops
+// to zero once the extra goroutines exit.
+func TestMonitorGrowth(t *testing.T) {
+	m := NewMonitor(Options{})
+	m.Baseline()
+
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ch
+		}()
+	}
+	// Give the goroutines a beat to park so the dump sees them.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n, _ := countOnce(m); n > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if extra, stacks := m.Growth(10 * time.Millisecond); extra != 3 {
+		t.Errorf("Growth = %d, want 3:\n%s", extra, FormatStacks(stacks))
+	}
+	close(ch)
+	wg.Wait()
+	if extra, stacks := m.Growth(5 * time.Second); extra != 0 {
+		t.Errorf("Growth after release = %d, want 0:\n%s", extra, FormatStacks(stacks))
+	}
+}
+
+// countOnce is Growth without the polling window: one instantaneous
+// excess reading.
+func countOnce(m *Monitor) (int, []Goroutine) {
+	stacks := Stacks(m.opts.Filter)
+	if len(stacks) <= m.baseline {
+		return 0, nil
+	}
+	return len(stacks) - m.baseline, stacks
+}
+
+// TestCheckHelper: the test-facing Check must pass on a test that
+// leaks nothing.
+func TestCheckHelper(t *testing.T) {
+	Check(t)
+	ch := make(chan struct{})
+	go func() { <-ch }()
+	close(ch)
+}

@@ -10,6 +10,7 @@ import (
 
 	"gspc/internal/faultinject"
 	"gspc/internal/harness"
+	"gspc/internal/leakcheck"
 )
 
 // injectedRunner wraps a stub runner with a fault injector: the injector
@@ -435,7 +436,7 @@ func TestChaosSubmittedJobSurvivesWaiterLoss(t *testing.T) {
 // TestChaosShutdownDuringRetryBackoff: Shutdown must cut a retry backoff
 // short instead of waiting it out — no deadlock, no double close.
 func TestChaosShutdownDuringRetryBackoff(t *testing.T) {
-	leakCheck(t)
+	leakcheck.Check(t)
 	inj := faultinject.NewSequence(
 		faultinject.Fail(), faultinject.Fail(), faultinject.Fail(), faultinject.Fail())
 	e, err := NewEngine(Config{Workers: 1, CacheEntries: 8, Logger: discardLogger(),
@@ -472,7 +473,7 @@ func TestChaosShutdownDuringRetryBackoff(t *testing.T) {
 // TestChaosShutdownWithOpenBreaker: draining with an open breaker must
 // not deadlock, and post-shutdown submissions fail cleanly.
 func TestChaosShutdownWithOpenBreaker(t *testing.T) {
-	leakCheck(t)
+	leakcheck.Check(t)
 	inj := faultinject.NewSequence(faultinject.Fail())
 	e, err := NewEngine(Config{Workers: 2, CacheEntries: 8, MaxRetries: -1, Logger: discardLogger(),
 		BreakerThreshold: 1, BreakerCooldown: time.Minute, Run: injectedRunner(inj, nil)})
@@ -495,7 +496,7 @@ func TestChaosShutdownWithOpenBreaker(t *testing.T) {
 // errors, delays, and client abandonments at a small engine and asserts
 // the system-level invariants: every tracked job reaches a terminal
 // state, the engine still serves fresh work afterwards, and (via
-// leakCheck in newTestEngine) no goroutine survives the drain.
+// leakcheck.Check in newTestEngine) no goroutine survives the drain.
 func TestChaosRandomStorm(t *testing.T) {
 	inj := faultinject.NewRandom(42, faultinject.Spec{
 		PanicRate: 0.15, ErrorRate: 0.25, DelayRate: 0.2, Delay: 2 * time.Millisecond})

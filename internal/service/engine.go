@@ -817,6 +817,7 @@ type ReadyInfo struct {
 	Draining      bool   `json:"draining"`
 	QueueDepth    int    `json:"queue_depth"`
 	QueueCapacity int    `json:"queue_capacity"`
+	Running       int    `json:"running"`
 	BreakersOpen  int    `json:"breakers_open"`
 }
 
@@ -831,6 +832,11 @@ func (e *Engine) ReadinessInfo() (bool, ReadyInfo) {
 		QueueDepth:    len(e.queue),
 		QueueCapacity: e.cfg.QueueDepth,
 		Draining:      e.closing,
+	}
+	for _, job := range e.jobs {
+		if job.status == StatusRunning {
+			info.Running++
+		}
 	}
 	if e.cfg.BreakerThreshold > 0 {
 		now := time.Now()

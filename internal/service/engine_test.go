@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"gspc/internal/harness"
+	"gspc/internal/leakcheck"
 )
 
 // countingRunner returns a stub Run that counts invocations and produces
@@ -44,7 +45,7 @@ func discardLogger() *slog.Logger {
 
 func newTestEngine(t *testing.T, cfg Config) *Engine {
 	t.Helper()
-	leakCheck(t)
+	leakcheck.Check(t)
 	if cfg.Logger == nil {
 		cfg.Logger = discardLogger() // keep injected-panic stacks out of test output
 	}
