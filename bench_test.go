@@ -354,6 +354,65 @@ func BenchmarkTraceCacheWarm(b *testing.B) {
 	b.ReportMetric(float64(s.Hits), "hits/run")
 }
 
+// runFig12Cold runs fig12 on one app with a private, per-iteration
+// trace cache, so every iteration pays full synthesis: the
+// interactive-latency comparison the fidelity knob exists for is the
+// cold first query, not the warm replay.
+func runFig12Cold(b *testing.B, opts harness.Options) {
+	exp, ok := harness.ByID("fig12")
+	if !ok {
+		b.Fatal("unknown experiment fig12")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.TraceCache = tracecache.New(harness.DefaultTraceCacheBytes)
+		if _, err := exp.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12SampledS1 measures a cold full-resolution (S=1) Fig12
+// run at sampled fidelity — the PR 8 headline: this must beat
+// BenchmarkFig12ExactQuarter, the S=1/4 exact run it replaces as the
+// interactive operating point.
+func BenchmarkFig12SampledS1(b *testing.B) {
+	runFig12Cold(b, harness.Options{
+		Scale:           1,
+		MaxFramesPerApp: 1,
+		Apps:            []string{"Dirt"},
+		Fidelity:        harness.FidelitySampled,
+	})
+}
+
+// BenchmarkFig12ExactQuarter measures the same cold Fig12 run at the
+// pre-sampling operating point: exact fidelity, S=1/4.
+func BenchmarkFig12ExactQuarter(b *testing.B) {
+	runFig12Cold(b, harness.Options{
+		Scale:           0.25,
+		MaxFramesPerApp: 1,
+		Apps:            []string{"Dirt"},
+	})
+}
+
+// BenchmarkLLCAccessDRRIPSampled is BenchmarkLLCAccessDRRIPPacked with
+// 1-in-16 set sampling — the sampled hot path: the replay must skip
+// non-sampled sets cheaply enough that throughput scales with the
+// sampled fraction.
+func BenchmarkLLCAccessDRRIPSampled(b *testing.B) {
+	tr := benchPacked(b)
+	geom := cachesim.Geometry{SizeBytes: 256 << 10, Ways: 16, BlockSize: 64}
+	ss := cachesim.SetSample{Ratio: 16, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cachesim.NewSampled(geom, policy.NewDRRIP(2), ss)
+		if err := cachesim.ReplaySource(context.Background(), c, tr, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len()), "accesses/op")
+}
+
 // BenchmarkGPUSimulate measures the event-driven timing simulator.
 func BenchmarkGPUSimulate(b *testing.B) {
 	tr := benchTrace(b)

@@ -30,6 +30,9 @@ func main() {
 		frames  = flag.Int("frames", 0, "max frames per application (0 = all)")
 		apps    = flag.String("apps", "", "comma-separated application abbreviations")
 		verb    = flag.Bool("v", false, "print per-frame progress")
+		fid     = flag.String("fidelity", "", "simulation fidelity: exact (default) or sampled (set+interval sampling with an error estimate)")
+		sratio  = flag.Int("sample-ratio", 0, "simulate 1-in-N LLC sets under -fidelity sampled (0 = default "+fmt.Sprint(harness.DefaultSampleSetRatio)+")")
+		sseed   = flag.Uint64("sample-seed", 0, "set-selection hash seed under -fidelity sampled (0 = default 1)")
 		report  = flag.String("report", "", "write a full markdown report (all experiments) to this file")
 		chart   = flag.Bool("chart", false, "render each experiment as an ASCII bar chart as well")
 		jsonOut = flag.Bool("json", false, "emit one structured JSON result per experiment (the objects gspcd serves) instead of text tables")
@@ -60,6 +63,20 @@ func main() {
 	}
 	if *verb {
 		opts.Progress = os.Stderr
+	}
+	switch *fid {
+	case "", harness.FidelityExact:
+	case harness.FidelitySampled:
+		opts.Fidelity = harness.FidelitySampled
+		opts.SampleSetRatio = *sratio
+		opts.SampleSeed = *sseed
+	default:
+		fmt.Fprintf(os.Stderr, "gspcsim: unknown -fidelity %q (exact or sampled)\n", *fid)
+		os.Exit(2)
+	}
+	if *fid != harness.FidelitySampled && (*sratio != 0 || *sseed != 0) {
+		fmt.Fprintln(os.Stderr, "gspcsim: -sample-ratio/-sample-seed require -fidelity sampled")
+		os.Exit(2)
 	}
 
 	if *report != "" {
@@ -102,15 +119,18 @@ func main() {
 	enc := json.NewEncoder(os.Stdout)
 	for _, e := range selected {
 		start := time.Now()
-		tbl, err := e.Run(opts)
+		// RunResult (not e.Run) so sampled fidelity gets its aggregate
+		// report wired up; exact runs produce the same table either way.
+		res, err := harness.RunResult(e.ID, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gspcsim: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		tbl := res.Table
 		if *jsonOut {
 			// One object per line (NDJSON), byte-identical to the bodies
 			// gspcd serves for the same options modulo encoder framing.
-			if err := enc.Encode(harness.BuildResult(e, opts, tbl)); err != nil {
+			if err := enc.Encode(res); err != nil {
 				fmt.Fprintf(os.Stderr, "gspcsim: %s: %v\n", e.ID, err)
 				os.Exit(1)
 			}
@@ -118,6 +138,10 @@ func main() {
 			continue
 		}
 		tbl.Render(os.Stdout)
+		if s := res.Sampling; s != nil {
+			fmt.Printf("[sampled: %d/%d sets, ratio 1/%d, est rel err %.3f (max %.3f)]\n",
+				s.SetsSimulated, s.SetsTotal, s.SetRatio, s.EstRelErr, s.MaxRelErr)
+		}
 		if *chart {
 			d := viz.NewData("", tbl.Columns...)
 			for _, r := range tbl.Rows {

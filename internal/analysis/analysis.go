@@ -79,6 +79,23 @@ func Attach(c *cachesim.Cache) *Tracker {
 	return t
 }
 
+// ResetCounters zeroes every accumulated metric while keeping the
+// per-block class/epoch state — the warmup/measured boundary of
+// interval-sampled replays: the tracker keeps following the blocks it
+// learned during warmup but only counts what happens in the measured
+// window.
+func (t *Tracker) ResetCounters() {
+	t.ReadAccesses = [stream.NumKinds]int64{}
+	t.ReadHits = [stream.NumKinds]int64{}
+	t.WriteAccesses = [stream.NumKinds]int64{}
+	t.WriteHits = [stream.NumKinds]int64{}
+	t.InterTexHits, t.IntraTexHits = 0, 0
+	t.RTProduced, t.RTConsumed = 0, 0
+	t.TexEpochHits = [MaxEpoch + 1]int64{}
+	t.TexEntries = [MaxEpoch + 2]int64{}
+	t.ZEntries = [MaxEpoch + 2]int64{}
+}
+
 func isRTKind(k stream.Kind) bool { return k == stream.RT || k == stream.Display }
 
 // Observe implements cachesim.Observer.

@@ -127,6 +127,10 @@ type Stats struct {
 	Bypasses   int64 // subset of Misses that did not allocate
 	Evictions  int64
 	Writebacks int64 // dirty evictions
+	// SampledSkips counts accesses dropped by set sampling before any
+	// other counter or policy state was touched; they are not part of
+	// Accesses. Always zero on an unsampled cache.
+	SampledSkips int64
 
 	KindAccesses [stream.NumKinds]int64
 	KindHits     [stream.NumKinds]int64
@@ -164,6 +168,18 @@ type Cache struct {
 	blocks     []block
 	policy     Policy
 
+	// indexSets is the set count addresses map through (the geometry's
+	// full count). It equals sets unless the cache is set-sampled, in
+	// which case sets is the sampled subset size, storage and policy
+	// state are in compact sampled-set space, and sampleMap translates
+	// a full-geometry set index to its compact index (-1 = unsampled).
+	indexSets int
+	sample    SetSample
+	sampleMap []int32
+	// setAcc counts accesses per sampled set, feeding the variance
+	// estimate in SampleReport. Nil on unsampled caches.
+	setAcc []int64
+
 	// bypassKind[k] forces accesses of kind k to bypass the cache
 	// entirely (they are counted as misses and forwarded downstream).
 	// This implements the paper's "uncached displayable color" (UCD).
@@ -197,10 +213,11 @@ func New(geom Geometry, policy Policy) *Cache {
 		panic(err)
 	}
 	c := &Cache{
-		geom:   geom,
-		sets:   geom.Sets(),
-		ways:   geom.Ways,
-		policy: policy,
+		geom:      geom,
+		sets:      geom.Sets(),
+		indexSets: geom.Sets(),
+		ways:      geom.Ways,
+		policy:    policy,
 	}
 	for 1<<c.blockShift < geom.BlockSize {
 		c.blockShift++
@@ -216,7 +233,9 @@ func New(geom Geometry, policy Policy) *Cache {
 // Geometry returns the cache organization.
 func (c *Cache) Geometry() Geometry { return c.geom }
 
-// Sets returns the number of sets.
+// Sets returns the number of simulated sets: the geometry's count, or
+// the sampled subset size for a set-sampled cache. Observers and
+// policies are sized and indexed by this count.
 func (c *Cache) Sets() int { return c.sets }
 
 // Ways returns the associativity.
@@ -238,15 +257,26 @@ func (c *Cache) AddObserver(o Observer) {
 // BlockNumber returns the block number (tag) for a byte address.
 func (c *Cache) BlockNumber(addr uint64) uint64 { return addr >> c.blockShift }
 
-// SetIndex returns the set an address maps to.
+// SetIndex returns the set an address maps to in the full geometry
+// (not the compact sampled index).
 func (c *Cache) SetIndex(addr uint64) int {
-	return int((addr >> c.blockShift) % uint64(c.sets))
+	return int((addr >> c.blockShift) % uint64(c.indexSets))
 }
 
 // Lookup reports whether addr is resident and, if so, its location.
+// The returned set is the simulated (compact) index, consistent with
+// BlockAt; on a sampled cache an address mapping to an unsampled set
+// reports (-1, -1, false).
 func (c *Cache) Lookup(addr uint64) (set, way int, ok bool) {
 	bn := c.BlockNumber(addr)
-	set = int(bn % uint64(c.sets))
+	set = int(bn % uint64(c.indexSets))
+	if c.sampleMap != nil {
+		cs := c.sampleMap[set]
+		if cs < 0 {
+			return -1, -1, false
+		}
+		set = int(cs)
+	}
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		if b := &c.blocks[base+w]; b.valid && b.tag == bn {
@@ -281,11 +311,19 @@ func (c *Cache) Emit(a stream.Access) { c.Access(a) }
 // always allocate (the paper's LLC fills every miss) unless the stream is
 // configured to bypass or the policy declines a victim.
 func (c *Cache) Access(a stream.Access) bool {
+	bn := a.Addr >> c.blockShift
+	set := int(bn % uint64(c.indexSets))
+	if c.sampleMap != nil {
+		cs := c.sampleMap[set]
+		if cs < 0 {
+			c.Stats.SampledSkips++
+			return false
+		}
+		c.setAcc[cs]++
+		set = int(cs)
+	}
 	c.Stats.Accesses++
 	c.Stats.KindAccesses[a.Kind]++
-
-	bn := a.Addr >> c.blockShift
-	set := int(bn % uint64(c.sets))
 	base := set * c.ways
 
 	// Lookup.
@@ -393,7 +431,21 @@ func (c *Cache) Reset() {
 		c.blocks[i] = block{}
 	}
 	c.Stats = Stats{}
+	for i := range c.setAcc {
+		c.setAcc[i] = 0
+	}
 	c.policy.Reset(c.sets, c.ways)
+}
+
+// ResetCounters zeroes the outcome counters (Stats and the per-set
+// access counts behind SampleReport) while leaving cache contents,
+// policy state, and observers untouched — the warmup/measured boundary
+// of interval-sampled replays.
+func (c *Cache) ResetCounters() {
+	c.Stats = Stats{}
+	for i := range c.setAcc {
+		c.setAcc[i] = 0
+	}
 }
 
 func (c *Cache) notify(ev Event) {

@@ -41,17 +41,58 @@ func Replay(ctx context.Context, c *Cache, tr []stream.Access, stride int) error
 // other Source implementations go through the generic loop. Outcomes
 // are identical to Replay on the materialized slice.
 func ReplaySource(ctx context.Context, c *Cache, src stream.Source, stride int) error {
+	return ReplaySourceRange(ctx, c, src, 0, src.Len(), stride)
+}
+
+// ReplaySourceRange replays the half-open record range [lo, hi) of src
+// through c — the interval-sampling seam: a warmup window followed by a
+// measured window replays the same trace twice with different bounds.
+// Seq stays the global trace position, so Belady's OPT (which keys its
+// next-use chain on Seq) sees the same lookahead it would in a full
+// replay. On a set-sampled cache, accesses to unsampled sets are
+// filtered here — one slice index and a compare per skipped record —
+// before any policy or counter state is touched.
+func ReplaySourceRange(ctx context.Context, c *Cache, src stream.Source, lo, hi, stride int) error {
 	if stride <= 0 {
 		stride = DefaultCheckStride
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if n := src.Len(); hi > n {
+		hi = n
+	}
+	if hi <= lo {
+		return nil
 	}
 	// One span per replay (never per access): on traced runs this splits
 	// the raw access-loop time out of the enclosing policy span — e.g.
 	// Belady's next-use precomputation vs its replay.
-	defer telemetry.StartFrom(ctx, "replay", "cachesim", telemetry.Int("accesses", int64(src.Len()))).End()
+	defer telemetry.StartFrom(ctx, "replay", "cachesim", telemetry.Int("accesses", int64(hi-lo))).End()
 	if t, ok := src.(*stream.Trace); ok {
 		addrs, meta := t.Records()
-		for i := range addrs {
-			if i%stride == 0 {
+		if sm := c.sampleMap; sm != nil {
+			shift, idx := c.blockShift, uint64(c.indexSets)
+			var skipped int64
+			for i := lo; i < hi; i++ {
+				if (i-lo)%stride == 0 {
+					if err := ctx.Err(); err != nil {
+						c.Stats.SampledSkips += skipped
+						return err
+					}
+				}
+				if sm[(addrs[i]>>shift)%idx] < 0 {
+					skipped++
+					continue
+				}
+				k, w := stream.UnpackMeta(meta[i])
+				c.Access(stream.Access{Addr: addrs[i], Seq: int64(i), Kind: k, Write: w})
+			}
+			c.Stats.SampledSkips += skipped
+			return nil
+		}
+		for i := lo; i < hi; i++ {
+			if (i-lo)%stride == 0 {
 				if err := ctx.Err(); err != nil {
 					return err
 				}
@@ -61,8 +102,8 @@ func ReplaySource(ctx context.Context, c *Cache, src stream.Source, stride int) 
 		}
 		return nil
 	}
-	for i, n := 0, src.Len(); i < n; i++ {
-		if i%stride == 0 {
+	for i := lo; i < hi; i++ {
+		if (i-lo)%stride == 0 {
 			if err := ctx.Err(); err != nil {
 				return err
 			}

@@ -1,0 +1,172 @@
+package cachesim
+
+import (
+	"testing"
+
+	"gspc/internal/stream"
+)
+
+func TestSetSampleSelection(t *testing.T) {
+	s := SetSample{Ratio: 16, Seed: 1}
+	if !s.Enabled() {
+		t.Fatal("ratio 16 should enable sampling")
+	}
+	for _, off := range []SetSample{{}, {Ratio: 1, Seed: 5}, {Ratio: -4}} {
+		if off.Enabled() {
+			t.Errorf("%+v should not enable sampling", off)
+		}
+	}
+	// Selection depends only on (seed, set index): the same index gets
+	// the same answer no matter which geometry it is part of.
+	for set := 0; set < 1<<14; set++ {
+		if s.Selected(set) != (sampleHash(1, set)%16 == 0) {
+			t.Fatalf("set %d: Selected disagrees with hash", set)
+		}
+	}
+	// A different seed picks a different subset (overwhelmingly likely
+	// over 16k sets with a well-mixed hash).
+	same := true
+	other := SetSample{Ratio: 16, Seed: 2}
+	for set := 0; set < 1<<14 && same; set++ {
+		same = s.Selected(set) == other.Selected(set)
+	}
+	if same {
+		t.Error("seeds 1 and 2 selected identical subsets over 16k sets")
+	}
+}
+
+func TestNewSampledCompact(t *testing.T) {
+	geom := Geometry{SizeBytes: 1 << 20, Ways: 16, BlockSize: 64} // 1024 sets
+	s := SetSample{Ratio: 16, Seed: 1}
+	want := 0
+	for i := 0; i < geom.Sets(); i++ {
+		if s.Selected(i) {
+			want++
+		}
+	}
+	pol := &fifoPolicy{}
+	c := NewSampled(geom, pol, s)
+	if !c.Sampled() {
+		t.Fatal("cache not sampled")
+	}
+	if c.Sets() != want {
+		t.Errorf("Sets() = %d, want %d sampled", c.Sets(), want)
+	}
+	// Policy state is allocated in compact sampled-set space, not full
+	// geometry space.
+	if len(pol.next) != want {
+		t.Errorf("policy sized for %d sets, want %d", len(pol.next), want)
+	}
+	if got, wantF := c.SampleFactor(), float64(geom.Sets())/float64(want); got != wantF {
+		t.Errorf("SampleFactor = %v, want %v", got, wantF)
+	}
+	// Geometry and set indexing still answer in full-cache terms.
+	if c.Geometry() != geom {
+		t.Errorf("Geometry() = %v, want %v", c.Geometry(), geom)
+	}
+}
+
+func TestNewSampledDisabledIsExact(t *testing.T) {
+	geom := Geometry{SizeBytes: 64 * 64 * 2, Ways: 2, BlockSize: 64}
+	c := NewSampled(geom, &fifoPolicy{}, SetSample{Ratio: 1})
+	if c.Sampled() {
+		t.Error("ratio 1 should build an unsampled cache")
+	}
+	if c.SampleFactor() != 1 {
+		t.Errorf("unsampled SampleFactor = %v, want 1", c.SampleFactor())
+	}
+}
+
+func TestNewSampledFallbackSet(t *testing.T) {
+	// 16 sets with a huge ratio: selection may pick nothing, and the
+	// deterministic minimal-hash fallback must keep one set simulated.
+	geom := Geometry{SizeBytes: 16 * 64 * 2, Ways: 2, BlockSize: 64}
+	c := NewSampled(geom, &fifoPolicy{}, SetSample{Ratio: 1 << 30, Seed: 3})
+	if c.Sets() != 1 {
+		t.Fatalf("fallback kept %d sets, want 1", c.Sets())
+	}
+	if c.SampleFactor() != 16 {
+		t.Errorf("SampleFactor = %v, want 16", c.SampleFactor())
+	}
+}
+
+// TestSampledMatchesFullSubset drives the same access stream through a
+// full cache and a sampled one and checks the sampled cache's counters
+// equal the full cache's restricted to the sampled sets — the exactness
+// property set sampling rests on (per-set simulation is independent).
+func TestSampledMatchesFullSubset(t *testing.T) {
+	geom := Geometry{SizeBytes: 64 * 64 * 4, Ways: 4, BlockSize: 64} // 64 sets
+	s := SetSample{Ratio: 8, Seed: 1}
+	full := New(geom, &fifoPolicy{})
+	sam := NewSampled(geom, &fifoPolicy{}, s)
+
+	var fullHits, fullAcc int64
+	rnd := uint64(12345)
+	for i := 0; i < 200000; i++ {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		a := stream.Access{Addr: rnd % (1 << 22), Seq: int64(i), Write: rnd&1 == 0}
+		set := full.SetIndex(a.Addr)
+		hit := full.Access(a)
+		if s.Selected(set) {
+			fullAcc++
+			if hit {
+				fullHits++
+			}
+		}
+		sam.Access(a)
+	}
+	if sam.Stats.Accesses != fullAcc {
+		t.Errorf("sampled accesses = %d, full-cache subset = %d", sam.Stats.Accesses, fullAcc)
+	}
+	if sam.Stats.Hits != fullHits {
+		t.Errorf("sampled hits = %d, full-cache subset = %d", sam.Stats.Hits, fullHits)
+	}
+	wantSkips := int64(200000) - fullAcc
+	if sam.Stats.SampledSkips != wantSkips {
+		t.Errorf("sampled skips = %d, want %d", sam.Stats.SampledSkips, wantSkips)
+	}
+}
+
+func TestSampleReportRSE(t *testing.T) {
+	geom := Geometry{SizeBytes: 64 * 64 * 4, Ways: 4, BlockSize: 64}
+	c := NewSampled(geom, &fifoPolicy{}, SetSample{Ratio: 8, Seed: 1})
+	r := c.SampleReport()
+	if r.TotalSets != 64 || r.SampledSets != c.Sets() || r.Factor != c.SampleFactor() {
+		t.Errorf("report geometry wrong: %+v", r)
+	}
+	if r.RSE != 0 {
+		t.Errorf("RSE before any access = %v, want 0", r.RSE)
+	}
+	rnd := uint64(99)
+	for i := 0; i < 100000; i++ {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		c.Access(stream.Access{Addr: rnd % (1 << 22), Seq: int64(i)})
+	}
+	r = c.SampleReport()
+	// A uniform stream over many accesses has tiny across-set variance;
+	// the estimate must be positive but small.
+	if r.RSE <= 0 || r.RSE > 0.2 {
+		t.Errorf("uniform-stream RSE = %v, want small positive", r.RSE)
+	}
+	c.ResetCounters()
+	if got := c.SampleReport().RSE; got != 0 {
+		t.Errorf("RSE after ResetCounters = %v, want 0", got)
+	}
+}
+
+func TestResetCountersKeepsContents(t *testing.T) {
+	c := smallCache()
+	c.Access(stream.Access{Addr: 0})
+	c.Access(stream.Access{Addr: 0})
+	if c.Stats.Hits != 1 {
+		t.Fatalf("warmup hits = %d, want 1", c.Stats.Hits)
+	}
+	c.ResetCounters()
+	if c.Stats != (Stats{}) {
+		t.Errorf("stats not zeroed: %+v", c.Stats)
+	}
+	// Contents survive: the warmed block still hits.
+	if !c.Access(stream.Access{Addr: 0}) {
+		t.Error("warmed block evicted by ResetCounters")
+	}
+}

@@ -66,7 +66,7 @@ func TestForEachFrameWorkerPoolCancellation(t *testing.T) {
 	defer cancel()
 	o := Options{Scale: 0.05, MaxFramesPerApp: 1, Workers: 2, Context: ctx}
 	frames := 0
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, _ *samplePlan) error {
 		frames++
 		if frames == 2 {
 			cancel()
@@ -92,7 +92,7 @@ func TestForEachFrameFnErrorStopsPool(t *testing.T) {
 	}
 	boom := errors.New("accumulator exploded")
 	start := poolSynths.Load()
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, _ *samplePlan) error {
 		return boom // first frame fails; the run context stays live
 	})
 	if !errors.Is(err, boom) {

@@ -59,7 +59,7 @@ func TestPackedReplayEquivalence(t *testing.T) {
 	// so it exercises both NextUse paths.
 	t.Run("Belady", func(t *testing.T) {
 		a := beladyStats(ctx, t, geom, slice)
-		b, err := runBelady(ctx, packed, geom)
+		b, err := runBelady(ctx, packed, geom, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -269,13 +269,14 @@ func RunAblFrontCache(o Options) (*Table, error) {
 }
 
 // missRatio replays tr under GSPC+UCD and DRRIP and returns their miss
-// ratio.
+// ratio. Its callers synthesize off-default traces directly, outside the
+// interval-sampling machinery, so the replays are always exact.
 func missRatio(ctx context.Context, tr *stream.Trace, geom cachesim.Geometry) (float64, error) {
-	rd, err := runOffline(ctx, tr, specDRRIP(), geom)
+	rd, err := runOffline(ctx, tr, specDRRIP(), geom, nil)
 	if err != nil {
 		return 0, err
 	}
-	rg, err := runOffline(ctx, tr, specGSPC(core.VariantGSPC, 8, true), geom)
+	rg, err := runOffline(ctx, tr, specGSPC(core.VariantGSPC, 8, true), geom, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -60,6 +60,24 @@ type Options struct {
 	// their synthesis. Like Workers and Context it never affects
 	// results, so it is excluded from result-cache keys.
 	TraceCache *tracecache.Cache
+	// Fidelity selects FidelityExact (the default; bit-identical to the
+	// pre-sampling behavior) or FidelitySampled, which composes set
+	// sampling and interval sampling to trade a pinned error bound for
+	// interactive latency at full resolution. Unlike Workers/Context it
+	// DOES affect results and is part of cache-key derivation.
+	Fidelity string
+	// SampleSetRatio is the set-sampling ratio for sampled runs:
+	// simulate 1 in SampleSetRatio LLC sets (0 = DefaultSampleSetRatio,
+	// 1 = all sets, i.e. interval sampling only). Ignored for exact runs.
+	SampleSetRatio int
+	// SampleSeed seeds the deterministic set-selection hash (0 = 1).
+	// The same (seed, ratio) selects the same set indices on every
+	// geometry, so sweeps over capacity stay comparable.
+	SampleSeed uint64
+	// sampleAgg, when non-nil on a sampled run, accumulates per-replay
+	// sampling reports for the serialized Result (set by
+	// RunResultContext; plain Run leaves it nil).
+	sampleAgg *sampleAgg
 }
 
 // DefaultOptions returns the standard scaled configuration.
@@ -83,6 +101,22 @@ func (o Options) normalized() Options {
 	}
 	if o.Workers < 0 {
 		o.Workers = 0
+	}
+	if o.Fidelity != FidelitySampled {
+		o.Fidelity = FidelityExact
+	}
+	if o.Fidelity == FidelitySampled {
+		if o.SampleSetRatio <= 0 {
+			o.SampleSetRatio = DefaultSampleSetRatio
+		}
+		if o.SampleSeed == 0 {
+			o.SampleSeed = 1
+		}
+	} else {
+		// Sampling knobs are meaningless on exact runs: canonicalize them
+		// away so every exact spelling shares one cache key.
+		o.SampleSetRatio = 0
+		o.SampleSeed = 0
 	}
 	return o
 }
@@ -227,17 +261,38 @@ type drripFillStats struct {
 // polling ctx inside the access loop so cancellation stops a frame
 // mid-trace. The trace is shared and read-only: any number of policy
 // replays may run over the same packed trace concurrently.
-func runOffline(ctx context.Context, tr *stream.Trace, spec policySpec, geom cachesim.Geometry) (frameResult, error) {
+//
+// A nil plan replays the full trace exactly. A non-nil plan runs the
+// sampled protocol: allocate only the sampled sets, warm the cache on
+// [warmStart, measStart) with counters discarded, measure
+// [measStart, Len), then extrapolate every counter to full-trace,
+// full-set scale.
+func runOffline(ctx context.Context, tr *stream.Trace, spec policySpec, geom cachesim.Geometry, plan *samplePlan) (frameResult, error) {
 	defer trackStage(ctx, pickReplay)()
 	defer telemetry.StartFrom(ctx, spec.name, "replay").End()
 	pol := spec.make()
-	c := cachesim.New(geom, pol)
+	var c *cachesim.Cache
+	if plan == nil {
+		c = cachesim.New(geom, pol)
+	} else {
+		c = cachesim.NewSampled(geom, pol, plan.sample)
+	}
 	if spec.ucd {
 		c.SetBypass(stream.Display, true)
 	}
 	tk := attachTracker(c)
-	if err := cachesim.ReplaySource(ctx, c, tr, 0); err != nil {
-		return frameResult{}, err
+	if plan == nil {
+		if err := cachesim.ReplaySource(ctx, c, tr, 0); err != nil {
+			return frameResult{}, err
+		}
+	} else {
+		if err := cachesim.ReplaySourceRange(ctx, c, tr, plan.warmStart, plan.measStart, 0); err != nil {
+			return frameResult{}, err
+		}
+		resetRunCounters(c, tk, pol)
+		if err := cachesim.ReplaySourceRange(ctx, c, tr, plan.measStart, tr.Len(), 0); err != nil {
+			return frameResult{}, err
+		}
 	}
 	recordLLCStats(&c.Stats)
 	res := frameResult{stats: c.Stats, tracker: tk}
@@ -247,6 +302,10 @@ func runOffline(ctx context.Context, tr *stream.Trace, spec policySpec, geom cac
 	if d, ok := pol.(*policy.DRRIP); ok {
 		res.drrip = drripFillStats{fills: d.FillsByKind, distant: d.DistantFillsByKind}
 	}
+	if plan != nil {
+		plan.observe(c)
+		scaleFrameResult(&res, plan.scaleFor(c))
+	}
 	return res, nil
 }
 
@@ -254,35 +313,58 @@ func runOffline(ctx context.Context, tr *stream.Trace, spec policySpec, geom cac
 // the characterization figures share — fanning the three replays out
 // over the options' worker budget. Results are positional, so the
 // output is identical to the former sequential run.
-func runBDN(o Options, tr *stream.Trace, geom cachesim.Geometry) ([3]frameResult, error) {
+func runBDN(o Options, tr *stream.Trace, geom cachesim.Geometry, plan *samplePlan) ([3]frameResult, error) {
 	var out [3]frameResult
 	err := fanOut(o.ctx(), o.replayWorkers(), 3, func(ctx context.Context, i int) error {
 		var err error
 		switch i {
 		case 0:
-			out[0], err = runBelady(ctx, tr, geom)
+			out[0], err = runBelady(ctx, tr, geom, plan)
 		case 1:
-			out[1], err = runOffline(ctx, tr, specDRRIP(), geom)
+			out[1], err = runOffline(ctx, tr, specDRRIP(), geom, plan)
 		case 2:
-			out[2], err = runOffline(ctx, tr, specNRU(), geom)
+			out[2], err = runOffline(ctx, tr, specNRU(), geom, plan)
 		}
 		return err
 	})
 	return out, err
 }
 
-// runBelady replays tr under Belady's optimal policy.
-func runBelady(ctx context.Context, tr *stream.Trace, geom cachesim.Geometry) (frameResult, error) {
+// runBelady replays tr under Belady's optimal policy. The plan protocol
+// matches runOffline; OPT's next-use chains are keyed on global Seq, so
+// a windowed replay sees the same lookahead a full replay would.
+func runBelady(ctx context.Context, tr *stream.Trace, geom cachesim.Geometry, plan *samplePlan) (frameResult, error) {
 	defer trackStage(ctx, pickReplay)()
 	defer telemetry.StartFrom(ctx, "Belady", "replay").End()
 	next := belady.NextUseTrace(tr, blockShift(geom.BlockSize))
-	c := cachesim.New(geom, belady.NewOPT(next))
+	pol := belady.NewOPT(next)
+	var c *cachesim.Cache
+	if plan == nil {
+		c = cachesim.New(geom, pol)
+	} else {
+		c = cachesim.NewSampled(geom, pol, plan.sample)
+	}
 	tk := attachTracker(c)
-	if err := cachesim.ReplaySource(ctx, c, tr, 0); err != nil {
-		return frameResult{}, err
+	if plan == nil {
+		if err := cachesim.ReplaySource(ctx, c, tr, 0); err != nil {
+			return frameResult{}, err
+		}
+	} else {
+		if err := cachesim.ReplaySourceRange(ctx, c, tr, plan.warmStart, plan.measStart, 0); err != nil {
+			return frameResult{}, err
+		}
+		resetRunCounters(c, tk, pol)
+		if err := cachesim.ReplaySourceRange(ctx, c, tr, plan.measStart, tr.Len(), 0); err != nil {
+			return frameResult{}, err
+		}
 	}
 	recordLLCStats(&c.Stats)
-	return frameResult{stats: c.Stats, tracker: tk}, nil
+	res := frameResult{stats: c.Stats, tracker: tk}
+	if plan != nil {
+		plan.observe(c)
+		scaleFrameResult(&res, plan.scaleFor(c))
+	}
+	return res, nil
 }
 
 // recordLLCStats folds one finished replay's per-stream access and hit

@@ -20,12 +20,20 @@ import (
 // remaining frame for a consumer that is gone.
 var poolSynths atomic.Int64
 
+// frameTrace pairs an acquired frame trace with its sampling plan (nil
+// on exact-fidelity runs) for the worker-pool handoff.
+type frameTrace struct {
+	tr   *stream.Trace
+	plan *samplePlan
+}
+
 // forEachFrame acquires each selected frame's packed LLC trace — from
 // the shared frame-trace cache, synthesizing on a miss — and hands it to
-// fn. Acquisition runs on a small worker pool; fn itself is called
-// serially in suite order (experiment accumulators need no locking), so
-// results are identical to a sequential run. Traces are shared with the
-// cache and other runs: fn must treat them as read-only.
+// fn along with the run's sampling plan for that frame (nil for exact
+// fidelity). Acquisition runs on a small worker pool; fn itself is
+// called serially in suite order (experiment accumulators need no
+// locking), so results are identical to a sequential run. Traces are
+// shared with the cache and other runs: fn must treat them as read-only.
 //
 // The run's context is checked before each frame is acquired and again
 // before fn runs; the first fn error (typically a cancellation surfaced
@@ -37,7 +45,8 @@ var poolSynths atomic.Int64
 // joins them before returning, stranding no goroutine. A worker's
 // cancelled cache lookup likewise yields a nil placeholder; the consumer
 // translates any nil into the context's error.
-func forEachFrame(o Options, fn func(j workload.FrameJob, tr *stream.Trace) error) error {
+func forEachFrame(o Options, fn func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error) error {
+	o = o.normalized()
 	ctx, cancel := context.WithCancel(o.ctx())
 	defer cancel()
 	jobs := o.Jobs()
@@ -47,12 +56,12 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr *stream.Trace) erro
 	}
 	if workers <= 1 {
 		for _, j := range jobs {
-			tr, err := genTrace(ctx, o, j)
+			tr, plan, err := acquireFrame(ctx, o, j)
 			if err != nil {
 				return err
 			}
 			sp := telemetry.StartFrom(ctx, j.ID(), "frame")
-			err = fn(j, tr)
+			err = fn(j, tr, plan)
 			sp.End()
 			if err != nil {
 				return err
@@ -62,9 +71,9 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr *stream.Trace) erro
 		return nil
 	}
 
-	traces := make([]chan *stream.Trace, len(jobs))
+	traces := make([]chan frameTrace, len(jobs))
 	for i := range traces {
-		traces[i] = make(chan *stream.Trace, 1)
+		traces[i] = make(chan frameTrace, 1)
 	}
 	var next int64 = -1
 	var wg sync.WaitGroup
@@ -86,24 +95,24 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr *stream.Trace) erro
 					return
 				}
 				if ctx.Err() != nil {
-					traces[i] <- nil // cancelled: unblock the consumer cheaply
+					traces[i] <- frameTrace{} // cancelled: unblock the consumer cheaply
 					continue
 				}
 				poolSynths.Add(1)
-				tr, err := genTrace(ctx, o, jobs[i])
+				tr, plan, err := acquireFrame(ctx, o, jobs[i])
 				if err != nil {
-					tr = nil
+					tr, plan = nil, nil
 				}
-				traces[i] <- tr
+				traces[i] <- frameTrace{tr: tr, plan: plan}
 			}
 		}()
 	}
 	for i, j := range jobs {
-		tr := <-traces[i]
+		ft := <-traces[i]
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		if tr == nil {
+		if ft.tr == nil {
 			// The worker's acquisition failed without the run context
 			// dying first (e.g. a cancellation race); surface whichever
 			// error the context now carries.
@@ -113,12 +122,12 @@ func forEachFrame(o Options, fn func(j workload.FrameJob, tr *stream.Trace) erro
 			return fmt.Errorf("harness: trace acquisition failed for %s", j.ID())
 		}
 		sp := telemetry.StartFrom(ctx, j.ID(), "frame")
-		err := fn(j, tr)
+		err := fn(j, ft.tr, ft.plan)
 		sp.End()
 		if err != nil {
 			return err
 		}
-		o.progressf("  %s: %d LLC accesses\n", j.ID(), tr.Len())
+		o.progressf("  %s: %d LLC accesses\n", j.ID(), ft.tr.Len())
 	}
 	return nil
 }
@@ -166,18 +175,18 @@ func RunFig1(o Options) (*Table, error) {
 	missD := map[string]int64{}
 	missN := map[string]int64{}
 	missO := map[string]int64{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error {
 		ab := j.App.Abbrev
 		var rs [3]frameResult
 		err := fanOut(o.ctx(), o.replayWorkers(), 3, func(ctx context.Context, i int) error {
 			var err error
 			switch i {
 			case 0:
-				rs[0], err = runOffline(ctx, tr, specDRRIP(), geom)
+				rs[0], err = runOffline(ctx, tr, specDRRIP(), geom, plan)
 			case 1:
-				rs[1], err = runOffline(ctx, tr, specNRU(), geom)
+				rs[1], err = runOffline(ctx, tr, specNRU(), geom, plan)
 			case 2:
-				rs[2], err = runBelady(ctx, tr, geom)
+				rs[2], err = runBelady(ctx, tr, geom, plan)
 			}
 			return err
 		})
@@ -212,9 +221,15 @@ func RunFig1(o Options) (*Table, error) {
 // accesses.
 func RunFig4(o Options) (*Table, error) {
 	mix := map[string][stream.NumKinds]int64{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error {
+		// Sampled runs scan only the measured window — the distribution is
+		// reported in percent, so the extrapolation factor cancels.
+		lo := 0
+		if plan != nil {
+			lo = plan.measStart
+		}
 		m := mix[j.App.Abbrev]
-		for i, n := 0, tr.Len(); i < n; i++ {
+		for i, n := lo, tr.Len(); i < n; i++ {
 			m[tr.KindAt(i)]++
 		}
 		mix[j.App.Abbrev] = m
@@ -258,13 +273,13 @@ func RunFig5(o Options) (*Table, error) {
 	type acc struct{ hit, tot [3][3]int64 } // [policy][stream]
 	per := map[string]*acc{}
 	kinds := []stream.Kind{stream.Texture, stream.RT, stream.Z}
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
 			per[j.App.Abbrev] = a
 		}
-		results, err := runBDN(o, tr, geom)
+		results, err := runBDN(o, tr, geom, plan)
 		if err != nil {
 			return err
 		}
@@ -324,13 +339,13 @@ func RunFig6(o Options) (*Table, error) {
 		prod, cons   [3]int64
 	}
 	per := map[string]*acc{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
 			per[j.App.Abbrev] = a
 		}
-		results, err := runBDN(o, tr, geom)
+		results, err := runBDN(o, tr, geom, plan)
 		if err != nil {
 			return err
 		}
@@ -390,13 +405,13 @@ func RunFig7(o Options) (*Table, error) {
 		entries [5]int64
 	}
 	per := map[string]*acc{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
 			per[j.App.Abbrev] = a
 		}
-		r, err := runBelady(o.ctx(), tr, geom)
+		r, err := runBelady(o.ctx(), tr, geom, plan)
 		if err != nil {
 			return err
 		}
@@ -463,13 +478,13 @@ func RunFig8(o Options) (*Table, error) {
 	geom := o.Geometry(paperLLCBytes)
 	type acc struct{ rtF, rtD, txF, txD int64 }
 	per := map[string]*acc{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &acc{}
 			per[j.App.Abbrev] = a
 		}
-		r, err := runOffline(o.ctx(), tr, specDRRIP(), geom)
+		r, err := runOffline(o.ctx(), tr, specDRRIP(), geom, plan)
 		if err != nil {
 			return err
 		}
@@ -503,13 +518,13 @@ func RunFig8(o Options) (*Table, error) {
 func RunFig9(o Options) (*Table, error) {
 	geom := o.Geometry(paperLLCBytes)
 	per := map[string]*[5]int64{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error {
 		a := per[j.App.Abbrev]
 		if a == nil {
 			a = &[5]int64{}
 			per[j.App.Abbrev] = a
 		}
-		r, err := runBelady(o.ctx(), tr, geom)
+		r, err := runBelady(o.ctx(), tr, geom, plan)
 		if err != nil {
 			return err
 		}
@@ -546,7 +561,7 @@ func RunFig11(o Options) (*Table, error) {
 	geom := o.Geometry(paperLLCBytes)
 	ts := []int{2, 4, 8, 16}
 	miss := map[string][]int64{}
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error {
 		a := miss[j.App.Abbrev]
 		if a == nil {
 			a = make([]int64, len(ts))
@@ -554,7 +569,7 @@ func RunFig11(o Options) (*Table, error) {
 		rs := make([]frameResult, len(ts))
 		err := fanOut(o.ctx(), o.replayWorkers(), len(ts), func(ctx context.Context, i int) error {
 			var err error
-			rs[i], err = runOffline(ctx, tr, specGSPC(core.VariantGSPZTC, ts[i], false), geom)
+			rs[i], err = runOffline(ctx, tr, specGSPC(core.VariantGSPZTC, ts[i], false), geom, plan)
 			return err
 		})
 		if err != nil {
@@ -653,14 +668,14 @@ func RunFig13(o Options) (*Table, error) {
 		specGSPC(core.VariantGSPC, 8, true),
 	}
 	accs := make([]fig13Acc, len(specs)+1) // +1 for Belady
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error {
 		rs := make([]frameResult, len(specs)+1)
 		err := fanOut(o.ctx(), o.replayWorkers(), len(specs)+1, func(ctx context.Context, i int) error {
 			var err error
 			if i == len(specs) {
-				rs[i], err = runBelady(ctx, tr, geom)
+				rs[i], err = runBelady(ctx, tr, geom, plan)
 			} else {
-				rs[i], err = runOffline(ctx, tr, specs[i], geom)
+				rs[i], err = runOffline(ctx, tr, specs[i], geom, plan)
 			}
 			return err
 		})
@@ -759,15 +774,15 @@ func RunFig14(o Options) (*Table, error) {
 func missSweep(o Options, geom cachesim.Geometry, specs []policySpec) (missD map[string]int64, miss map[string][]int64, err error) {
 	missD = map[string]int64{}
 	miss = map[string][]int64{}
-	err = forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err = forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error {
 		ab := j.App.Abbrev
 		rs := make([]frameResult, len(specs)+1)
 		err := fanOut(o.ctx(), o.replayWorkers(), len(specs)+1, func(ctx context.Context, i int) error {
 			var err error
 			if i == 0 {
-				rs[0], err = runOffline(ctx, tr, specDRRIP(), geom)
+				rs[0], err = runOffline(ctx, tr, specDRRIP(), geom, plan)
 			} else {
-				rs[i], err = runOffline(ctx, tr, specs[i-1], geom)
+				rs[i], err = runOffline(ctx, tr, specs[i-1], geom, plan)
 			}
 			return err
 		})

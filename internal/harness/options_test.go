@@ -12,14 +12,20 @@ func TestNormalizedDefaults(t *testing.T) {
 		in   Options
 		want Options
 	}{
-		{"zero options", Options{}, Options{Scale: 0.25, CapacityFactor: 1.5}},
-		{"negative scale", Options{Scale: -2}, Options{Scale: 0.25, CapacityFactor: 1.5}},
-		{"full scale gets unit capacity factor", Options{Scale: 1}, Options{Scale: 1, CapacityFactor: 1}},
-		{"above full scale", Options{Scale: 2}, Options{Scale: 2, CapacityFactor: 1}},
-		{"explicit factor survives", Options{Scale: 1, CapacityFactor: 1.5}, Options{Scale: 1, CapacityFactor: 1.5}},
-		{"negative frames clamp", Options{MaxFramesPerApp: -3}, Options{Scale: 0.25, CapacityFactor: 1.5}},
-		{"negative workers clamp", Options{Workers: -8}, Options{Scale: 0.25, CapacityFactor: 1.5}},
-		{"positive workers survive", Options{Workers: 2}, Options{Scale: 0.25, CapacityFactor: 1.5, Workers: 2}},
+		{"zero options", Options{}, Options{Scale: 0.25, CapacityFactor: 1.5, Fidelity: FidelityExact}},
+		{"negative scale", Options{Scale: -2}, Options{Scale: 0.25, CapacityFactor: 1.5, Fidelity: FidelityExact}},
+		{"full scale gets unit capacity factor", Options{Scale: 1}, Options{Scale: 1, CapacityFactor: 1, Fidelity: FidelityExact}},
+		{"above full scale", Options{Scale: 2}, Options{Scale: 2, CapacityFactor: 1, Fidelity: FidelityExact}},
+		{"explicit factor survives", Options{Scale: 1, CapacityFactor: 1.5}, Options{Scale: 1, CapacityFactor: 1.5, Fidelity: FidelityExact}},
+		{"negative frames clamp", Options{MaxFramesPerApp: -3}, Options{Scale: 0.25, CapacityFactor: 1.5, Fidelity: FidelityExact}},
+		{"negative workers clamp", Options{Workers: -8}, Options{Scale: 0.25, CapacityFactor: 1.5, Fidelity: FidelityExact}},
+		{"positive workers survive", Options{Workers: 2}, Options{Scale: 0.25, CapacityFactor: 1.5, Workers: 2, Fidelity: FidelityExact}},
+		{"sampled gets ratio and seed defaults", Options{Fidelity: FidelitySampled},
+			Options{Scale: 0.25, CapacityFactor: 1.5, Fidelity: FidelitySampled, SampleSetRatio: DefaultSampleSetRatio, SampleSeed: 1}},
+		{"unknown fidelity canonicalizes to exact", Options{Fidelity: "fast", SampleSetRatio: 8, SampleSeed: 7},
+			Options{Scale: 0.25, CapacityFactor: 1.5, Fidelity: FidelityExact}},
+		{"sampled keeps explicit knobs", Options{Fidelity: FidelitySampled, SampleSetRatio: 8, SampleSeed: 7},
+			Options{Scale: 0.25, CapacityFactor: 1.5, Fidelity: FidelitySampled, SampleSetRatio: 8, SampleSeed: 7}},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -35,10 +35,25 @@ func runPerf(o Options, title string, cfg gpu.Config) (*Table, error) {
 	var framesD, framesTot int64
 	var cycSumD int64
 	cycSum := make([]int64, len(specs))
-	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace) error {
+	err := forEachFrame(o, func(j workload.FrameJob, tr *stream.Trace, plan *samplePlan) error {
 		ab := j.App.Abbrev
 		cfgRun := cfg
 		cfgRun.UncachedDisplay = true
+		// Sampled fidelity applies interval sampling only: the timing model
+		// simulates the warmup plus measured window of the trace (set
+		// sampling would distort queueing and DRAM row behavior) and the
+		// cycle counts are extrapolated by the estimated full-trace record
+		// ratio. The factor cancels in the normalized columns; it only
+		// shapes the absolute-fps note.
+		var src stream.Source = tr
+		cycleScale := 1.0
+		if plan != nil {
+			w := stream.NewWindow(tr, plan.warmStart, tr.Len())
+			if n := w.Len(); n > 0 && plan.fullEst > 0 {
+				src = w
+				cycleScale = plan.fullEst / float64(n)
+			}
+		}
 		// The timing simulator runs one whole trace per call and does not
 		// poll the context internally, so the fan-out's per-job context
 		// check bounds cancellation latency to one simulation — the same
@@ -53,11 +68,16 @@ func runPerf(o Options, title string, cfg gpu.Config) (*Table, error) {
 			}
 			defer trackStage(ctx, pickTiming)()
 			defer telemetry.StartFrom(ctx, spec.name, "timing", telemetry.String("job", j.ID())).End()
-			cycles[i] = gpu.SimulateSource(tr, cfgRun, spec.make()).Cycles
+			cycles[i] = gpu.SimulateSource(src, cfgRun, spec.make()).Cycles
 			return nil
 		})
 		if err != nil {
 			return err
+		}
+		if cycleScale != 1 {
+			for i := range cycles {
+				cycles[i] = scale64(cycles[i], cycleScale)
+			}
 		}
 		cycD[ab] += cycles[0]
 		cycSumD += cycles[0]

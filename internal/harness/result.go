@@ -35,6 +35,14 @@ type Result struct {
 	Apps            []string `json:"apps,omitempty"`
 	// Geometry is the scaled model geometry the paper's 8 MB LLC maps to.
 	Geometry string `json:"geometry"`
+	// Fidelity is the run's fidelity ("exact" or "sampled"); omitted on
+	// payloads from builds that predate sampling (decode as "", treat as
+	// exact). Additive: no schema bump.
+	Fidelity string `json:"fidelity,omitempty"`
+	// Sampling summarizes the sampling protocol of a sampled run — the
+	// set subset, the mean measured window fraction, and the estimated
+	// relative error of the scaled counters. Nil on exact runs.
+	Sampling *SamplingReport `json:"sampling,omitempty"`
 
 	Table *Table `json:"table"`
 	// PerApp maps each table row label (application abbreviation for the
@@ -44,6 +52,29 @@ type Result struct {
 	Mean   map[string]float64            `json:"mean,omitempty"`
 	// Rendered is the aligned text table, exactly as gspcsim prints it.
 	Rendered string `json:"rendered"`
+}
+
+// SamplingReport summarizes how a sampled-fidelity run measured and
+// extrapolated, aggregated over every replay of the run.
+type SamplingReport struct {
+	// SetRatio and SetSeed are the set-sampling configuration; 1 in
+	// SetRatio sets were simulated.
+	SetRatio int    `json:"set_ratio"`
+	SetSeed  uint64 `json:"set_seed"`
+	// SetsSimulated of SetsTotal is the realized subset on the run's
+	// primary geometry.
+	SetsSimulated int `json:"sets_simulated"`
+	SetsTotal     int `json:"sets_total"`
+	// WindowFraction is the mean fraction of the full trace the measured
+	// windows covered (0 when interval sampling was skipped).
+	WindowFraction float64 `json:"window_fraction,omitempty"`
+	// EstRelErr and MaxRelErr are the mean and worst per-replay relative
+	// standard error of the scaled access counters, estimated from the
+	// across-set variance of the sampled subset.
+	EstRelErr float64 `json:"est_rel_err"`
+	MaxRelErr float64 `json:"max_rel_err"`
+	// Replays counts the measured replays aggregated here.
+	Replays int64 `json:"replays"`
 }
 
 // BuildResult assembles the serializable result for an experiment whose
@@ -59,7 +90,11 @@ func BuildResult(e Experiment, o Options, t *Table) *Result {
 		MaxFramesPerApp: o.MaxFramesPerApp,
 		Apps:            o.Apps,
 		Geometry:        o.Geometry(paperLLCBytes).String(),
+		Fidelity:        o.Fidelity,
 		Table:           t,
+	}
+	if o.sampleAgg != nil {
+		r.Sampling = o.sampleAgg.report(o)
 	}
 	for _, row := range t.Rows {
 		m := map[string]float64{}
@@ -103,6 +138,11 @@ func RunResultContext(ctx context.Context, id string, o Options) (*Result, error
 		return nil, &UnknownExperimentError{ID: id}
 	}
 	o.Context = ctx
+	if o.Normalized().sampled() {
+		// The aggregate travels by pointer: the experiment's replays fold
+		// their sampling reports into it and BuildResult reads it back.
+		o.sampleAgg = &sampleAgg{}
+	}
 	t, err := e.Run(o)
 	if err != nil {
 		if ctx.Err() != nil {

@@ -107,6 +107,23 @@ func (c *resultCache) Get(key string) (*cached, bool) {
 	return c.vals[w], true
 }
 
+// Replace stores an entry, overwriting a resident key in place: the
+// escalation path upgrades a sampled result to its exact twin under
+// the sampled key, so Put's first-write-wins rule must not apply. A
+// non-resident key falls through to Put semantics.
+func (c *resultCache) Replace(key string, v *cached) {
+	c.mu.Lock()
+	if c.ways != 0 {
+		if w, ok := c.byKey[key]; ok {
+			c.vals[w] = v
+			c.mu.Unlock()
+			return
+		}
+	}
+	c.mu.Unlock()
+	c.Put(key, v)
+}
+
 // Put stores an entry, asking the policy for a victim when full. A
 // second Put of a resident key keeps the original value: results are
 // deterministic, so the first computation is as good as any later one

@@ -93,6 +93,14 @@ type Config struct {
 	// it are rejected with 400 up front instead of burning a worker for
 	// minutes. 0 = unlimited.
 	MaxWork float64
+	// EscalateSampled upgrades sampled answers in the background: when a
+	// sampled-fidelity job completes, its exact twin (same request,
+	// fidelity "exact") is submitted asynchronously, and once that
+	// finishes its result replaces the sampled entry in the cache under
+	// the sampled key — callers get the interactive answer now and exact
+	// numbers on the next identical request. If the exact twin is
+	// already cached the replacement is immediate.
+	EscalateSampled bool
 	// ReadyHighWater is the queued-job count at which /readyz starts
 	// reporting unready (load shedding hint for balancers); admission
 	// itself still accepts work until QueueDepth. Default QueueDepth.
@@ -226,6 +234,10 @@ type Job struct {
 	waiters           int           // Do callers blocked on done
 	abandonable       bool          // every interested party is a waiting Do caller
 	probe             bool          // the job is its breaker's half-open probe
+	// alsoCache lists extra cache keys this job's result is installed
+	// under when it completes — the sampled keys an exact escalation job
+	// upgrades.
+	alsoCache []string
 }
 
 // JobStatus is the queryable snapshot of a job (GET /v1/runs/{id}).
@@ -304,6 +316,9 @@ type Engine struct {
 	breakerFastFails, staleServed int64
 	journalErrors                 int64
 	replicasInstalled             int64
+	sampledJobs                   int64
+	escalations, escalationHits   int64
+	lastSampledErr                float64 // EstRelErr of the latest sampled job
 	lat                           latencies
 }
 
@@ -483,6 +498,13 @@ func (e *Engine) admitWork(req Request) error {
 		return nil
 	}
 	work := float64(len(req.Options().Jobs())) * req.Scale * req.Scale
+	if req.Fidelity == harness.FidelitySampled {
+		// A sampled run synthesizes two small fixed-scale profiles plus a
+		// ~6% prefix and replays a ~1-in-16 set subset; measured end to
+		// end it costs well under an eighth of the exact run at the
+		// scales where the ceiling matters.
+		work /= 8
+	}
 	if work > e.cfg.MaxWork {
 		return &BadRequestError{Reason: fmt.Sprintf(
 			"request implies %.2f frame-equivalents of simulation (frames × scale²), above the admission ceiling %.2f; lower scale, frames, or apps",
@@ -671,8 +693,20 @@ func (e *Engine) worker() {
 			job.status = StatusDone
 			job.result = entry
 			e.cache.Put(job.Key, entry)
+			// An escalation job also upgrades the sampled entries that
+			// asked for it.
+			for _, k := range job.alsoCache {
+				e.cache.Replace(k, entry)
+				e.escalationHits++
+				e.flight.Add(telemetry.Event{Type: "escalated", RunID: job.ID,
+					TraceID: traceID(job.run), Detail: job.Req.Experiment + " -> " + k})
+			}
 			e.lastGood[job.Req.Experiment] = entry
 			e.completed++
+			if res.Sampling != nil {
+				e.sampledJobs++
+				e.lastSampledErr = res.Sampling.EstRelErr
+			}
 			d := job.finished.Sub(job.started)
 			e.lat.record(d)
 			e.latHist.Observe(d.Seconds())
@@ -696,6 +730,48 @@ func (e *Engine) worker() {
 		e.pruneLocked(job.ID)
 		e.mu.Unlock()
 		close(job.done)
+		// Escalation happens after done is closed: the sampled answer
+		// reaches its waiters immediately, the exact twin runs behind
+		// them. The twin is exact, so escalation cannot recurse.
+		if serr == nil && e.cfg.EscalateSampled && job.Req.Fidelity == harness.FidelitySampled {
+			e.escalateSampled(job)
+		}
+	}
+}
+
+// escalateSampled submits the exact twin of a finished sampled job and
+// arranges for its result to replace the sampled entry in the cache
+// under the sampled key. Best-effort: backpressure or shutdown drops
+// the escalation (the sampled answer, with its error estimate attached,
+// simply remains cached).
+func (e *Engine) escalateSampled(job *Job) {
+	exj, rep, err := e.Submit(job.Req.ExactTwin())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.escalations++
+	switch {
+	case err != nil:
+		e.flight.Add(telemetry.Event{Type: "escalate-dropped", RunID: job.ID,
+			Detail: job.Req.Experiment + ": " + err.Error()})
+	case rep != nil:
+		// The exact answer was already cached: upgrade immediately.
+		e.cache.Replace(job.Key, &cached{body: rep.Body, runID: rep.RunID})
+		e.escalationHits++
+		e.flight.Add(telemetry.Event{Type: "escalated", RunID: rep.RunID,
+			Detail: job.Req.Experiment + " -> " + job.Key})
+	default:
+		switch exj.status {
+		case StatusDone:
+			// Finished between Submit and this lock.
+			if exj.result != nil {
+				e.cache.Replace(job.Key, exj.result)
+				e.escalationHits++
+			}
+		case StatusQueued, StatusRunning:
+			exj.alsoCache = append(exj.alsoCache, job.Key)
+		}
+		e.flight.Add(telemetry.Event{Type: "escalate", RunID: exj.ID,
+			TraceID: traceID(exj.run), Detail: job.Req.Experiment + " for " + job.ID})
 	}
 }
 
@@ -718,7 +794,8 @@ func (e *Engine) runWithRetry(job *Job) (*harness.Result, int, *Error) {
 	for {
 		attempts++
 		sp := job.run.Start(fmt.Sprintf("attempt-%d", attempts), "engine",
-			telemetry.String("experiment", job.Req.Experiment))
+			telemetry.String("experiment", job.Req.Experiment),
+			telemetry.String("fidelity", job.Req.Fidelity))
 		res, serr := e.runOnce(ctx, job)
 		if serr == nil {
 			sp.Attr(telemetry.String("outcome", "ok")).End()

@@ -7,6 +7,7 @@ import (
 
 	"gspc/internal/durable"
 	"gspc/internal/harness"
+	"gspc/internal/telemetry"
 	"gspc/internal/tracecache"
 )
 
@@ -80,6 +81,11 @@ type Metrics struct {
 	// cluster coordinator (PUT /v1/replicas/{key}).
 	ReplicasInstalled int64 `json:"replicas_installed"`
 
+	// Sampling reports sampled-fidelity serving: jobs answered sampled,
+	// background escalations to exact, and the process-wide set-sampling
+	// replay counters. Omitted until the first sampled job.
+	Sampling *SamplingMetrics `json:"sampling,omitempty"`
+
 	BreakerTrips     int64             `json:"breaker_trips"`
 	BreakerFastFails int64             `json:"breaker_fast_fails"`
 	BreakersOpen     int               `json:"breakers_open"`
@@ -118,6 +124,29 @@ type Metrics struct {
 	Durable *DurableMetrics `json:"durable,omitempty"`
 }
 
+// SamplingMetrics is the sampled-fidelity section of /metricsz.
+type SamplingMetrics struct {
+	// SampledJobs counts completed sampled-fidelity jobs; LastEstRelErr
+	// is the estimated relative error the most recent one reported.
+	SampledJobs   int64   `json:"sampled_jobs"`
+	LastEstRelErr float64 `json:"last_est_rel_err"`
+	// Escalations counts exact twins submitted behind sampled answers;
+	// EscalationHits counts sampled cache entries actually upgraded to
+	// exact results (immediately or when the twin finished).
+	Escalations    int64 `json:"escalations"`
+	EscalationHits int64 `json:"escalation_hits"`
+	// Process-wide set-sampling replay counters (every engine in the
+	// process shares them, like the trace cache): measured replays,
+	// sampled-subset and geometry set counts summed over replays (divide
+	// by SampledReplays for per-replay means), and the accesses skipped
+	// versus simulated.
+	SampledReplays    int64 `json:"sampled_replays"`
+	SampledSets       int64 `json:"sampled_sets"`
+	SampledSetsTotal  int64 `json:"sampled_sets_total"`
+	SkippedAccesses   int64 `json:"skipped_accesses"`
+	SimulatedAccesses int64 `json:"simulated_accesses"`
+}
+
 // DurableMetrics is the persistence section of /metricsz.
 type DurableMetrics struct {
 	// Journal/snapshot store counters: journal size and record count,
@@ -141,6 +170,20 @@ func (e *Engine) Metrics() Metrics {
 	defer e.mu.Unlock()
 	hits, misses, evictions := e.cache.counters()
 	p50, p95 := e.lat.percentiles()
+	var sampling *SamplingMetrics
+	if sim := telemetry.Sim(); e.sampledJobs > 0 || e.escalations > 0 || sim.SampledReplays > 0 {
+		sampling = &SamplingMetrics{
+			SampledJobs:       e.sampledJobs,
+			LastEstRelErr:     e.lastSampledErr,
+			Escalations:       e.escalations,
+			EscalationHits:    e.escalationHits,
+			SampledReplays:    sim.SampledReplays,
+			SampledSets:       sim.SampledSets,
+			SampledSetsTotal:  sim.SampledSetsTotal,
+			SkippedAccesses:   sim.SampledSkippedAcc,
+			SimulatedAccesses: sim.SampledSimulatedAcc,
+		}
+	}
 	var durableMetrics *DurableMetrics
 	if e.store != nil {
 		durableMetrics = &DurableMetrics{
@@ -175,6 +218,7 @@ func (e *Engine) Metrics() Metrics {
 		Timeouts: e.timeouts,
 
 		ReplicasInstalled: e.replicasInstalled,
+		Sampling:          sampling,
 
 		BreakerTrips:     e.breakerTrips,
 		BreakerFastFails: e.breakerFastFails,

@@ -30,6 +30,18 @@ func (e *Engine) PromExposition() []byte {
 
 	x.Counter("gspc_replicas_installed_total", "Results replicated onto this node by a cluster coordinator.", float64(m.ReplicasInstalled))
 
+	if s := m.Sampling; s != nil {
+		x.Counter("gspc_sampled_jobs_total", "Completed sampled-fidelity jobs.", float64(s.SampledJobs))
+		x.Gauge("gspc_sampled_est_rel_err", "Estimated relative error reported by the latest sampled job.", s.LastEstRelErr)
+		x.Counter("gspc_escalations_total", "Exact twins submitted behind sampled answers.", float64(s.Escalations))
+		x.Counter("gspc_escalation_hits_total", "Sampled cache entries upgraded to exact results.", float64(s.EscalationHits))
+		x.Counter("gspc_sampled_replays_total", "Set-sampled measured replays, process-wide.", float64(s.SampledReplays))
+		x.Counter("gspc_sampled_sets", "Sets simulated, summed over set-sampled replays (divide by gspc_sampled_replays_total for the per-replay mean).", float64(s.SampledSets))
+		x.Counter("gspc_sampled_sets_total", "Geometry set totals, summed over set-sampled replays.", float64(s.SampledSetsTotal))
+		x.Counter("gspc_sampled_skipped_accesses_total", "Accesses skipped by set sampling, process-wide.", float64(s.SkippedAccesses))
+		x.Counter("gspc_sampled_simulated_accesses_total", "Accesses simulated under set sampling, process-wide (pre-scaling).", float64(s.SimulatedAccesses))
+	}
+
 	x.Counter("gspc_breaker_trips_total", "Circuit breakers tripped open.", float64(m.BreakerTrips))
 	x.Counter("gspc_breaker_fast_fails_total", "Submissions fast-failed by an open breaker.", float64(m.BreakerFastFails))
 	x.Gauge("gspc_breakers_open", "Experiment breakers currently open.", float64(m.BreakersOpen))

@@ -30,6 +30,16 @@ type Request struct {
 	Frames int `json:"frames,omitempty"`
 	// Apps restricts the run to the named applications (empty = all).
 	Apps []string `json:"apps,omitempty"`
+	// Fidelity selects the simulation fidelity: "exact" (the default)
+	// replays every access of every LLC set, "sampled" composes set
+	// sampling with interval sampling for an interactive answer with an
+	// estimated error bound attached (Result.Sampling).
+	Fidelity string `json:"fidelity,omitempty"`
+	// SampleRatio and SampleSeed tune sampled fidelity (0 = harness
+	// defaults); both are ignored — and canonicalized away — under exact
+	// fidelity, where they cannot change the result.
+	SampleRatio int    `json:"sample_ratio,omitempty"`
+	SampleSeed  uint64 `json:"sample_seed,omitempty"`
 	// Workers caps the harness trace-synthesis pool (0 = default). It
 	// changes wall-clock time only, never results, so it is excluded
 	// from the cache key.
@@ -64,16 +74,35 @@ func (r Request) Normalize() (Request, error) {
 	if r.TimeoutMS < 0 {
 		return r, &BadRequestError{Reason: fmt.Sprintf("timeout_ms %d must be non-negative", r.TimeoutMS)}
 	}
+	switch r.Fidelity {
+	case "", harness.FidelityExact, harness.FidelitySampled:
+	default:
+		return r, &BadRequestError{Reason: fmt.Sprintf(
+			"unknown fidelity %q (want %q or %q)", r.Fidelity, harness.FidelityExact, harness.FidelitySampled)}
+	}
+	if r.SampleRatio < 0 {
+		return r, &BadRequestError{Reason: fmt.Sprintf("sample_ratio %d must be non-negative", r.SampleRatio)}
+	}
 	o := harness.Options{
 		Scale:           r.Scale,
 		CapacityFactor:  r.CapacityFactor,
 		MaxFramesPerApp: r.Frames,
 		Workers:         r.Workers,
+		Fidelity:        r.Fidelity,
+		SampleSetRatio:  r.SampleRatio,
+		SampleSeed:      r.SampleSeed,
 	}.Normalized()
 	r.Scale = o.Scale
 	r.CapacityFactor = o.CapacityFactor
 	r.Frames = o.MaxFramesPerApp
 	r.Workers = o.Workers
+	// The harness canonicalizes fidelity: exact zeroes the sampling
+	// knobs (they cannot change an exact result), sampled fills in the
+	// default ratio and seed — so every spelling of the same computation
+	// carries the same knobs into Key.
+	r.Fidelity = o.Fidelity
+	r.SampleRatio = o.SampleSetRatio
+	r.SampleSeed = o.SampleSeed
 
 	if len(r.Apps) > 0 {
 		seen := map[string]bool{}
@@ -106,6 +135,9 @@ func (r Request) Options() harness.Options {
 		MaxFramesPerApp: r.Frames,
 		Apps:            r.Apps,
 		Workers:         r.Workers,
+		Fidelity:        r.Fidelity,
+		SampleSetRatio:  r.SampleRatio,
+		SampleSeed:      r.SampleSeed,
 	}
 }
 
@@ -118,7 +150,24 @@ func (r Request) Key() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "exp=%s|scale=%g|capf=%g|frames=%d|apps=%s",
 		r.Experiment, r.Scale, r.CapacityFactor, r.Frames, strings.Join(r.Apps, ","))
+	// Sampled runs key on the full sampling configuration; exact runs
+	// omit the component entirely so every pre-fidelity key (and every
+	// durable snapshot holding one) is unchanged.
+	if r.Fidelity == harness.FidelitySampled {
+		fmt.Fprintf(h, "|fid=sampled|ratio=%d|seed=%d", r.SampleRatio, r.SampleSeed)
+	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// ExactTwin returns the exact-fidelity request that answers the same
+// question as r without sampling error — what the engine escalates a
+// sampled run to in the background. The twin of an exact request is
+// itself.
+func (r Request) ExactTwin() Request {
+	r.Fidelity = harness.FidelityExact
+	r.SampleRatio = 0
+	r.SampleSeed = 0
+	return r
 }
 
 // ExperimentInfo describes one runnable experiment for GET /v1/experiments.

@@ -25,6 +25,36 @@ func (s Slice) Len() int { return len(s) }
 // At implements Source.
 func (s Slice) At(i int) Access { return s[i] }
 
+// Window is a positional view of the record range [Lo, Hi) of a Source,
+// used by interval-sampled timing runs to simulate one representative
+// window of a frame trace. At(i) preserves the underlying source's
+// global sequence numbers (it returns src.At(Lo+i) unchanged), so
+// consumers that key on Seq see the same values a full replay would.
+type Window struct {
+	Src    Source
+	Lo, Hi int
+}
+
+// NewWindow returns the [lo, hi) view of src, clamped to its bounds.
+func NewWindow(src Source, lo, hi int) Window {
+	if lo < 0 {
+		lo = 0
+	}
+	if n := src.Len(); hi > n {
+		hi = n
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return Window{Src: src, Lo: lo, Hi: hi}
+}
+
+// Len implements Source.
+func (w Window) Len() int { return w.Hi - w.Lo }
+
+// At implements Source.
+func (w Window) At(i int) Access { return w.Src.At(w.Lo + i) }
+
 // traceRecordBytes is the packed per-record footprint: an 8-byte address
 // plus a 1-byte meta (kind + write flag), mirroring the on-disk
 // container format of internal/trace. A stream.Access costs 24 bytes

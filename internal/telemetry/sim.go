@@ -14,6 +14,9 @@ var (
 
 	dramReads, dramWrites                       atomic.Int64
 	dramRowHits, dramRowMisses, dramRowConflict atomic.Int64
+
+	sampledReplays, sampledSetsSim, sampledSetsTot atomic.Int64
+	sampledSkippedAcc, sampledSimulatedAcc         atomic.Int64
 )
 
 // RecordLLCStream folds one replay's per-stream access and hit counts
@@ -37,6 +40,20 @@ func RecordDRAM(reads, writes, rowHits, rowMisses, rowConflicts int64) {
 	dramRowConflict.Add(rowConflicts)
 }
 
+// RecordSampledReplay folds one set-sampled measured replay into the
+// process totals: how many sets were simulated out of how many, and how
+// many accesses were skipped at unsampled sets vs actually simulated.
+// The set counts are gauges in spirit (last replay wins would do), but
+// summing keeps them monotonic for Prometheus; divide by
+// sampled_replays for the per-replay means.
+func RecordSampledReplay(setsSimulated, setsTotal, skipped, simulated int64) {
+	sampledReplays.Add(1)
+	sampledSetsSim.Add(setsSimulated)
+	sampledSetsTot.Add(setsTotal)
+	sampledSkippedAcc.Add(skipped)
+	sampledSimulatedAcc.Add(simulated)
+}
+
 // SimStats is a snapshot of the simulator-domain counters.
 type SimStats struct {
 	LLCStreamAccesses map[string]int64 `json:"llc_stream_accesses"`
@@ -46,6 +63,14 @@ type SimStats struct {
 	DRAMRowHits       int64            `json:"dram_row_hits"`
 	DRAMRowMisses     int64            `json:"dram_row_misses"`
 	DRAMRowConflicts  int64            `json:"dram_row_conflicts"`
+	// Sampled-fidelity replay counters: replays run set-sampled, the
+	// summed sampled/total set counts across them, and the accesses
+	// skipped (unsampled set) vs simulated in measured windows.
+	SampledReplays      int64 `json:"sampled_replays"`
+	SampledSets         int64 `json:"sampled_sets"`
+	SampledSetsTotal    int64 `json:"sampled_sets_total"`
+	SampledSkippedAcc   int64 `json:"sampled_skipped_accesses"`
+	SampledSimulatedAcc int64 `json:"sampled_simulated_accesses"`
 }
 
 // Sim snapshots the process-global simulator-domain counters.
@@ -58,5 +83,11 @@ func Sim() SimStats {
 		DRAMRowHits:       dramRowHits.Load(),
 		DRAMRowMisses:     dramRowMisses.Load(),
 		DRAMRowConflicts:  dramRowConflict.Load(),
+
+		SampledReplays:      sampledReplays.Load(),
+		SampledSets:         sampledSetsSim.Load(),
+		SampledSetsTotal:    sampledSetsTot.Load(),
+		SampledSkippedAcc:   sampledSkippedAcc.Load(),
+		SampledSimulatedAcc: sampledSimulatedAcc.Load(),
 	}
 }

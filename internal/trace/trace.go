@@ -120,6 +120,58 @@ func GeneratePackedInto(t *stream.Trace, job workload.FrameJob, scale float64, c
 	recordSize(job, scale, t.Len())
 }
 
+// prefixDone is the sentinel a limitSink panics with to abort rendering
+// once the prefix budget is reached; GeneratePackedPrefix recovers it.
+type prefixDone struct{}
+
+// limitSink forwards LLC accesses into the packed trace until limit
+// records have been collected, then aborts the render by panicking with
+// the prefixDone sentinel. Rendering emission is deterministic, so the
+// collected records are exactly the first limit records of the full
+// frame trace.
+type limitSink struct {
+	t     *stream.Trace
+	limit int
+}
+
+func (s *limitSink) Emit(a stream.Access) {
+	s.t.Append(a)
+	if s.t.Len() >= s.limit {
+		panic(prefixDone{})
+	}
+}
+
+// GeneratePackedPrefix renders a frame into t but stops as soon as limit
+// LLC records have been emitted, aborting the rest of the render. The
+// result is bit-identical to the first min(limit, full) records of
+// GeneratePackedInto with the same arguments: emission order is
+// deterministic and the renderer holds no state outside the per-call
+// render-cache complex, so cutting the render short cannot perturb the
+// prefix. Unlike GeneratePackedInto it never updates the size hints —
+// a truncated length must not shape later full syntheses (content is
+// never affected by hints, but sampled runs must also stay independent
+// of process history for bit-determinism of their own bookkeeping).
+func GeneratePackedPrefix(t *stream.Trace, job workload.FrameJob, scale float64, cfg rendercache.Config, limit int) {
+	t.Reset()
+	if limit <= 0 {
+		return
+	}
+	t.Grow(limit)
+	rc := rendercache.New(cfg, &limitSink{t: t, limit: limit})
+	frame := job.Build(scale)
+	if err := frame.Validate(); err != nil {
+		panic(fmt.Sprintf("trace: invalid frame %s: %v", job.ID(), err))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(prefixDone); !ok {
+				panic(r)
+			}
+		}
+	}()
+	pipeline.NewRenderer(rc).RenderFrame(frame)
+}
+
 // Binary container format:
 //
 //	magic   [8]byte  "GSPCTRC1"

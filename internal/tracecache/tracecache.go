@@ -35,10 +35,20 @@ type Key struct {
 	// Config is the render-cache configuration digest
 	// (rendercache.Config.Digest) the miss stream was filtered through.
 	Config string
+	// Prefix, when non-zero, marks a prefix-truncated synthesis holding
+	// only the first Prefix records of the full frame trace (sampled
+	// fidelity runs). Zero — the default everywhere else — is the full
+	// trace, so existing keys are unchanged.
+	Prefix int
 }
 
 // String renders the key for diagnostics.
-func (k Key) String() string { return fmt.Sprintf("%s@%g/%s", k.Job, k.Scale, k.Config) }
+func (k Key) String() string {
+	if k.Prefix > 0 {
+		return fmt.Sprintf("%s@%g/%s#%d", k.Job, k.Scale, k.Config, k.Prefix)
+	}
+	return fmt.Sprintf("%s@%g/%s", k.Job, k.Scale, k.Config)
+}
 
 // Stats is a snapshot of the cache counters (served via /metricsz).
 type Stats struct {
