@@ -11,6 +11,7 @@
 //	gspc-swarm [-nodes 3] [-seed 1] [-ops 200] [-replication 1]
 //	           [-data-root DIR] [-sim-delay 5ms] [-v]
 //	gspc-swarm -soak [-duration 2m] [-blocked-after 15s] [...]
+//	gspc-swarm -soak -mem-weather [-mem-limit-mb 64] [-heap-slack-mb 64]
 //
 // With -soak, the fixed-length schedule is replaced by a
 // duration-bounded soak: every node sits behind a seeded
@@ -18,7 +19,17 @@
 // slows, and corrupts links while traffic and process chaos continue,
 // and goroutine hygiene — zero growth over the post-boot baseline, no
 // goroutine parked on a synchronization site past -blocked-after — is
-// asserted at interval and at exit.
+// asserted at interval and at exit. Every soak also asserts heap
+// hygiene (live heap back within -heap-slack-mb of the post-boot
+// baseline at exit) and reports per-experiment latency SLO burn.
+//
+// With -mem-weather, each node additionally runs under a -mem-limit-mb
+// memory governor, the stub simulations allocate their estimated trace
+// footprints for real, and the first ~60% of the soak storms the
+// cluster with oversized full-scale requests. The run fails unless the
+// degradation ladder engaged (at least the forced-sampled rung), every
+// node recovered to healthy in the trailing calm, the heap stayed
+// bounded (zero OOMs), and the SLO error budget was not overspent.
 //
 // The whole schedule flows from -seed: a failing run replays exactly
 // with the same flags. The report prints as JSON on stdout; the exit
@@ -47,6 +58,9 @@ func main() {
 	soak := fs.Bool("soak", false, "run the duration-bounded network-weather soak instead of the fixed schedule")
 	duration := fs.Duration("duration", 2*time.Minute, "soak length (with -soak)")
 	blockedAfter := fs.Duration("blocked-after", 15*time.Second, "partial-deadlock threshold: max time parked on one sync site (with -soak)")
+	memWeather := fs.Bool("mem-weather", false, "memory-weather soak: per-node governors, allocating stubs, oversized-request storm (implies -soak)")
+	memLimitMB := fs.Int("mem-limit-mb", 64, "per-node governor byte budget in MiB (with -mem-weather)")
+	heapSlackMB := fs.Int("heap-slack-mb", 64, "allowed live-heap growth over the post-boot baseline at soak exit, MiB")
 	verbose := fs.Bool("v", false, "log engine/coordinator operational output to stderr")
 	fs.Parse(os.Args[1:])
 
@@ -54,6 +68,7 @@ func main() {
 		Nodes: *nodes, Seed: *seed, Ops: *ops,
 		Replication: *replication, DataRoot: *dataRoot, SimDelay: *simDelay,
 		Soak: *soak, Duration: *duration, BlockedAfter: *blockedAfter,
+		MemWeather: *memWeather, MemLimitMB: *memLimitMB, HeapSlackMB: *heapSlackMB,
 	}
 	if *verbose {
 		cfg.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))

@@ -33,6 +33,12 @@ type options struct {
 	exposeStacks bool
 	traceCacheMB int64
 
+	memLimitMB   int64
+	maxRequestMB int64
+	sloP50       time.Duration
+	sloP99       time.Duration
+	sloObjective float64
+
 	dataDir       string
 	fsync         bool
 	snapshotEvery int
@@ -75,6 +81,11 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.Float64Var(&o.maxWork, "max-work", 0, "admission ceiling in frame-equivalents (frames × scale²) per request (0 = unlimited)")
 	fs.BoolVar(&o.exposeStacks, "expose-stacks", false, "include recovered panic stacks in GET /v1/runs/{id} responses (debugging aid; stacks are always logged server-side)")
 	fs.Int64Var(&o.traceCacheMB, "trace-cache-mb", harness.DefaultTraceCacheBytes>>20, "byte budget of the shared frame-trace cache in MiB (0 disables retention; synthesis is still deduplicated)")
+	fs.Int64Var(&o.memLimitMB, "mem-limit-mb", 0, "process memory budget in MiB: arms the degradation ladder (shrink caches → force sampled → stale-only → shed) and the Go soft memory limit (0 disables)")
+	fs.Int64Var(&o.maxRequestMB, "mem-max-request-mb", 0, "per-request ceiling on estimated in-flight trace memory in MiB (0 = unlimited)")
+	fs.DurationVar(&o.sloP50, "slo-p50", 0, "default per-experiment p50 latency target, reported in /metrics (0 disables)")
+	fs.DurationVar(&o.sloP99, "slo-p99", 0, "default per-experiment p99 latency target; completions above it burn the error budget (0 disables)")
+	fs.Float64Var(&o.sloObjective, "slo-objective", 0.99, "SLO objective: the fraction of jobs that must meet the p99 target (with -slo-p99)")
 
 	fs.StringVar(&o.dataDir, "data-dir", "", "directory for the write-ahead journal and snapshots; empty runs in-memory only")
 	fs.BoolVar(&o.fsync, "fsync", true, "fsync the journal after every record (requires -data-dir; turning it off risks losing the newest records on power failure)")
@@ -132,6 +143,21 @@ func (o *options) validate() error {
 	if o.traceCacheMB < 0 {
 		return fmt.Errorf("-trace-cache-mb must not be negative, got %d", o.traceCacheMB)
 	}
+	if o.memLimitMB < 0 {
+		return fmt.Errorf("-mem-limit-mb must not be negative, got %d (0 disables the governor)", o.memLimitMB)
+	}
+	if o.maxRequestMB < 0 {
+		return fmt.Errorf("-mem-max-request-mb must not be negative, got %d (0 = unlimited)", o.maxRequestMB)
+	}
+	if o.sloP50 < 0 || o.sloP99 < 0 {
+		return fmt.Errorf("-slo-p50/-slo-p99 must not be negative")
+	}
+	if o.sloObjective <= 0 || o.sloObjective >= 1 {
+		return fmt.Errorf("-slo-objective must be in (0, 1), got %g", o.sloObjective)
+	}
+	if o.explicit["slo-objective"] && !o.explicit["slo-p99"] {
+		return fmt.Errorf("-slo-objective requires -slo-p99")
+	}
 	if o.snapshotEvery < 1 {
 		return fmt.Errorf("-snapshot-every must be at least 1, got %d", o.snapshotEvery)
 	}
@@ -184,8 +210,9 @@ func (o *options) engineConfig() service.Config {
 		Fsync:         o.fsync,
 		SnapshotEvery: o.snapshotEvery,
 
-		TraceEvery:   o.traceEvery,
-		FlightEvents: o.flightEvents,
+		TraceEvery:      o.traceEvery,
+		FlightEvents:    o.flightEvents,
+		MaxRequestBytes: o.maxRequestMB << 20,
 	}
 	// A validated cacheSize is never negative, so the engine's
 	// "negative means default" fallback is unreachable from the CLI:

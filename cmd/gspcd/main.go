@@ -9,6 +9,8 @@
 //	      [-job-timeout 0] [-max-retries 2] [-retry-backoff 50ms]
 //	      [-breaker-threshold 5] [-breaker-cooldown 30s]
 //	      [-serve-stale] [-max-work 0] [-expose-stacks]
+//	      [-mem-limit-mb 0] [-mem-max-request-mb 0]
+//	      [-slo-p50 0] [-slo-p99 0] [-slo-objective 0.99]
 //	      [-data-dir DIR] [-fsync=true] [-snapshot-every 256]
 //	      [-log-format text|json] [-trace-every 1] [-flight-events 256]
 //	      [-debug-addr ADDR] [-node-name NAME] [-version]
@@ -51,6 +53,7 @@ import (
 	"syscall"
 
 	"gspc/internal/harness"
+	"gspc/internal/membudget"
 	"gspc/internal/service"
 	"gspc/internal/telemetry"
 )
@@ -91,6 +94,42 @@ func main() {
 
 	cfg := opt.engineConfig()
 	cfg.Logger = logger
+	if opt.memLimitMB > 0 {
+		gov, err := membudget.New(membudget.Config{
+			Limit:           opt.memLimitMB << 20,
+			SetRuntimeLimit: true,
+			Logger:          logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gspcd:", err)
+			os.Exit(2)
+		}
+		// Rung 1's action: under pressure the shared trace cache gives up
+		// three quarters of its budget (restored on recovery), and its
+		// resident bytes count against the governor's accounting. The
+		// shrunk budget is also capped at a quarter of the governor
+		// limit: when the trace cache is allowed more bytes than the
+		// whole process, shrinking to full/4 could still retain more
+		// than the limit and pin the ladder at shed with no load.
+		full := opt.traceCacheMB << 20
+		shrunk := full / 4
+		if lim := (opt.memLimitMB << 20) / 4; shrunk > lim {
+			shrunk = lim
+		}
+		gov.ShrinkBudget(harness.SharedTraceCache(), full, shrunk)
+		gov.RegisterSource("trace-cache", func() int64 {
+			return harness.SharedTraceCache().Stats().BytesUsed
+		})
+		gov.Start()
+		defer gov.Close()
+		cfg.Governor = gov
+		logger.Info("memory governor armed", "limit_mb", opt.memLimitMB)
+	}
+	if opt.sloP50 > 0 || opt.sloP99 > 0 {
+		cfg.SLO = telemetry.NewSLOTracker(telemetry.SLOTarget{
+			P50: opt.sloP50, P99: opt.sloP99,
+		}, opt.sloObjective, 0)
+	}
 	if opt.simWorkers > 0 {
 		sw := opt.simWorkers
 		cfg.Run = func(ctx context.Context, r service.Request) (*harness.Result, error) {

@@ -416,6 +416,61 @@ func TestClusterSaturatedOwnerCacheProbe(t *testing.T) {
 	}
 }
 
+// TestClusterMemorySaturatedOwnerReroute: a member whose /readyz went
+// unready because its memory ladder reached stale-only is treated like
+// any saturated owner — requests whose answers a follower replica holds
+// are served there instead of adding load to the pressured node.
+func TestClusterMemorySaturatedOwnerReroute(t *testing.T) {
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 3, sims, 5*time.Millisecond)
+	co, ts := newTestCoordinator(t, nodes, nil)
+
+	body := `{"experiment":"fig15","apps":["Dirt"]}`
+	key := keyOf(t, body)
+	owners := co.currentRing().Owners(key, 2)
+	owner, successor := owners[0], owners[1]
+
+	// Compute once and wait for the replica to land on the successor.
+	if resp, b := postJSON(t, ts.URL, body); resp.StatusCode != 200 {
+		t.Fatalf("initial submit = %d: %s", resp.StatusCode, b)
+	}
+	waitUntil(t, "replication", func() bool {
+		return nodeByName(nodes, successor).engine.Metrics().ReplicasInstalled >= 1
+	})
+
+	// Pretend the owner's last health check reported memory saturation
+	// (white-box: the real path is the governor driving /readyz unready
+	// at RungStaleOnly and checkMember decoding the Mem* fields).
+	m, _ := co.Member(owner)
+	m.mu.Lock()
+	m.ready = false
+	m.readyInfo = service.ReadyInfo{
+		Status: "unready", Reason: "memory saturated (rung stale-only, pressure 0.91)",
+		MemRung: "stale-only", MemRungLevel: 3, MemPressure: 0.91, MemLimitBytes: 64 << 20,
+	}
+	m.mu.Unlock()
+
+	resp, _ := postJSON(t, ts.URL, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("memory-saturated submit = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Gspc-Node"); got != successor {
+		t.Errorf("memory-saturated submit served by %s, want replica holder %s", got, successor)
+	}
+	if co.Metrics().CacheProbeHits != 1 {
+		t.Errorf("cache_probe_hits = %d, want 1", co.Metrics().CacheProbeHits)
+	}
+	if n := sims.count(key); n != 1 {
+		t.Errorf("memory saturation probe recomputed: %d simulations", n)
+	}
+	// The member's rung is visible in the coordinator's Prometheus
+	// exposition, so operators can see whom routing is avoiding.
+	want := fmt.Sprintf("gspc_cluster_member_mem_rung{member=%q} 3", owner)
+	if prom := string(co.PromExposition()); !strings.Contains(prom, want) {
+		t.Errorf("prom exposition missing %q", want)
+	}
+}
+
 // TestClusterHealthLifecycle drives the real /readyz health loop: a
 // dead member leaves the ring after DeadAfter failed sweeps and rejoins
 // when it answers again.

@@ -117,6 +117,14 @@ func (c *Coordinator) PromExposition() []byte {
 	x.CounterVec("gspc_cluster_forward_errors_total", "Transport-failed forwards by member.", "node", m.ForwardErrors)
 	x.CounterVec("gspc_cluster_replicas_installed_total", "Replicas installed by follower member.", "node", m.ReplicasByNode)
 	x.GaugeVec("gspc_cluster_members", "Members by state.", "state", states)
+	// Each member's last-reported memory-ladder rung (0 healthy … 4 shed),
+	// so dashboards see which node the coordinator is routing around and
+	// why. Members without a governor report 0.
+	memRungs := make(map[string]int64, len(m.Members))
+	for _, ms := range m.Members {
+		memRungs[ms.Name] = int64(ms.ReadyInfo.MemRungLevel)
+	}
+	x.GaugeVec("gspc_cluster_member_mem_rung", "Member memory-ladder rung from its last /readyz report (0 healthy .. 4 shed).", "member", memRungs)
 	x.Gauge("gspc_cluster_ring_nodes", "Members currently on the routing ring.", float64(len(m.RingNodes)))
 	return x.Bytes()
 }

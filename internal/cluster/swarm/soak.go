@@ -1,10 +1,12 @@
 package swarm
 
 import (
+	"runtime"
 	"time"
 
 	"gspc/internal/faultinject"
 	"gspc/internal/leakcheck"
+	"gspc/internal/membudget"
 )
 
 // weatherSystem is one entry in the soak's rolling weather palette.
@@ -71,34 +73,45 @@ func (s *swarm) soak() {
 	}})
 	s.rep.GoroutineBaseline = mon.Baseline()
 	s.rep.GoroutinePeak = s.rep.GoroutineBaseline
+	s.rep.HeapBaselineBytes = mon.HeapBaseline()
 
 	start := time.Now()
 	end := start.Add(s.cfg.Duration)
+	// Memory weather splits the run into a storm (oversized full-scale
+	// submissions drive every node's ladder up) and a trailing calm the
+	// ladders must recover through before the exit assertions.
+	stormEnd := start.Add(s.cfg.Duration * 3 / 5)
 	var lastWeather, lastBlocked, lastProof time.Time
 	proofs := 0
 
 	for time.Now().Before(end) {
-		switch roll := s.rng.Float64(); {
-		case roll < 0.40:
-			s.opSubmitAsync()
-		case roll < 0.55:
-			s.opSubmitSync()
-		case roll < 0.85:
-			s.opStatusPoll()
-		case roll < 0.90:
-			s.opKill()
-		case roll < 0.97:
-			s.opRestart()
-		case roll < 0.985:
-			s.opDrain()
-		default:
-			s.opUndrain()
+		roll := s.rng.Float64()
+		if s.cfg.MemWeather && time.Now().Before(stormEnd) && roll < 0.35 {
+			s.opSubmitOversized()
+		} else {
+			switch {
+			case roll < 0.40:
+				s.opSubmitAsync()
+			case roll < 0.55:
+				s.opSubmitSync()
+			case roll < 0.85:
+				s.opStatusPoll()
+			case roll < 0.90:
+				s.opKill()
+			case roll < 0.97:
+				s.opRestart()
+			case roll < 0.985:
+				s.opDrain()
+			default:
+				s.opUndrain()
+			}
 		}
 		s.rep.Ops++
 
 		if n := mon.Sample(); n > s.rep.GoroutinePeak {
 			s.rep.GoroutinePeak = n
 		}
+		mon.HeapSample()
 		now := time.Now()
 		if now.Sub(lastWeather) >= 2*time.Second {
 			lastWeather = now
@@ -114,12 +127,16 @@ func (s *swarm) soak() {
 		}
 		if now.Sub(lastProof) >= 15*time.Second {
 			lastProof = now
-			proofs++
 			// The one-simulation guarantee is a stable-membership
 			// property, so each proof runs in a calm window: heal, prove,
-			// let the weather resume on the next shift.
+			// let the weather resume on the next shift. Under memory
+			// weather a node at the sampled rung would re-key the proof
+			// submission, so proofs also wait for healthy ladders.
 			s.heal()
-			s.proveCoalescing(proofs)
+			if s.memCalm() {
+				proofs++
+				s.proveCoalescing(proofs)
+			}
 		}
 	}
 
@@ -136,5 +153,87 @@ func (s *swarm) soak() {
 	if extra, stacks := mon.Growth(15 * time.Second); extra > 0 {
 		s.violate("soak exit: %d goroutines above the post-boot baseline %d:\n%s",
 			extra, s.rep.GoroutineBaseline, leakcheck.FormatStacks(stacks))
+	}
+	if s.cfg.MemWeather {
+		s.memExit()
+	}
+	// Heap hygiene holds for every soak: whatever the run allocated, the
+	// live heap must settle back near the post-boot baseline once the
+	// cluster is healed and idle. The process surviving to this line with
+	// a bounded heap is the zero-OOM assertion.
+	allowed := int64(s.cfg.HeapSlackMB) << 20
+	if excess, final := mon.HeapGrowth(15*time.Second, allowed); excess > 0 {
+		s.violate("soak exit: live heap %d bytes, %d over baseline %d + slack %d",
+			final, excess, s.rep.HeapBaselineBytes, allowed)
+	}
+	s.rep.HeapHighWaterBytes = mon.HeapHighWater()
+	if s.slo != nil {
+		s.rep.SLO = s.slo.Report()
+		s.rep.SLOWorstBurn = s.slo.WorstBurn()
+		if s.rep.SLOWorstBurn > 1 {
+			s.violate("soak exit: SLO error budget overspent, worst burn %.2f", s.rep.SLOWorstBurn)
+		}
+	}
+}
+
+// memCalm reports whether every node's ladder sits at healthy (always
+// true outside memory weather). Evaluate forces a fresh heap read so
+// the answer is current, not the last poll's.
+func (s *swarm) memCalm() bool {
+	if !s.cfg.MemWeather {
+		return true
+	}
+	for _, n := range s.nodes {
+		if n.gov.Evaluate() != membudget.RungHealthy {
+			return false
+		}
+	}
+	return true
+}
+
+// memExit asserts the memory-weather contract on the healed cluster:
+// the storm engaged the ladder at least to the sampled rung somewhere,
+// and every node recovers to healthy once the load is gone. It also
+// folds the per-node ladder accounting into the report.
+func (s *swarm) memExit() {
+	deadline := time.Now().Add(30 * time.Second)
+	for !s.memCalm() {
+		if time.Now().After(deadline) {
+			for _, n := range s.nodes {
+				if snap := n.gov.Snapshot(); snap.RungLevel > int(membudget.RungHealthy) {
+					s.violate("mem weather: node %s stuck at rung %s after calm (pressure %.2f, accounted %d, heap %d)",
+						n.name, snap.Rung, snap.Pressure, snap.AccountedBytes, snap.HeapBytes)
+				}
+			}
+			break
+		}
+		// Dead objects from the storm count against HeapAlloc until a
+		// collection runs; force one so recovery measures live bytes.
+		runtime.GC()
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	s.rep.MemLimitBytes = int64(s.cfg.MemLimitMB) << 20
+	s.rep.MemRungEntries = map[string]int64{}
+	s.rep.MemRungSeconds = map[string]float64{}
+	maxRung := membudget.RungHealthy
+	for _, n := range s.nodes {
+		snap := n.gov.Snapshot()
+		for name, v := range snap.RungEntries {
+			s.rep.MemRungEntries[name] += v
+		}
+		for name, v := range snap.RungSeconds {
+			s.rep.MemRungSeconds[name] += v
+		}
+		for r := membudget.RungHealthy; int(r) < membudget.NumRungs; r++ {
+			if snap.MaxRung == r.String() && r > maxRung {
+				maxRung = r
+			}
+		}
+	}
+	s.rep.MemMaxRung = maxRung.String()
+	if maxRung < membudget.RungSampled {
+		s.violate("mem weather: storm never engaged the ladder past %s (want ≥ %s)",
+			maxRung, membudget.RungSampled)
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -40,7 +41,9 @@ import (
 	"gspc/internal/cluster"
 	"gspc/internal/faultinject"
 	"gspc/internal/harness"
+	"gspc/internal/membudget"
 	"gspc/internal/service"
+	"gspc/internal/telemetry"
 )
 
 // Config shapes one swarm run. The zero value gets usable defaults.
@@ -72,11 +75,36 @@ type Config struct {
 	// synchronization site before the soak calls it partially
 	// deadlocked. Default 15s.
 	BlockedAfter time.Duration
+	// MemWeather arms the soak's memory-weather mode: every node gets a
+	// small-budget memory governor, the stub runner allocates (and holds
+	// for the simulated duration) each request's estimated trace
+	// footprint, and the first ~60% of the soak storms the cluster with
+	// oversized full-scale requests. Exit assertions require the ladder
+	// to have engaged at least the sampled rung, bounded heap growth,
+	// recovery of every node to the healthy rung, and an SLO burn rate
+	// under budget. Implies Soak.
+	MemWeather bool
+	// MemLimitMB is each node's governor byte budget under MemWeather.
+	// Default 64.
+	MemLimitMB int
+	// HeapSlackMB is the allowed live-heap growth over the post-boot
+	// baseline at soak exit (any soak, not just memory weather).
+	// Default 64.
+	HeapSlackMB int
 	// Logger sinks coordinator/engine logs. Default: discard.
 	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
+	if c.MemWeather {
+		c.Soak = true
+	}
+	if c.MemLimitMB <= 0 {
+		c.MemLimitMB = 64
+	}
+	if c.HeapSlackMB <= 0 {
+		c.HeapSlackMB = 64
+	}
 	if c.Nodes <= 0 {
 		c.Nodes = 3
 	}
@@ -121,13 +149,23 @@ type Report struct {
 	Proofs      int   `json:"coalescing_proofs"`
 	Simulations int   `json:"simulations"`
 	// Soak-only fields.
-	SoakSeconds       float64  `json:"soak_seconds,omitempty"`
-	WeatherShifts     int      `json:"weather_shifts,omitempty"`
-	Partitions        int      `json:"partitions,omitempty"`
-	BlockedChecks     int      `json:"blocked_checks,omitempty"`
-	GoroutineBaseline int      `json:"goroutine_baseline,omitempty"`
-	GoroutinePeak     int      `json:"goroutine_peak,omitempty"`
-	Violations        []string `json:"violations,omitempty"`
+	SoakSeconds       float64 `json:"soak_seconds,omitempty"`
+	WeatherShifts     int     `json:"weather_shifts,omitempty"`
+	Partitions        int     `json:"partitions,omitempty"`
+	BlockedChecks     int     `json:"blocked_checks,omitempty"`
+	GoroutineBaseline int     `json:"goroutine_baseline,omitempty"`
+	GoroutinePeak     int     `json:"goroutine_peak,omitempty"`
+	// Heap accounting (any soak) and memory-weather ladder/SLO summary.
+	HeapBaselineBytes  int64                 `json:"heap_baseline_bytes,omitempty"`
+	HeapHighWaterBytes int64                 `json:"heap_high_water_bytes,omitempty"`
+	OversizedSubmits   int                   `json:"oversized_submits,omitempty"`
+	MemLimitBytes      int64                 `json:"mem_limit_bytes,omitempty"`
+	MemMaxRung         string                `json:"mem_max_rung,omitempty"`
+	MemRungEntries     map[string]int64      `json:"mem_rung_entries,omitempty"`
+	MemRungSeconds     map[string]float64    `json:"mem_rung_seconds,omitempty"`
+	SLO                []telemetry.SLOReport `json:"slo,omitempty"`
+	SLOWorstBurn       float64               `json:"slo_worst_burn,omitempty"`
+	Violations         []string              `json:"violations,omitempty"`
 }
 
 // simCounter counts stub simulations per cache key, cluster-wide.
@@ -168,6 +206,7 @@ type node struct {
 
 	engine  *service.Engine
 	hs      *http.Server
+	gov     *membudget.Governor // memory weather only; survives kill/restart
 	alive   bool
 	drained bool
 	stopped chan struct{} // closed once the killed engine released its WAL
@@ -197,6 +236,12 @@ type swarm struct {
 	proxies []*faultinject.Proxy
 	weather []string
 
+	// Soak mode: one latency SLO tracker shared by every node, so the
+	// exit summary's burn rate covers the whole cluster.
+	slo *telemetry.SLOTracker
+	// Memory weather: monotonically increasing oversized-request nonce.
+	oversized int
+
 	acked []*ackedRun
 	rep   *Report
 }
@@ -221,6 +266,13 @@ func Run(cfg Config) (*Report, error) {
 		client: &http.Client{Timeout: 30 * time.Second},
 		rep:    &Report{Seed: cfg.Seed, Nodes: cfg.Nodes, Ops: cfg.Ops},
 	}
+	if cfg.Soak {
+		// Generous relative to the stub SimDelay: a breach means queueing
+		// or degradation pathology, not normal service.
+		s.slo = telemetry.NewSLOTracker(telemetry.SLOTarget{
+			P50: 250 * time.Millisecond, P99: time.Second,
+		}, 0.99, 0)
+	}
 	if err := s.boot(root); err != nil {
 		return nil, err
 	}
@@ -240,16 +292,39 @@ func (s *swarm) violate(format string, args ...any) {
 	s.rep.Violations = append(s.rep.Violations, fmt.Sprintf(format, args...))
 }
 
+// maxStubAllocBytes caps the memory-weather stub allocation per run so
+// a pathological estimate cannot OOM the harness process itself; the
+// governor still reserves the full estimate at admission.
+const maxStubAllocBytes = 16 << 20
+
 // runner is the stub simulation: deterministic result per key, with a
-// real (cancellable) delay so kills land on in-flight work.
+// real (cancellable) delay so kills land on in-flight work. Under
+// memory weather it also allocates (and holds for the delay) the
+// request's estimated trace footprint, so heap pressure is real, not
+// just accounted.
 func (s *swarm) runner(ctx context.Context, r service.Request) (*harness.Result, error) {
 	key := r.Key()
 	s.sims.bump(key)
+	var ballast []byte
+	if s.cfg.MemWeather {
+		est := service.EstimateRequestBytes(r)
+		if est > maxStubAllocBytes {
+			est = maxStubAllocBytes
+		}
+		if est > 0 {
+			ballast = make([]byte, est)
+			for i := 0; i < len(ballast); i += 4096 {
+				ballast[i] = 1
+			}
+		}
+	}
 	select {
 	case <-time.After(s.cfg.SimDelay):
 	case <-ctx.Done():
+		runtime.KeepAlive(ballast)
 		return nil, ctx.Err()
 	}
+	runtime.KeepAlive(ballast)
 	return &harness.Result{
 		SchemaVersion: harness.ResultSchemaVersion,
 		Experiment:    r.Experiment,
@@ -262,9 +337,28 @@ func (s *swarm) runner(ctx context.Context, r service.Request) (*harness.Result,
 // startNode boots (or reboots) a node's engine and HTTP server. On
 // reboot the WAL under dataDir replays, so pre-kill runs stay queryable.
 func (s *swarm) startNode(n *node) error {
+	if s.cfg.MemWeather && n.gov == nil {
+		// One governor per node for its whole life: kills and restarts
+		// replace the engine, and RegisterSource re-points the gauges at
+		// the fresh one. SetRuntimeLimit stays off — all nodes share this
+		// process, so no single node's budget may bind the collector.
+		g, err := membudget.New(membudget.Config{
+			Limit:        int64(s.cfg.MemLimitMB) << 20,
+			HeapBaseline: liveHeapBytes(),
+			HoldDown:     time.Second,
+			Poll:         100 * time.Millisecond,
+			Logger:       s.cfg.Logger,
+		})
+		if err != nil {
+			return fmt.Errorf("node %s: governor: %w", n.name, err)
+		}
+		g.Start()
+		n.gov = g
+	}
 	e, err := service.NewEngine(service.Config{
 		Workers: 2, QueueDepth: 64, CacheEntries: 64, KeepFinished: 2048,
 		Run: s.runner, DataDir: n.dataDir, Logger: s.cfg.Logger, TraceEvery: -1,
+		Governor: n.gov, SLO: s.slo,
 	})
 	if err != nil {
 		return fmt.Errorf("node %s: %w", n.name, err)
@@ -410,7 +504,18 @@ func (s *swarm) teardown() {
 		if n.stopped != nil {
 			<-n.stopped
 		}
+		if n.gov != nil {
+			n.gov.Close()
+		}
 	}
+}
+
+// liveHeapBytes is the per-node governor's heap baseline: the process
+// heap at node boot, so only growth past boot charges the budget.
+func liveHeapBytes() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
 }
 
 // routableCount is the harness's own view of placeable nodes; the
@@ -509,6 +614,45 @@ func (s *swarm) opSubmitAsync() {
 	case allowedTransient(resp.StatusCode):
 	default:
 		s.violate("async submit: unexpected status %d: %s", resp.StatusCode, b)
+	}
+}
+
+// opSubmitOversized storms one full-scale request at the cluster. The
+// key population (experiment × frames × apps × scale) is large enough
+// that owner caches cannot absorb the storm, so most submissions
+// reserve their full multi-megabyte estimate at admission and the stub
+// runner allocates it for real — exactly the load the degradation
+// ladder exists to survive. The 429/503 the shed and stale-only rungs
+// produce are allowedTransient, so the consistency contract still holds
+// over whatever the cluster does accept.
+func (s *swarm) opSubmitOversized() {
+	s.rep.OversizedSubmits++
+	s.oversized++
+	req := service.Request{
+		Experiment: [...]string{"fig12", "fig15"}[s.rng.Intn(2)],
+		Frames:     1 + s.rng.Intn(4),
+		Apps:       poolApps[s.rng.Intn(len(poolApps))],
+		Scale:      1.0 + 0.25*float64(s.rng.Intn(3)),
+	}
+	body, _ := json.Marshal(req)
+	resp, b, err := s.post("/v1/runs?wait=0", string(body))
+	if err != nil {
+		s.violate("oversized submit transport error: %v", err)
+		return
+	}
+	switch {
+	case resp.StatusCode == http.StatusAccepted:
+		var ack map[string]string
+		if json.Unmarshal(b, &ack) != nil || ack["id"] == "" {
+			s.violate("oversized 202 ack without id: %s", b)
+			return
+		}
+		s.acked = append(s.acked, &ackedRun{id: ack["id"]})
+		s.rep.Acked++
+	case resp.StatusCode == http.StatusOK:
+	case allowedTransient(resp.StatusCode):
+	default:
+		s.violate("oversized submit: unexpected status %d: %s", resp.StatusCode, b)
 	}
 }
 

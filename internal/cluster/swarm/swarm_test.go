@@ -69,6 +69,45 @@ func TestSwarmSoakShort(t *testing.T) {
 		rep.GoroutinePeak, rep.GoroutineBaseline, rep.Simulations)
 }
 
+// TestSwarmSoakMemWeather runs a compressed memory-weather soak: every
+// node under a small governor budget, allocating stub runs, and an
+// oversized-request storm for the first ~60% of the window. The soak's
+// own exit assertions carry the contract — ladder engagement, recovery
+// to healthy, bounded heap, SLO burn — so the test mostly checks they
+// ran and the report shows the storm happened. CI runs the 10-minute
+// version nightly through cmd/gspc-swarm.
+func TestSwarmSoakMemWeather(t *testing.T) {
+	leakcheck.Check(t)
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	rep, err := Run(Config{
+		Nodes: 3, Seed: 11, DataRoot: t.TempDir(),
+		MemWeather: true, MemLimitMB: 48, Duration: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.OversizedSubmits == 0 {
+		t.Error("memory weather submitted no oversized requests")
+	}
+	if rep.MemMaxRung == "" || rep.MemMaxRung == "healthy" {
+		t.Errorf("ladder never engaged: max rung %q", rep.MemMaxRung)
+	}
+	if rep.HeapBaselineBytes == 0 || rep.HeapHighWaterBytes == 0 {
+		t.Error("soak recorded no heap accounting")
+	}
+	if len(rep.SLO) == 0 {
+		t.Error("soak recorded no SLO series")
+	}
+	t.Logf("seed=%d ops=%d oversized=%d maxRung=%s entries=%v heap=%d→%d burn=%.2f",
+		rep.Seed, rep.Ops, rep.OversizedSubmits, rep.MemMaxRung, rep.MemRungEntries,
+		rep.HeapBaselineBytes, rep.HeapHighWaterBytes, rep.SLOWorstBurn)
+}
+
 // TestSwarmSeeds sweeps a few more seeds at a shorter schedule so the
 // chaos explores different kill/drain orderings.
 func TestSwarmSeeds(t *testing.T) {

@@ -23,6 +23,13 @@
 // calls, so a harness that samples every few hundred milliseconds gets
 // sub-minute detection (the runtime's own "N minutes" annotation is far
 // too coarse for a 2-minute soak).
+//
+// The Monitor also mirrors the goroutine baseline in byte space: a
+// post-GC heap baseline (HeapBaseline), a high-water mark fed by cheap
+// HeapSample reads, and a bounded-growth verdict (HeapGrowth) that
+// forces collections while polling — so a soak can assert "the heap
+// came back down" with the same shape it asserts "the goroutines came
+// back down".
 package leakcheck
 
 import (
@@ -175,6 +182,12 @@ type Monitor struct {
 	mu       sync.Mutex
 	baseline int
 	first    map[blockedKey]time.Time
+
+	// Heap-delta tracking, the byte-space mirror of the goroutine
+	// baseline: HeapBaseline records a post-GC live heap, HeapSample
+	// tracks the high-water mark, HeapGrowth asserts bounded growth.
+	heapBaseline int64
+	heapHigh     int64
 }
 
 // NewMonitor builds a monitor. Call Baseline once the system under test
@@ -276,6 +289,73 @@ func (m *Monitor) Growth(window time.Duration) (int, []Goroutine) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// HeapBaseline garbage-collects and records the current live heap as
+// the reference for HeapGrowth, returning it. Call it once the system
+// under test is booted and idle, like Baseline.
+func (m *Monitor) HeapBaseline() int64 {
+	n := settledHeap()
+	m.mu.Lock()
+	m.heapBaseline = n
+	m.mu.Unlock()
+	return n
+}
+
+// HeapSample reads the live heap (no forced GC — cheap enough for a
+// soak's per-iteration cadence) and tracks the high-water mark. Returns
+// the current reading.
+func (m *Monitor) HeapSample() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	n := int64(ms.HeapAlloc)
+	m.mu.Lock()
+	if n > m.heapHigh {
+		m.heapHigh = n
+	}
+	m.mu.Unlock()
+	return n
+}
+
+// HeapHighWater returns the largest heap seen by HeapSample.
+func (m *Monitor) HeapHighWater() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.heapHigh
+}
+
+// HeapGrowth polls — forcing a collection each round, since live-heap
+// deltas are meaningless against uncollected garbage — until the live
+// heap falls within allowed bytes of the baseline or the window
+// expires. It returns the excess over baseline+allowed (0 when clean)
+// and the final reading, mirroring Growth for goroutines: a bounded
+// wind-down is absorbed, a real leak is reported.
+func (m *Monitor) HeapGrowth(window time.Duration, allowed int64) (excess, final int64) {
+	m.mu.Lock()
+	base := m.heapBaseline
+	m.mu.Unlock()
+	deadline := time.Now().Add(window)
+	for {
+		n := settledHeap()
+		if n <= base+allowed {
+			return 0, n
+		}
+		if time.Now().After(deadline) {
+			return n - (base + allowed), n
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// settledHeap returns the live heap after forcing a full collection:
+// two GC cycles so finalizer-resurrected garbage from the first is
+// collected by the second.
+func settledHeap() int64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
 }
 
 // FormatStacks renders goroutine records for a failure message.

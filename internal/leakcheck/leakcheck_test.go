@@ -1,6 +1,7 @@
 package leakcheck
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -204,4 +205,47 @@ func TestCheckHelper(t *testing.T) {
 	ch := make(chan struct{})
 	go func() { <-ch }()
 	close(ch)
+}
+
+func TestHeapGrowthCleanAfterRelease(t *testing.T) {
+	m := NewMonitor(Options{})
+	base := m.HeapBaseline()
+	if base <= 0 {
+		t.Fatalf("heap baseline = %d, want > 0", base)
+	}
+	// Hold a buffer big enough to dominate test-runner noise, sample the
+	// high water, then drop it: growth must settle back within the
+	// allowance once the reference dies.
+	buf := make([]byte, 32<<20)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if got := m.HeapSample(); got < base+int64(len(buf))/2 {
+		t.Errorf("heap sample %d did not see the %d-byte allocation over baseline %d", got, len(buf), base)
+	}
+	if hw := m.HeapHighWater(); hw < base+int64(len(buf))/2 {
+		t.Errorf("high water %d did not capture the allocation", hw)
+	}
+	runtime.KeepAlive(buf)
+	buf = nil
+	_ = buf
+	excess, final := m.HeapGrowth(10*time.Second, 8<<20)
+	if excess != 0 {
+		t.Errorf("heap growth = %d bytes over allowance (final %d, baseline %d)", excess, final, base)
+	}
+}
+
+func TestHeapGrowthReportsLeak(t *testing.T) {
+	m := NewMonitor(Options{})
+	m.HeapBaseline()
+	leak := make([]byte, 32<<20)
+	for i := range leak {
+		leak[i] = byte(i)
+	}
+	// The buffer stays referenced, so a short window must report excess.
+	excess, _ := m.HeapGrowth(200*time.Millisecond, 8<<20)
+	if excess <= 0 {
+		t.Error("held 32 MiB not reported as heap growth")
+	}
+	runtime.KeepAlive(leak)
 }

@@ -1,0 +1,515 @@
+// Package membudget is a process-wide memory governor: it accounts
+// bytes across the subsystems that actually hold memory (trace cache,
+// result cache, durable journal buffers, per-request in-flight trace
+// estimates), watches the live heap via runtime.ReadMemStats, and
+// drives a watermark-based degradation ladder that the serving layer
+// consults on every admission:
+//
+//	rung 0  healthy     serve everything
+//	rung 1  shrink      shrink the trace-cache budget, evict early
+//	rung 2  sampled     force fidelity=sampled on new admissions
+//	rung 3  stale-only  answer only from cache / last-good results
+//	rung 4  shed        refuse new work (429/503 + Retry-After)
+//
+// Pressure is max(accounted bytes, adjusted live heap) / limit: the
+// accounted sum reacts instantly to admissions (the heap only shows an
+// allocation after it happens — too late to refuse it), while the heap
+// catches everything the sources do not know about.
+//
+// The ladder steps up immediately — a node nearing its limit must
+// degrade now — and steps down one rung at a time, only after pressure
+// has stayed a hysteresis margin below the rung's watermark for a hold
+// period, so a node oscillating around a watermark does not flap
+// between serving modes.
+package membudget
+
+import (
+	"fmt"
+	"log/slog"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Rung is one step of the degradation ladder. Higher is more degraded.
+type Rung int
+
+// The ladder, least to most degraded.
+const (
+	RungHealthy Rung = iota
+	RungShrink
+	RungSampled
+	RungStaleOnly
+	RungShed
+
+	// NumRungs is the ladder length, for per-rung accounting arrays.
+	NumRungs = int(RungShed) + 1
+)
+
+// String names the rung for logs, metrics labels, and /readyz bodies.
+func (r Rung) String() string {
+	switch r {
+	case RungHealthy:
+		return "healthy"
+	case RungShrink:
+		return "shrink"
+	case RungSampled:
+		return "sampled"
+	case RungStaleOnly:
+		return "stale-only"
+	case RungShed:
+		return "shed"
+	}
+	return fmt.Sprintf("rung-%d", int(r))
+}
+
+// RungNames lists every rung name in ladder order.
+func RungNames() []string {
+	out := make([]string, NumRungs)
+	for i := 0; i < NumRungs; i++ {
+		out[i] = Rung(i).String()
+	}
+	return out
+}
+
+// Config shapes a Governor. Limit is required; everything else has a
+// usable default.
+type Config struct {
+	// Limit is the byte budget the ladder watermarks are fractions of.
+	// Required (> 0).
+	Limit int64
+	// Watermarks are the pressure fractions at which each degraded rung
+	// engages: crossing Watermarks[i] enters Rung(i+1). Must ascend.
+	// Default {0.65, 0.75, 0.85, 0.95}.
+	Watermarks [NumRungs - 1]float64
+	// Hysteresis is how far below a rung's watermark pressure must fall
+	// before the hold-down timer toward stepping off it starts.
+	// Default 0.05.
+	Hysteresis float64
+	// HoldDown is how long pressure must stay below
+	// watermark−hysteresis before the ladder steps down one rung.
+	// Default 2s.
+	HoldDown time.Duration
+	// Poll is the heap-sampling interval of the background loop started
+	// by Start. Default 250ms.
+	Poll time.Duration
+	// SetRuntimeLimit also installs Limit as the Go runtime's soft
+	// memory limit (runtime/debug.SetMemoryLimit), making the collector
+	// itself fight to stay under it. Leave off when several governors
+	// share one process (tests, the in-process swarm).
+	SetRuntimeLimit bool
+	// HeapBaseline is subtracted from the observed live heap before
+	// computing pressure: an in-process harness giving each node a
+	// small budget must not charge the test binary's own baseline heap
+	// against it. 0 charges the full heap.
+	HeapBaseline int64
+	// OnChange, if set, observes every rung transition (after it is
+	// committed, outside the governor lock). Subscribe adds more.
+	OnChange func(from, to Rung)
+	// Logger sinks rung-transition logs. Default slog.Default().
+	Logger *slog.Logger
+
+	// readHeap overrides live-heap sampling in tests.
+	readHeap func() int64
+}
+
+// Snapshot is the queryable governor state for /metricsz, /readyz, and
+// the soak report.
+type Snapshot struct {
+	LimitBytes     int64            `json:"limit_bytes"`
+	HeapBytes      int64            `json:"heap_bytes"`
+	AccountedBytes int64            `json:"accounted_bytes"`
+	InflightBytes  int64            `json:"inflight_bytes"`
+	Sources        map[string]int64 `json:"sources,omitempty"`
+	Pressure       float64          `json:"pressure"`
+	Rung           string           `json:"rung"`
+	RungLevel      int              `json:"rung_level"`
+	// RungEntries counts arrivals at each rung (including re-arrivals);
+	// RungSeconds is wall-clock residency. Both are keyed by rung name
+	// and cover the whole ladder, so a soak can assert "engaged rung 2,
+	// spent most of its life healthy".
+	RungEntries map[string]int64   `json:"rung_entries"`
+	RungSeconds map[string]float64 `json:"rung_seconds"`
+	// MaxRung is the highest rung ever entered.
+	MaxRung string `json:"max_rung"`
+	// HeapHighWater is the largest adjusted heap ever sampled.
+	HeapHighWater int64 `json:"heap_high_water_bytes"`
+}
+
+// source is one registered byte gauge.
+type source struct {
+	name string
+	fn   func() int64
+}
+
+// Governor owns the ladder state. Build with New, optionally Start the
+// poll loop, and Close when done.
+type Governor struct {
+	cfg Config
+
+	mu          sync.Mutex
+	sources     []source
+	inflight    int64 // reserved in-flight bytes
+	lastHeap    int64 // adjusted heap from the most recent sample
+	heapHigh    int64
+	rung        Rung
+	maxRung     Rung
+	belowSince  time.Time // pressure first seen below the step-down bar
+	enteredAt   time.Time // current rung entry time
+	entries     [NumRungs]int64
+	residency   [NumRungs]time.Duration
+	subscribers []func(from, to Rung)
+	prevLimit   int64 // runtime memory limit to restore on Close
+
+	// pendingTs holds transitions committed under mu, delivered by
+	// notify after it is released (a subscriber may call back into the
+	// governor, e.g. Snapshot, or into a cache whose gauge the governor
+	// reads). Guarded by pendingMu, never mu.
+	pendingMu sync.Mutex
+	pendingTs []transition
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// transition is one committed rung change awaiting subscriber delivery.
+type transition struct{ from, to Rung }
+
+func (c Config) withDefaults() Config {
+	if c.Watermarks == ([NumRungs - 1]float64{}) {
+		c.Watermarks = [NumRungs - 1]float64{0.65, 0.75, 0.85, 0.95}
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 0.05
+	}
+	if c.HoldDown <= 0 {
+		c.HoldDown = 2 * time.Second
+	}
+	if c.Poll <= 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.readHeap == nil {
+		c.readHeap = liveHeap
+	}
+	return c
+}
+
+// liveHeap samples the live heap. HeapAlloc (bytes of allocated,
+// not-yet-freed objects) is the figure the ladder defends: it is what
+// an OOM killer ultimately sees growing.
+func liveHeap() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// New validates cfg and builds a stopped governor: pressure and the
+// ladder advance on Evaluate calls (and Reserve/Release, which
+// re-evaluate against the cached heap sample). Call Start for the
+// background heap-poll loop.
+func New(cfg Config) (*Governor, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Limit <= 0 {
+		return nil, fmt.Errorf("membudget: Limit must be positive, got %d", cfg.Limit)
+	}
+	for i := 1; i < len(cfg.Watermarks); i++ {
+		if cfg.Watermarks[i] <= cfg.Watermarks[i-1] {
+			return nil, fmt.Errorf("membudget: watermarks must ascend, got %v", cfg.Watermarks)
+		}
+	}
+	if cfg.Watermarks[0] <= 0 {
+		return nil, fmt.Errorf("membudget: watermarks must be positive, got %v", cfg.Watermarks)
+	}
+	g := &Governor{
+		cfg:       cfg,
+		enteredAt: time.Now(),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	g.entries[RungHealthy] = 1
+	if cfg.OnChange != nil {
+		g.subscribers = append(g.subscribers, cfg.OnChange)
+	}
+	if cfg.SetRuntimeLimit {
+		g.prevLimit = debug.SetMemoryLimit(cfg.Limit)
+	}
+	return g, nil
+}
+
+// Start launches the heap-poll loop. Safe to call once.
+func (g *Governor) Start() {
+	go func() {
+		defer close(g.done)
+		t := time.NewTicker(g.cfg.Poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				g.Evaluate()
+			case <-g.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the poll loop and restores the runtime memory limit.
+func (g *Governor) Close() {
+	g.once.Do(func() {
+		close(g.stop)
+		select {
+		case <-g.done:
+		case <-time.After(time.Second):
+		}
+		if g.cfg.SetRuntimeLimit {
+			debug.SetMemoryLimit(g.prevLimit)
+		}
+	})
+}
+
+// RegisterSource registers a named byte gauge — a subsystem that can
+// report its resident bytes (trace cache, result cache, journal). A
+// re-registration under the same name replaces the gauge, so wiring is
+// idempotent.
+func (g *Governor) RegisterSource(name string, fn func() int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := range g.sources {
+		if g.sources[i].name == name {
+			g.sources[i].fn = fn
+			return
+		}
+	}
+	g.sources = append(g.sources, source{name: name, fn: fn})
+}
+
+// Subscribe adds a rung-transition observer, called after each
+// committed transition, outside the governor lock, in registration
+// order. Subscribers must not block.
+func (g *Governor) Subscribe(fn func(from, to Rung)) {
+	g.mu.Lock()
+	g.subscribers = append(g.subscribers, fn)
+	g.mu.Unlock()
+}
+
+// BudgetSetter is anything with a runtime-adjustable byte budget —
+// tracecache.Cache, concretely — declared here so the governor does
+// not import the caches it governs.
+type BudgetSetter interface{ SetBudget(int64) }
+
+// ShrinkBudget arranges rung 1's action: while the ladder sits at
+// RungShrink or above, b's budget is cut to shrunk (evicting down to
+// it immediately); on return to healthy the full budget is restored.
+func (g *Governor) ShrinkBudget(b BudgetSetter, full, shrunk int64) {
+	g.Subscribe(func(from, to Rung) {
+		switch {
+		case from < RungShrink && to >= RungShrink:
+			b.SetBudget(shrunk)
+		case from >= RungShrink && to < RungShrink:
+			b.SetBudget(full)
+		}
+	})
+}
+
+// Reserve accounts n bytes of estimated in-flight footprint (a request
+// entering the engine). It always succeeds — refusal is the ladder's
+// job, decided by rung, not here — and re-evaluates the ladder against
+// the cached heap sample so a burst of admissions degrades the node
+// before the allocations land.
+func (g *Governor) Reserve(n int64) {
+	if n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.inflight += n
+	g.evaluateLocked(g.lastHeap, time.Now())
+	g.mu.Unlock()
+	g.notify()
+}
+
+// Release returns bytes reserved by Reserve.
+func (g *Governor) Release(n int64) {
+	if n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.inflight -= n
+	if g.inflight < 0 {
+		g.inflight = 0
+	}
+	g.evaluateLocked(g.lastHeap, time.Now())
+	g.mu.Unlock()
+	g.notify()
+}
+
+// Rung returns the current ladder rung.
+func (g *Governor) Rung() Rung {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rung
+}
+
+// RetryAfter is the backoff the serving layer should hand shed clients:
+// the ladder cannot step down faster than the hold-down period.
+func (g *Governor) RetryAfter() time.Duration { return g.cfg.HoldDown }
+
+// Limit returns the configured byte budget.
+func (g *Governor) Limit() int64 { return g.cfg.Limit }
+
+// Evaluate samples the heap, recomputes pressure, and advances the
+// ladder. The poll loop calls it at interval; tests call it directly.
+func (g *Governor) Evaluate() Rung {
+	heap := g.cfg.readHeap() - g.cfg.HeapBaseline
+	if heap < 0 {
+		heap = 0
+	}
+	g.mu.Lock()
+	g.lastHeap = heap
+	if heap > g.heapHigh {
+		g.heapHigh = heap
+	}
+	r := g.evaluateLocked(heap, time.Now())
+	g.mu.Unlock()
+	g.notify()
+	return r
+}
+
+// accountedLocked sums the registered gauges plus in-flight reserves.
+// Source funcs take their own locks; none call back into the governor.
+func (g *Governor) accountedLocked() (total int64, bySource map[string]int64) {
+	bySource = make(map[string]int64, len(g.sources)+1)
+	for _, s := range g.sources {
+		v := s.fn()
+		bySource[s.name] = v
+		total += v
+	}
+	bySource["inflight"] = g.inflight
+	total += g.inflight
+	return total, bySource
+}
+
+func (g *Governor) pressureLocked(heap int64) float64 {
+	acct, _ := g.accountedLocked()
+	worst := acct
+	if heap > worst {
+		worst = heap
+	}
+	return float64(worst) / float64(g.cfg.Limit)
+}
+
+// evaluateLocked advances the ladder for the given pressure inputs.
+// Steps up are immediate and may jump several rungs; steps down move
+// one rung per satisfied hold-down. Callers hold g.mu.
+func (g *Governor) evaluateLocked(heap int64, now time.Time) Rung {
+	p := g.pressureLocked(heap)
+
+	// Target rung from the watermarks alone: the highest watermark at
+	// or below the current pressure.
+	target := RungHealthy
+	for i := len(g.cfg.Watermarks) - 1; i >= 0; i-- {
+		if p >= g.cfg.Watermarks[i] {
+			target = Rung(i + 1)
+			break
+		}
+	}
+
+	switch {
+	case target > g.rung:
+		g.moveLocked(g.rung, target, p, now)
+	case g.rung > RungHealthy:
+		// Step-down candidate: below the current rung's own watermark
+		// by the hysteresis margin, held for HoldDown, one rung at a
+		// time — each lower rung re-arms its own hold-down.
+		bar := g.cfg.Watermarks[int(g.rung)-1] - g.cfg.Hysteresis
+		if p < bar {
+			if g.belowSince.IsZero() {
+				g.belowSince = now
+			} else if now.Sub(g.belowSince) >= g.cfg.HoldDown {
+				g.moveLocked(g.rung, g.rung-1, p, now)
+			}
+		} else {
+			g.belowSince = time.Time{}
+		}
+	}
+	return g.rung
+}
+
+// moveLocked commits a rung transition and queues subscriber delivery.
+func (g *Governor) moveLocked(from, to Rung, p float64, now time.Time) {
+	g.residency[from] += now.Sub(g.enteredAt)
+	g.rung = to
+	g.enteredAt = now
+	g.belowSince = time.Time{}
+	g.entries[to]++
+	if to > g.maxRung {
+		g.maxRung = to
+	}
+	g.cfg.Logger.Info("memory ladder transition",
+		"from", from.String(), "to", to.String(),
+		"pressure", fmt.Sprintf("%.3f", p), "limit_bytes", g.cfg.Limit)
+	g.pendingMu.Lock()
+	g.pendingTs = append(g.pendingTs, transition{from, to})
+	g.pendingMu.Unlock()
+}
+
+// notify delivers queued transitions outside g.mu. Delivery order is
+// transition order; a subscriber added later misses earlier
+// transitions, which is fine — it reads the current rung on wiring.
+func (g *Governor) notify() {
+	g.pendingMu.Lock()
+	ts := g.pendingTs
+	g.pendingTs = nil
+	g.pendingMu.Unlock()
+	if len(ts) == 0 {
+		return
+	}
+	g.mu.Lock()
+	subs := append([]func(from, to Rung){}, g.subscribers...)
+	g.mu.Unlock()
+	for _, t := range ts {
+		for _, fn := range subs {
+			fn(t.from, t.to)
+		}
+	}
+}
+
+// Snapshot captures the full governor state.
+func (g *Governor) Snapshot() Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	acct, sources := g.accountedLocked()
+	heap := g.lastHeap
+	worst := acct
+	if heap > worst {
+		worst = heap
+	}
+	now := time.Now()
+	s := Snapshot{
+		LimitBytes:     g.cfg.Limit,
+		HeapBytes:      heap,
+		AccountedBytes: acct,
+		InflightBytes:  g.inflight,
+		Sources:        sources,
+		Pressure:       float64(worst) / float64(g.cfg.Limit),
+		Rung:           g.rung.String(),
+		RungLevel:      int(g.rung),
+		RungEntries:    make(map[string]int64, NumRungs),
+		RungSeconds:    make(map[string]float64, NumRungs),
+		MaxRung:        g.maxRung.String(),
+		HeapHighWater:  g.heapHigh,
+	}
+	for i := 0; i < NumRungs; i++ {
+		d := g.residency[i]
+		if Rung(i) == g.rung {
+			d += now.Sub(g.enteredAt)
+		}
+		s.RungEntries[Rung(i).String()] = g.entries[i]
+		s.RungSeconds[Rung(i).String()] = d.Seconds()
+	}
+	return s
+}

@@ -1,0 +1,297 @@
+package membudget
+
+import (
+	"io"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// fakeHeap is a settable heap gauge for deterministic ladder tests.
+type fakeHeap struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (f *fakeHeap) set(v int64) { f.mu.Lock(); f.v = v; f.mu.Unlock() }
+func (f *fakeHeap) get() int64  { f.mu.Lock(); defer f.mu.Unlock(); return f.v }
+
+func newTestGov(t *testing.T, limit int64, heap *fakeHeap, hold time.Duration) *Governor {
+	t.Helper()
+	g, err := New(Config{
+		Limit:    limit,
+		HoldDown: hold,
+		Logger:   testLogger(),
+		readHeap: heap.get,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func TestLadderStepsUpImmediately(t *testing.T) {
+	heap := &fakeHeap{}
+	g := newTestGov(t, 1000, heap, time.Hour)
+
+	if got := g.Evaluate(); got != RungHealthy {
+		t.Fatalf("idle rung = %v, want healthy", got)
+	}
+	// Default watermarks 0.65/0.75/0.85/0.95 of 1000.
+	for _, tc := range []struct {
+		heap int64
+		want Rung
+	}{
+		{640, RungHealthy},
+		{650, RungShrink},
+		{750, RungSampled},
+		{850, RungStaleOnly},
+		{950, RungShed},
+	} {
+		heap.set(tc.heap)
+		if got := g.Evaluate(); got != tc.want {
+			t.Errorf("heap %d: rung = %v, want %v", tc.heap, got, tc.want)
+		}
+	}
+	// Multi-rung jump from healthy straight to shed.
+	g2 := newTestGov(t, 1000, heap, time.Hour)
+	heap.set(990)
+	if got := g2.Evaluate(); got != RungShed {
+		t.Errorf("jump rung = %v, want shed", got)
+	}
+	s := g2.Snapshot()
+	if s.MaxRung != "shed" || s.RungEntries["shed"] != 1 {
+		t.Errorf("snapshot after jump: max=%s entries=%v", s.MaxRung, s.RungEntries)
+	}
+}
+
+func TestLadderStepsDownOneRungAfterHoldDown(t *testing.T) {
+	heap := &fakeHeap{}
+	hold := 30 * time.Millisecond
+	g := newTestGov(t, 1000, heap, hold)
+
+	heap.set(800) // above 0.75 → sampled
+	if got := g.Evaluate(); got != RungSampled {
+		t.Fatalf("rung = %v, want sampled", got)
+	}
+	// Drop well below every step-down bar. The first Evaluate only arms
+	// the hold-down; the rung must not move yet.
+	heap.set(100)
+	if got := g.Evaluate(); got != RungSampled {
+		t.Fatalf("rung moved immediately on pressure drop: %v", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Evaluate() != RungShrink {
+		if time.Now().After(deadline) {
+			t.Fatal("never stepped down to shrink")
+		}
+		time.Sleep(hold / 4)
+	}
+	// One rung at a time: immediately after reaching shrink, the next
+	// evaluation must not already be healthy (its hold-down re-arms).
+	if got := g.Evaluate(); got != RungShrink {
+		t.Fatalf("stepped two rungs in one hold-down: %v", got)
+	}
+	for g.Evaluate() != RungHealthy {
+		if time.Now().After(deadline) {
+			t.Fatal("never recovered to healthy")
+		}
+		time.Sleep(hold / 4)
+	}
+}
+
+func TestHysteresisBlocksStepDown(t *testing.T) {
+	heap := &fakeHeap{}
+	hold := 10 * time.Millisecond
+	g := newTestGov(t, 1000, heap, hold)
+
+	heap.set(700) // shrink (watermark 0.65)
+	if got := g.Evaluate(); got != RungShrink {
+		t.Fatalf("rung = %v, want shrink", got)
+	}
+	// 0.62 is below the 0.65 watermark but inside the 0.05 hysteresis
+	// band: the ladder must hold at shrink indefinitely.
+	heap.set(620)
+	for i := 0; i < 10; i++ {
+		if got := g.Evaluate(); got != RungShrink {
+			t.Fatalf("stepped down inside the hysteresis band: %v", got)
+		}
+		time.Sleep(hold / 2)
+	}
+}
+
+func TestAccountedBytesDrivePressureWithoutHeap(t *testing.T) {
+	heap := &fakeHeap{} // heap stays 0: accounting alone must degrade
+	g := newTestGov(t, 1000, heap, time.Hour)
+
+	var cacheBytes int64 = 500
+	g.RegisterSource("cache", func() int64 { return cacheBytes })
+	g.Reserve(300) // accounted = 800 → sampled
+	if got := g.Rung(); got != RungSampled {
+		t.Fatalf("rung after reserve = %v, want sampled", got)
+	}
+	s := g.Snapshot()
+	if s.AccountedBytes != 800 || s.InflightBytes != 300 || s.Sources["cache"] != 500 {
+		t.Errorf("snapshot accounting: %+v", s)
+	}
+	g.Release(300)
+	// Release re-evaluates but step-down still needs the hold: rung
+	// stays sampled under the hour-long hold-down.
+	if got := g.Rung(); got != RungSampled {
+		t.Errorf("rung after release = %v, want sampled (hold-down)", got)
+	}
+	if s := g.Snapshot(); s.InflightBytes != 0 {
+		t.Errorf("inflight after release = %d", s.InflightBytes)
+	}
+}
+
+func TestReserveReleaseNeverNegative(t *testing.T) {
+	heap := &fakeHeap{}
+	g := newTestGov(t, 1000, heap, time.Hour)
+	g.Release(500)
+	if s := g.Snapshot(); s.InflightBytes != 0 {
+		t.Errorf("inflight went negative: %d", s.InflightBytes)
+	}
+}
+
+func TestSubscribersSeeTransitions(t *testing.T) {
+	heap := &fakeHeap{}
+	g := newTestGov(t, 1000, heap, time.Hour)
+
+	var mu sync.Mutex
+	var seen []string
+	g.Subscribe(func(from, to Rung) {
+		mu.Lock()
+		seen = append(seen, from.String()+"->"+to.String())
+		mu.Unlock()
+	})
+	heap.set(700)
+	g.Evaluate()
+	heap.set(990)
+	g.Evaluate()
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"healthy->shrink", "shrink->shed"}
+	if len(seen) != len(want) || seen[0] != want[0] || seen[1] != want[1] {
+		t.Errorf("transitions = %v, want %v", seen, want)
+	}
+}
+
+func TestShrinkBudget(t *testing.T) {
+	heap := &fakeHeap{}
+	hold := 10 * time.Millisecond
+	g := newTestGov(t, 1000, heap, hold)
+
+	var mu sync.Mutex
+	budget := int64(-1)
+	setter := budgetFunc(func(b int64) { mu.Lock(); budget = b; mu.Unlock() })
+	g.ShrinkBudget(setter, 400, 100)
+
+	heap.set(700)
+	g.Evaluate()
+	mu.Lock()
+	if budget != 100 {
+		t.Errorf("budget under pressure = %d, want 100", budget)
+	}
+	mu.Unlock()
+
+	// A further step up must not re-fire the shrink (already engaged).
+	heap.set(990)
+	g.Evaluate()
+
+	heap.set(0)
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Evaluate() != RungHealthy {
+		if time.Now().After(deadline) {
+			t.Fatal("never recovered")
+		}
+		time.Sleep(hold / 2)
+	}
+	mu.Lock()
+	if budget != 400 {
+		t.Errorf("budget after recovery = %d, want 400", budget)
+	}
+	mu.Unlock()
+}
+
+// budgetFunc adapts a func to BudgetSetter.
+type budgetFunc func(int64)
+
+func (f budgetFunc) SetBudget(b int64) { f(b) }
+
+func TestHeapBaselineAdjustment(t *testing.T) {
+	heap := &fakeHeap{}
+	g, err := New(Config{
+		Limit:        1000,
+		HeapBaseline: 10_000,
+		Logger:       testLogger(),
+		readHeap:     heap.get,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	heap.set(10_500) // adjusted 500 → healthy
+	if got := g.Evaluate(); got != RungHealthy {
+		t.Errorf("rung = %v, want healthy (baseline-adjusted)", got)
+	}
+	heap.set(10_990) // adjusted 990 → shed
+	if got := g.Evaluate(); got != RungShed {
+		t.Errorf("rung = %v, want shed", got)
+	}
+	if s := g.Snapshot(); s.HeapHighWater != 990 {
+		t.Errorf("heap high water = %d, want 990", s.HeapHighWater)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Limit: 0}); err == nil {
+		t.Error("Limit 0 accepted")
+	}
+	if _, err := New(Config{Limit: 100, Watermarks: [4]float64{0.9, 0.8, 0.85, 0.95}}); err == nil {
+		t.Error("non-ascending watermarks accepted")
+	}
+}
+
+func TestPollLoop(t *testing.T) {
+	heap := &fakeHeap{}
+	g, err := New(Config{
+		Limit:    1000,
+		Poll:     5 * time.Millisecond,
+		Logger:   testLogger(),
+		readHeap: heap.get,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	defer g.Close()
+	heap.set(990)
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Rung() != RungShed {
+		if time.Now().After(deadline) {
+			t.Fatal("poll loop never advanced the ladder")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSnapshotResidency(t *testing.T) {
+	heap := &fakeHeap{}
+	g := newTestGov(t, 1000, heap, time.Hour)
+	g.Evaluate()
+	time.Sleep(20 * time.Millisecond)
+	s := g.Snapshot()
+	if s.RungSeconds["healthy"] <= 0 {
+		t.Errorf("healthy residency = %v, want > 0", s.RungSeconds["healthy"])
+	}
+	if s.Rung != "healthy" || s.RungLevel != 0 {
+		t.Errorf("rung = %s/%d", s.Rung, s.RungLevel)
+	}
+}

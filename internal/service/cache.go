@@ -33,6 +33,9 @@ type resultCache struct {
 	// policies), which simply leave the new entry uncached.
 	evictions int64
 	declined  int64
+	// bytes tracks resident result-body bytes, the figure the memory
+	// governor accounts this cache at.
+	bytes int64
 }
 
 // cached is one stored result: the struct for API consumers plus the
@@ -115,6 +118,7 @@ func (c *resultCache) Replace(key string, v *cached) {
 	c.mu.Lock()
 	if c.ways != 0 {
 		if w, ok := c.byKey[key]; ok {
+			c.bytes += int64(len(v.body)) - int64(len(c.vals[w].body))
 			c.vals[w] = v
 			c.mu.Unlock()
 			return
@@ -152,11 +156,20 @@ func (c *resultCache) Put(key string, v *cached) {
 		delete(c.byKey, c.keys[w])
 		c.pol.Evict(0, w)
 		c.evictions++
+		c.bytes -= int64(len(c.vals[w].body))
 	}
 	c.keys[w] = key
 	c.vals[w] = v
 	c.byKey[key] = w
+	c.bytes += int64(len(v.body))
 	c.pol.Fill(0, w, a)
+}
+
+// Bytes returns the resident result-body bytes, for memory accounting.
+func (c *resultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Export returns every resident entry for snapshotting, in way order

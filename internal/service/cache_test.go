@@ -1,6 +1,8 @@
 package service
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"gspc/internal/workload"
@@ -174,5 +176,61 @@ func TestResultCacheDisabledAndBadPolicy(t *testing.T) {
 	}
 	if _, err := newResultCache(4, "belady"); err == nil {
 		t.Error("unknown cache policy accepted")
+	}
+}
+
+// TestResultCacheReplaceRacesEviction churns in-place Replace on a hot
+// key set while Put-driven evictions recycle the same ways and readers
+// sample the gauges, so -race exercises Replace's byte-delta update
+// against Put's eviction decrement. The exit check is the invariant
+// the memory governor depends on: the byte gauge equals the sum of the
+// resident bodies.
+func TestResultCacheReplaceRacesEviction(t *testing.T) {
+	c, err := newResultCache(8, "lru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := []string{"h0", "h1", "h2", "h3"}
+	for _, k := range hot {
+		c.Put(k, &cached{runID: k, body: make([]byte, 64)})
+	}
+
+	const rounds = 4000
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // escalation path: upgrade hot keys in place
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			k := hot[i%len(hot)]
+			c.Replace(k, &cached{runID: k, body: make([]byte, 1+i%257)})
+		}
+	}()
+	go func() { // fill path: distinct keys force evictions of the same ways
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			c.Put(fmt.Sprintf("e%d", i), &cached{runID: "e", body: make([]byte, i%129)})
+		}
+	}()
+	go func() { // governor path: sample the gauges mid-churn
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			c.Get(hot[i%len(hot)])
+			if c.Bytes() < 0 {
+				panic("negative byte gauge")
+			}
+			c.Len()
+		}
+	}()
+	wg.Wait()
+
+	var want int64
+	for _, e := range c.Export() {
+		want += int64(len(e.Body))
+	}
+	if got := c.Bytes(); got != want {
+		t.Errorf("byte gauge %d diverged from %d resident body bytes", got, want)
+	}
+	if got := c.Len(); got > 8 {
+		t.Errorf("Len = %d entries exceed capacity 8", got)
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"gspc/internal/durable"
 	"gspc/internal/harness"
+	"gspc/internal/membudget"
 	"gspc/internal/telemetry"
 )
 
@@ -128,6 +129,23 @@ type Config struct {
 	// lifecycle events served at /debugz (0 = telemetry.DefaultFlightEvents).
 	FlightEvents int
 
+	// Governor, when set, is the process-wide memory governor the engine
+	// consults on admission and accounts its memory into: the result
+	// cache and journal register as byte sources, every admitted job
+	// reserves its estimated in-flight trace footprint, and the
+	// governor's degradation ladder gates new work (downgrade to sampled
+	// fidelity, stale-only, shed). Nil disables memory governance.
+	Governor *membudget.Governor
+	// MaxRequestBytes rejects requests whose estimated in-flight trace
+	// footprint (EstimateRequestBytes) exceeds it, with a 400 — the
+	// byte-space sibling of the frame-equivalent MaxWork ceiling.
+	// 0 = unlimited.
+	MaxRequestBytes int64
+	// SLO, when set, receives every completed job's latency keyed by
+	// experiment, for p50/p99-target tracking and error-budget burn
+	// accounting surfaced in /metricsz and /metrics. Nil disables it.
+	SLO *telemetry.SLOTracker
+
 	// DataDir, when non-empty, makes the engine crash-safe: job
 	// lifecycle transitions are appended to a write-ahead journal under
 	// this directory, the result cache and serve-stale table are
@@ -217,7 +235,17 @@ type Job struct {
 	Req Request
 	Key string
 
+	// Downgraded marks a job whose request was forced from exact to
+	// sampled fidelity by the memory governor's ladder at admission.
+	// Immutable after creation, like ID/Req/Key.
+	Downgraded bool
+
 	done chan struct{}
+
+	// reserved is the in-flight byte estimate held against the memory
+	// governor until the job reaches a terminal state; releaseLocked
+	// zeroes it, making the release idempotent across exit paths.
+	reserved int64
 
 	seq int64 // numeric id (journal sequence; recovery restores the counter past it)
 
@@ -270,8 +298,12 @@ type Reply struct {
 	// Stale marks a degraded answer: the experiment's breaker was open
 	// and the body is its most recent successful result rather than a
 	// run of the exact requested parameters.
-	Stale    bool
-	Duration time.Duration
+	Stale bool
+	// Downgraded marks an answer served at sampled fidelity because the
+	// memory governor forced the downgrade on this request at admission
+	// (surfaced as the X-Gspc-Fidelity-Downgraded header).
+	Downgraded bool
+	Duration   time.Duration
 }
 
 // Engine owns the queue, the worker pool, the coalescing table, and the
@@ -319,6 +351,13 @@ type Engine struct {
 	sampledJobs                   int64
 	escalations, escalationHits   int64
 	lastSampledErr                float64 // EstRelErr of the latest sampled job
+	// Memory-ladder serving counters: requests shed outright, exact
+	// requests downgraded to sampled fidelity, stale answers served
+	// because of the stale-only rung (disjoint from staleServed, the
+	// breaker-driven stale counter), and background escalations skipped
+	// under pressure.
+	memShed, memDowngrades        int64
+	memStaleServed, memEscSkipped int64
 	lat                           latencies
 }
 
@@ -350,6 +389,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if g := cfg.Governor; g != nil {
+		// Account this engine's memory into the governor. Registration is
+		// idempotent by name, so rebuilding an engine over the same
+		// governor (recovery, tests) re-points the gauges.
+		g.RegisterSource("result-cache", e.cache.Bytes)
+		if e.store != nil {
+			g.RegisterSource("journal", func() int64 { return e.store.Stats().JournalBytes })
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -365,16 +413,21 @@ func NewEngine(cfg Config) (*Engine, error) {
 // still queued whose every waiting caller has left is cancelled in
 // place instead of burning a worker for nobody.
 func (e *Engine) Do(ctx context.Context, req Request) (*Reply, error) {
-	job, rep, err := e.submit(req, true)
+	job, rep, downgraded, err := e.submit(req, true)
 	if err != nil {
 		return nil, err
 	}
 	if rep != nil {
+		rep.Downgraded = downgraded
 		return rep, nil
 	}
 	select {
 	case <-job.done:
-		return e.replyFor(job)
+		rep, err := e.replyFor(job)
+		if rep != nil {
+			rep.Downgraded = downgraded
+		}
+		return rep, err
 	case <-ctx.Done():
 		e.abandon(job)
 		return nil, ctx.Err()
@@ -385,29 +438,74 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Reply, error) {
 // meaningful: a Reply for a cache hit (no job), otherwise the queued or
 // coalesced-onto Job whose done channel the caller may wait on. Jobs
 // submitted through Submit are never auto-cancelled: some poller is
-// assumed to want the result.
+// assumed to want the result. A governor-forced fidelity downgrade shows
+// on the Reply (cache hit) or the Job (Downgraded, when this submission
+// created it).
 func (e *Engine) Submit(req Request) (*Job, *Reply, error) {
-	return e.submit(req, false)
+	job, rep, downgraded, err := e.submit(req, false)
+	if rep != nil {
+		rep.Downgraded = downgraded
+	}
+	return job, rep, err
 }
 
-func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
+// submit runs admission: normalization, work/byte ceilings, the memory
+// ladder, cache lookup, coalescing, backpressure, and the breaker, in
+// that order. The returned bool reports whether THIS submission was
+// downgraded to sampled fidelity by the ladder (a coalesced caller may
+// land on a job some earlier downgraded submission created).
+func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, bool, error) {
 	req, err := req.Normalize()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	if err := e.admitWork(req); err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	key := req.Key()
+	rung := membudget.RungHealthy
+	if e.cfg.Governor != nil {
+		rung = e.cfg.Governor.Rung()
+	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.requests++
 	if e.closing {
-		return nil, nil, ErrShuttingDown
+		return nil, nil, false, ErrShuttingDown
 	}
 	if v, ok := e.cache.Get(key); ok {
-		return nil, &Reply{Body: v.body, RunID: v.runID, Cached: true}, nil
+		// An exact-key cache hit costs no new memory; serve it at any rung.
+		return nil, &Reply{Body: v.body, RunID: v.runID, Cached: true}, false, nil
+	}
+	var downgraded bool
+	switch {
+	case rung >= membudget.RungShed:
+		e.memShed++
+		e.flight.Add(telemetry.Event{Type: "mem-shed", Detail: req.Experiment})
+		return nil, nil, false, &MemoryPressureError{
+			Rung: rung.String(), RetryAfter: e.cfg.Governor.RetryAfter()}
+	case rung >= membudget.RungStaleOnly:
+		// Serving a remembered result allocates nothing; running does.
+		if v, ok := e.lastGood[req.Experiment]; ok {
+			e.memStaleServed++
+			e.flight.Add(telemetry.Event{Type: "mem-stale-served", Detail: req.Experiment})
+			return nil, &Reply{Body: v.body, RunID: v.runID, Cached: true, Stale: true}, false, nil
+		}
+		return nil, nil, false, &MemoryPressureError{
+			Rung: rung.String(), RetryAfter: e.cfg.Governor.RetryAfter(), StaleOnly: true}
+	case rung >= membudget.RungSampled && req.Fidelity != harness.FidelitySampled:
+		// Force sampled fidelity: an eighth of the work and memory for an
+		// answer with an error bound attached. The downgraded key may hit
+		// the cache or coalesce onto an earlier downgraded admission.
+		req = req.SampledTwin()
+		key = req.Key()
+		downgraded = true
+		e.memDowngrades++
+		e.flight.Add(telemetry.Event{Type: "mem-downgrade", Detail: req.Experiment})
+		if v, ok := e.cache.Get(key); ok {
+			return nil, &Reply{Body: v.body, RunID: v.runID, Cached: true}, true, nil
+		}
 	}
 	if job, ok := e.inflight[key]; ok {
 		job.coalesced++
@@ -421,7 +519,7 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 		}
 		e.flight.Add(telemetry.Event{Type: "coalesced", RunID: job.ID,
 			TraceID: traceID(job.run), Detail: req.Experiment})
-		return job, nil, nil
+		return job, nil, downgraded, nil
 	}
 	// Backpressure first: a full queue rejects before the breaker is
 	// consulted, so a probe slot is never consumed by a doomed submit.
@@ -430,7 +528,7 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 	if len(e.queue) == cap(e.queue) {
 		e.rejected++
 		e.flight.Add(telemetry.Event{Type: "rejected", Detail: req.Experiment + ": queue full"})
-		return nil, nil, ErrQueueFull
+		return nil, nil, false, ErrQueueFull
 	}
 	var probe bool
 	if e.cfg.BreakerThreshold > 0 {
@@ -442,12 +540,12 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 				if v, ok := e.lastGood[req.Experiment]; ok {
 					e.staleServed++
 					e.flight.Add(telemetry.Event{Type: "stale-served", Detail: req.Experiment})
-					return nil, &Reply{Body: v.body, RunID: v.runID, Cached: true, Stale: true}, nil
+					return nil, &Reply{Body: v.body, RunID: v.runID, Cached: true, Stale: true}, downgraded, nil
 				}
 			}
 			e.breakerFastFails++
 			e.flight.Add(telemetry.Event{Type: "breaker-fastfail", Detail: req.Experiment})
-			return nil, nil, &CircuitOpenError{Experiment: req.Experiment, RetryAfter: retryAfter}
+			return nil, nil, false, &CircuitOpenError{Experiment: req.Experiment, RetryAfter: retryAfter}
 		}
 	}
 	e.nextID++
@@ -455,6 +553,7 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 		ID:          fmt.Sprintf("run-%06d", e.nextID),
 		Req:         req,
 		Key:         key,
+		Downgraded:  downgraded,
 		seq:         e.nextID,
 		done:        make(chan struct{}),
 		status:      StatusQueued,
@@ -462,6 +561,13 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 		timeout:     e.effectiveTimeout(req),
 		abandonable: sync,
 		probe:       probe,
+	}
+	if g := e.cfg.Governor; g != nil {
+		// Reserve the estimated in-flight footprint now, before the
+		// allocations land: a burst of admissions degrades the ladder
+		// ahead of the heap showing it.
+		job.reserved = EstimateRequestBytes(req)
+		g.Reserve(job.reserved)
 	}
 	if e.cfg.TraceEvery > 0 {
 		if e.traceSeq%int64(e.cfg.TraceEvery) == 0 {
@@ -478,7 +584,17 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, error) {
 	e.journalSubmitLocked(job)
 	e.flight.Add(telemetry.Event{Type: "submit", RunID: job.ID,
 		TraceID: traceID(job.run), Detail: req.Experiment})
-	return job, nil, nil
+	return job, nil, downgraded, nil
+}
+
+// releaseLocked returns a job's reserved in-flight bytes to the memory
+// governor. Zeroing reserved makes it idempotent across the terminal
+// paths (worker done/failed, cancelled-skip, abandon). Callers hold e.mu.
+func (e *Engine) releaseLocked(job *Job) {
+	if job.reserved > 0 && e.cfg.Governor != nil {
+		e.cfg.Governor.Release(job.reserved)
+	}
+	job.reserved = 0
 }
 
 // traceID extracts the trace id of a possibly-nil run.
@@ -494,21 +610,31 @@ func traceID(r *telemetry.Run) string {
 // committed: a pathological sweep gets a 400 in microseconds, not a
 // timeout after minutes.
 func (e *Engine) admitWork(req Request) error {
-	if e.cfg.MaxWork <= 0 {
-		return nil
+	if e.cfg.MaxWork > 0 {
+		work := float64(len(req.Options().Jobs())) * req.Scale * req.Scale
+		formula := "frames × scale²"
+		if req.Fidelity == harness.FidelitySampled {
+			// A sampled run synthesizes two small fixed-scale profiles plus a
+			// ~6% prefix and replays a ~1-in-16 set subset; measured end to
+			// end it costs well under an eighth of the exact run at the
+			// scales where the ceiling matters. The rejection message names
+			// the discounted figure and formula so the "lower scale, frames,
+			// or apps" hint matches the number admission actually compared.
+			work /= 8
+			formula = "frames × scale² ÷ 8 sampled-fidelity discount"
+		}
+		if work > e.cfg.MaxWork {
+			return &BadRequestError{Reason: fmt.Sprintf(
+				"request implies %.2f frame-equivalents of simulation (%s), above the admission ceiling %.2f; lower scale, frames, or apps",
+				work, formula, e.cfg.MaxWork)}
+		}
 	}
-	work := float64(len(req.Options().Jobs())) * req.Scale * req.Scale
-	if req.Fidelity == harness.FidelitySampled {
-		// A sampled run synthesizes two small fixed-scale profiles plus a
-		// ~6% prefix and replays a ~1-in-16 set subset; measured end to
-		// end it costs well under an eighth of the exact run at the
-		// scales where the ceiling matters.
-		work /= 8
-	}
-	if work > e.cfg.MaxWork {
-		return &BadRequestError{Reason: fmt.Sprintf(
-			"request implies %.2f frame-equivalents of simulation (frames × scale²), above the admission ceiling %.2f; lower scale, frames, or apps",
-			work, e.cfg.MaxWork)}
+	if e.cfg.MaxRequestBytes > 0 {
+		if b := EstimateRequestBytes(req); b > e.cfg.MaxRequestBytes {
+			return &BadRequestError{Reason: fmt.Sprintf(
+				"request implies an estimated %.1f MiB of in-flight trace memory, above the per-request ceiling %.1f MiB; lower scale, frames, or apps",
+				float64(b)/(1<<20), float64(e.cfg.MaxRequestBytes)/(1<<20))}
+		}
 	}
 	return nil
 }
@@ -572,6 +698,7 @@ func (e *Engine) abandon(job *Job) {
 	e.flight.Add(telemetry.Event{Type: "cancelled", RunID: job.ID,
 		TraceID: traceID(job.run), Detail: "abandoned while queued"})
 	e.journalFinishLocked(job)
+	e.releaseLocked(job)
 	e.unprobeLocked(job)
 	if e.inflight[job.Key] == job {
 		// Unblock identical future requests immediately: they start a
@@ -646,6 +773,7 @@ func (e *Engine) worker() {
 		e.mu.Lock()
 		if job.status == StatusCancelled {
 			// Abandoned while queued: skip the run, finalize bookkeeping.
+			e.releaseLocked(job)
 			e.unprobeLocked(job)
 			e.pruneLocked(job.ID)
 			e.mu.Unlock()
@@ -710,6 +838,9 @@ func (e *Engine) worker() {
 			d := job.finished.Sub(job.started)
 			e.lat.record(d)
 			e.latHist.Observe(d.Seconds())
+			if e.cfg.SLO != nil {
+				e.cfg.SLO.Observe(job.Req.Experiment, d)
+			}
 			e.flight.Add(telemetry.Event{Type: "done", RunID: job.ID, TraceID: traceID(job.run),
 				Detail: fmt.Sprintf("%s in %s", job.Req.Experiment, d.Round(time.Millisecond))})
 		}
@@ -721,6 +852,7 @@ func (e *Engine) worker() {
 					TraceID: traceID(job.run), Detail: job.Req.Experiment})
 			}
 		}
+		e.releaseLocked(job)
 		e.journalFinishLocked(job)
 		e.persistTraceLocked(job)
 		e.maybeCompactLocked()
@@ -734,7 +866,18 @@ func (e *Engine) worker() {
 		// reaches its waiters immediately, the exact twin runs behind
 		// them. The twin is exact, so escalation cannot recurse.
 		if serr == nil && e.cfg.EscalateSampled && job.Req.Fidelity == harness.FidelitySampled {
-			e.escalateSampled(job)
+			if g := e.cfg.Governor; g != nil && g.Rung() >= membudget.RungSampled {
+				// Under memory pressure the exact twin is exactly the work
+				// the ladder is downgrading away; skip it. The next identical
+				// request after recovery escalates normally.
+				e.mu.Lock()
+				e.memEscSkipped++
+				e.flight.Add(telemetry.Event{Type: "escalate-skipped", RunID: job.ID,
+					TraceID: traceID(job.run), Detail: job.Req.Experiment + ": memory pressure"})
+				e.mu.Unlock()
+			} else {
+				e.escalateSampled(job)
+			}
 		}
 	}
 }
@@ -896,6 +1039,15 @@ type ReadyInfo struct {
 	QueueCapacity int    `json:"queue_capacity"`
 	Running       int    `json:"running"`
 	BreakersOpen  int    `json:"breakers_open"`
+
+	// Memory-governor state, present when the engine has one: the ladder
+	// rung (name and numeric level), current pressure fraction, and the
+	// byte limit. A coordinator reads these to route around a
+	// memory-saturated member exactly as it does a queue-saturated one.
+	MemRung       string  `json:"mem_rung,omitempty"`
+	MemRungLevel  int     `json:"mem_rung_level,omitempty"`
+	MemPressure   float64 `json:"mem_pressure,omitempty"`
+	MemLimitBytes int64   `json:"mem_limit_bytes,omitempty"`
 }
 
 // ReadinessInfo reports whether the engine should receive new work and
@@ -903,12 +1055,26 @@ type ReadyInfo struct {
 // high-water mark, or every known experiment breaker open. Liveness is
 // not readiness — a draining engine is alive but unready.
 func (e *Engine) ReadinessInfo() (bool, ReadyInfo) {
+	// Snapshot the governor before taking e.mu: its Snapshot reads the
+	// byte-source gauges, and the result-cache gauge nests under e.mu
+	// elsewhere — keep the order e.mu-free here.
+	var mem *membudget.Snapshot
+	if g := e.cfg.Governor; g != nil {
+		s := g.Snapshot()
+		mem = &s
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	info := ReadyInfo{
 		QueueDepth:    len(e.queue),
 		QueueCapacity: e.cfg.QueueDepth,
 		Draining:      e.closing,
+	}
+	if mem != nil {
+		info.MemRung = mem.Rung
+		info.MemRungLevel = mem.RungLevel
+		info.MemPressure = mem.Pressure
+		info.MemLimitBytes = mem.LimitBytes
 	}
 	for _, job := range e.jobs {
 		if job.status == StatusRunning {
@@ -928,6 +1094,10 @@ func (e *Engine) ReadinessInfo() (bool, ReadyInfo) {
 	switch {
 	case e.closing:
 		ready, reason = false, "draining"
+	case mem != nil && mem.RungLevel >= int(membudget.RungStaleOnly):
+		// Stale-only and shed refuse new simulations, so stop attracting
+		// them; shrink and sampled still serve and stay ready.
+		ready, reason = false, fmt.Sprintf("memory saturated (rung %s, pressure %.2f)", mem.Rung, mem.Pressure)
 	case info.QueueDepth >= e.cfg.ReadyHighWater:
 		ready, reason = false, fmt.Sprintf("queue saturated (%d/%d)", info.QueueDepth, e.cfg.QueueDepth)
 	case len(e.breakers) > 0 && info.BreakersOpen == len(e.breakers):

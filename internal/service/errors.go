@@ -98,3 +98,31 @@ func (e *CircuitOpenError) Error() string {
 	return fmt.Sprintf("service: circuit breaker open for experiment %q (retry after %s)",
 		e.Experiment, e.RetryAfter)
 }
+
+// MemoryPressureError refuses a submission because the memory governor's
+// degradation ladder has passed the point of accepting this request: at
+// the stale-only rung a request with no stale fallback fails with it
+// (HTTP 503), at the shed rung every non-cached request does (HTTP 429).
+// Both carry Retry-After of RetryAfter rounded up to whole seconds — the
+// ladder cannot step down faster than its hold-down period, so earlier
+// retries are wasted.
+type MemoryPressureError struct {
+	// Rung names the ladder rung that refused the request.
+	Rung string
+	// RetryAfter is the governor's hold-down period.
+	RetryAfter time.Duration
+	// StaleOnly marks the stale-only refusal (no stale result to serve),
+	// mapped to 503; false is the shed rung's flat refusal, mapped to 429.
+	StaleOnly bool
+}
+
+// Error implements error.
+func (e *MemoryPressureError) Error() string {
+	if e.StaleOnly {
+		return fmt.Sprintf(
+			"service: memory pressure (rung %s): serving cached results only and no stale result is available (retry after %s)",
+			e.Rung, e.RetryAfter)
+	}
+	return fmt.Sprintf("service: memory pressure (rung %s): shedding new work (retry after %s)",
+		e.Rung, e.RetryAfter)
+}

@@ -7,6 +7,7 @@ import (
 
 	"gspc/internal/durable"
 	"gspc/internal/harness"
+	"gspc/internal/membudget"
 	"gspc/internal/telemetry"
 	"gspc/internal/tracecache"
 )
@@ -122,6 +123,34 @@ type Metrics struct {
 	// counters let operators verify a restart recovered state (jobs
 	// restored, cache rehydrated) rather than silently rebuilt it.
 	Durable *DurableMetrics `json:"durable,omitempty"`
+
+	// Memory reports the memory governor's ladder state and the
+	// serving-path consequences (sheds, fidelity downgrades, stale-only
+	// serves); absent without a governor.
+	Memory *MemoryMetrics `json:"memory,omitempty"`
+
+	// SLO reports per-experiment latency-target tracking (measured
+	// p50/p99 against targets, breaches, error-budget burn); absent
+	// without an SLO tracker or before the first completed job.
+	SLO []telemetry.SLOReport `json:"slo,omitempty"`
+}
+
+// MemoryMetrics is the memory-governor section of /metricsz: the full
+// governor snapshot (pressure, rung, per-rung entry counts and
+// residency, heap high-water) plus this engine's ladder-driven serving
+// counters.
+type MemoryMetrics struct {
+	membudget.Snapshot
+	// Shed counts requests refused outright at the shed rung;
+	// Downgrades counts exact requests forced to sampled fidelity;
+	// StaleServed counts stale answers served because of the stale-only
+	// rung (disjoint from the breaker-driven stale_served counter);
+	// EscalationsSkipped counts background exact escalations suppressed
+	// under pressure.
+	Shed               int64 `json:"shed"`
+	Downgrades         int64 `json:"downgrades"`
+	StaleServed        int64 `json:"stale_served"`
+	EscalationsSkipped int64 `json:"escalations_skipped"`
 }
 
 // SamplingMetrics is the sampled-fidelity section of /metricsz.
@@ -166,8 +195,25 @@ type DurableMetrics struct {
 // insert with pre-completion engine counters (the cache has its own
 // lock and never takes e.mu, so the nested acquisition cannot cycle).
 func (e *Engine) Metrics() Metrics {
+	// Governor and SLO snapshots are taken before e.mu: both have their
+	// own locks, and the governor's byte-source gauges must never be read
+	// while this engine's mutex is held above them in another goroutine.
+	var memory *MemoryMetrics
+	if g := e.cfg.Governor; g != nil {
+		memory = &MemoryMetrics{Snapshot: g.Snapshot()}
+	}
+	var slo []telemetry.SLOReport
+	if e.cfg.SLO != nil {
+		slo = e.cfg.SLO.Report()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if memory != nil {
+		memory.Shed = e.memShed
+		memory.Downgrades = e.memDowngrades
+		memory.StaleServed = e.memStaleServed
+		memory.EscalationsSkipped = e.memEscSkipped
+	}
 	hits, misses, evictions := e.cache.counters()
 	p50, p95 := e.lat.percentiles()
 	var sampling *SamplingMetrics
@@ -242,5 +288,7 @@ func (e *Engine) Metrics() Metrics {
 		Stages:        e.stages.Timings(),
 		StagesProcess: harness.Timings(),
 		Durable:       durableMetrics,
+		Memory:        memory,
+		SLO:           slo,
 	}
 }

@@ -85,6 +85,46 @@ func (e *Engine) PromExposition() []byte {
 	x.Counter("gspc_dram_row_misses_total", "Simulated DRAM row-buffer misses (closed row).", float64(sim.DRAMRowMisses))
 	x.Counter("gspc_dram_row_conflicts_total", "Simulated DRAM row-buffer conflicts (open different row).", float64(sim.DRAMRowConflicts))
 
+	if mm := m.Memory; mm != nil {
+		x.Gauge("gspc_mem_limit_bytes", "Memory governor byte budget.", float64(mm.LimitBytes))
+		x.Gauge("gspc_mem_pressure", "Memory pressure: max(accounted, heap) / limit.", mm.Pressure)
+		x.Gauge("gspc_mem_heap_bytes", "Adjusted live heap at the last governor sample.", float64(mm.HeapBytes))
+		x.Gauge("gspc_mem_accounted_bytes", "Bytes accounted across registered sources plus in-flight reserves.", float64(mm.AccountedBytes))
+		x.Gauge("gspc_mem_inflight_bytes", "Reserved in-flight request bytes.", float64(mm.InflightBytes))
+		x.Gauge("gspc_mem_heap_high_water_bytes", "Largest adjusted heap ever sampled.", float64(mm.HeapHighWater))
+		x.Gauge("gspc_mem_rung", "Current degradation-ladder rung (0 healthy .. 4 shed).", float64(mm.RungLevel))
+		x.CounterVec("gspc_mem_rung_entries_total", "Arrivals at each degradation-ladder rung.",
+			"rung", mm.RungEntries)
+		secs := make(map[string]int64, len(mm.RungSeconds))
+		for rung, s := range mm.RungSeconds {
+			secs[rung] = int64(s)
+		}
+		x.CounterVec("gspc_mem_rung_seconds_total", "Wall-clock residency per degradation-ladder rung, in whole seconds.",
+			"rung", secs)
+		x.Counter("gspc_mem_shed_total", "Requests refused at the shed rung.", float64(mm.Shed))
+		x.Counter("gspc_mem_downgrades_total", "Exact requests forced to sampled fidelity by the ladder.", float64(mm.Downgrades))
+		x.Counter("gspc_mem_stale_served_total", "Stale answers served because of the stale-only rung.", float64(mm.StaleServed))
+		x.Counter("gspc_mem_escalations_skipped_total", "Background exact escalations suppressed under memory pressure.", float64(mm.EscalationsSkipped))
+	}
+
+	if len(m.SLO) > 0 {
+		obs := make(map[string]int64, len(m.SLO))
+		breaches := make(map[string]int64, len(m.SLO))
+		worst := 0.0
+		for _, r := range m.SLO {
+			obs[r.Experiment] = r.Observations
+			breaches[r.Experiment] = r.Breaches
+			if r.BurnRate > worst {
+				worst = r.BurnRate
+			}
+		}
+		x.CounterVec("gspc_slo_observations_total", "Completed jobs observed against the latency SLO, per experiment.",
+			"experiment", obs)
+		x.CounterVec("gspc_slo_breaches_total", "Completed jobs over their p99 latency target, per experiment.",
+			"experiment", breaches)
+		x.Gauge("gspc_slo_worst_burn", "Highest per-experiment error-budget burn rate (1.0 = budget exactly spent).", worst)
+	}
+
 	if d := m.Durable; d != nil {
 		// Journal lag: records appended since the last compaction — the
 		// replay debt a crash right now would owe at the next boot.

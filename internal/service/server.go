@@ -242,6 +242,9 @@ func (s *Server) handleRunAsync(w http.ResponseWriter, req Request) {
 		s.writeReply(w, http.StatusOK, rep)
 		return
 	}
+	if job.Downgraded {
+		w.Header().Set("X-Gspc-Fidelity-Downgraded", "memory")
+	}
 	w.Header().Set("Location", "/v1/runs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID, "status": string(StatusQueued)})
 }
@@ -270,6 +273,11 @@ func (s *Server) writeReply(w http.ResponseWriter, code int, rep *Reply) {
 		disposition = "coalesced"
 	}
 	h.Set("X-Gspc-Cache", disposition)
+	if rep.Downgraded {
+		// The memory governor forced this request from exact to sampled
+		// fidelity; the body carries Result.Sampling with the error bound.
+		h.Set("X-Gspc-Fidelity-Downgraded", "memory")
+	}
 	h.Set("X-Gspc-Run", rep.RunID)
 	h.Set("X-Gspc-Duration-Ms", strconv.FormatFloat(float64(rep.Duration)/float64(time.Millisecond), 'f', 3, 64))
 	w.WriteHeader(code)
@@ -309,6 +317,7 @@ func (s *Server) writeEngineErrorNoCtx(w http.ResponseWriter, err error) {
 	var bad *BadRequestError
 	var typed *Error
 	var open *CircuitOpenError
+	var memp *MemoryPressureError
 	switch {
 	case errors.As(err, &bad):
 		writeErrorCategory(w, http.StatusBadRequest, CategoryInvalid, bad.Reason)
@@ -319,6 +328,21 @@ func (s *Server) writeEngineErrorNoCtx(w http.ResponseWriter, err error) {
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.As(err, &memp):
+		// Memory-ladder refusals: stale-only (a degraded node that would
+		// have served stale but has nothing remembered) maps to 503 like
+		// other degraded-unavailable states; shed maps to 429 like queue
+		// backpressure. Both tell the client when retrying can first help.
+		secs := int(math.Ceil(memp.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		if memp.StaleOnly {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		} else {
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		}
 	case errors.As(err, &typed):
 		writeErrorCategory(w, statusFor(typed.Category), typed.Category, typed.Message)
 	case errors.Is(err, ErrQueueFull):

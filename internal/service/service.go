@@ -15,6 +15,8 @@ import (
 	"strings"
 
 	"gspc/internal/harness"
+	"gspc/internal/stream"
+	"gspc/internal/trace"
 	"gspc/internal/workload"
 )
 
@@ -168,6 +170,42 @@ func (r Request) ExactTwin() Request {
 	r.SampleRatio = 0
 	r.SampleSeed = 0
 	return r
+}
+
+// SampledTwin returns the sampled-fidelity request answering the same
+// question as r at an eighth of the work — what the memory governor's
+// ladder downgrades admissions to under pressure. Sampling knobs are
+// reset to the harness defaults (re-normalizing fills them in), so every
+// downgraded spelling of a computation lands on one cache key. The twin
+// of a sampled request is itself.
+func (r Request) SampledTwin() Request {
+	if r.Fidelity == harness.FidelitySampled {
+		return r
+	}
+	r.Fidelity = harness.FidelitySampled
+	r.SampleRatio = 0
+	r.SampleSeed = 0
+	// r was already normalized; switching fidelity on a valid request
+	// cannot make it invalid, so the error is structurally nil.
+	r, _ = r.Normalize()
+	return r
+}
+
+// EstimateRequestBytes estimates the peak in-flight memory a request
+// holds while running: the packed trace records of every selected frame
+// (EstimateAccesses × the 9-byte packed record), discounted 8× for
+// sampled fidelity to mirror the work discount admission already
+// applies. It is the figure the governor reserves at admission and the
+// MaxRequestBytes ceiling compares against.
+func EstimateRequestBytes(r Request) int64 {
+	var total int64
+	for _, job := range r.Options().Jobs() {
+		total += int64(trace.EstimateAccesses(job, r.Scale)) * stream.RecordBytes
+	}
+	if r.Fidelity == harness.FidelitySampled {
+		total /= 8
+	}
+	return total
 }
 
 // ExperimentInfo describes one runnable experiment for GET /v1/experiments.

@@ -62,6 +62,11 @@ func (w Window) At(i int) Access { return w.Src.At(w.Lo + i) }
 // about 2.7x.
 const traceRecordBytes = 9
 
+// RecordBytes is the packed per-record footprint, exported so admission
+// control can estimate a request's in-flight trace memory as
+// EstimateAccesses × RecordBytes before any trace is synthesized.
+const RecordBytes = traceRecordBytes
+
 // Trace is a packed access trace: structure-of-arrays with one uint64
 // address and one meta byte per record, and Seq implicit in the record
 // index. It is append-only while being built and safe for any number of

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLOTarget is one experiment's latency objective: the p50 and p99 the
+// service promises. A zero field means "no target at that quantile" —
+// only P99 drives breach accounting; P50 is reported for comparison.
+type SLOTarget struct {
+	P50 time.Duration
+	P99 time.Duration
+}
+
+// defaultSLOWindow bounds the per-experiment latency ring measured
+// quantiles are computed over.
+const defaultSLOWindow = 512
+
+// SLOTracker tracks per-experiment completed-job latencies against
+// targets and accounts error-budget burn: with objective o (e.g. 0.99,
+// "99% of jobs under their p99 target"), the error budget over n
+// observations is n×(1−o) breaches, and the burn rate is
+// breaches / budget — 1.0 means the budget is exactly spent, above it
+// the SLO is being violated.
+type SLOTracker struct {
+	mu        sync.Mutex
+	def       SLOTarget
+	objective float64
+	window    int
+	targets   map[string]SLOTarget
+	series    map[string]*sloSeries
+}
+
+// sloSeries is one experiment's rolling latency window plus lifetime
+// breach counters (counters never roll: burn is cumulative).
+type sloSeries struct {
+	ring     []float64 // milliseconds
+	n        int       // total recorded
+	breaches int64
+}
+
+// NewSLOTracker builds a tracker. def is the target applied to
+// experiments without an explicit SetTarget; objective defaults to 0.99
+// when out of (0, 1); window is the measured-quantile ring size
+// (0 = 512).
+func NewSLOTracker(def SLOTarget, objective float64, window int) *SLOTracker {
+	if objective <= 0 || objective >= 1 {
+		objective = 0.99
+	}
+	if window <= 0 {
+		window = defaultSLOWindow
+	}
+	return &SLOTracker{
+		def:       def,
+		objective: objective,
+		window:    window,
+		targets:   map[string]SLOTarget{},
+		series:    map[string]*sloSeries{},
+	}
+}
+
+// SetTarget overrides the default target for one experiment.
+func (t *SLOTracker) SetTarget(experiment string, target SLOTarget) {
+	t.mu.Lock()
+	t.targets[experiment] = target
+	t.mu.Unlock()
+}
+
+// Observe records one completed job's latency. A breach is a latency
+// above the experiment's p99 target (when one is set).
+func (t *SLOTracker) Observe(experiment string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.series[experiment]
+	if !ok {
+		s = &sloSeries{ring: make([]float64, t.window)}
+		t.series[experiment] = s
+	}
+	s.ring[s.n%t.window] = float64(d) / float64(time.Millisecond)
+	s.n++
+	target := t.targetLocked(experiment)
+	if target.P99 > 0 && d > target.P99 {
+		s.breaches++
+	}
+}
+
+func (t *SLOTracker) targetLocked(experiment string) SLOTarget {
+	if target, ok := t.targets[experiment]; ok {
+		return target
+	}
+	return t.def
+}
+
+// SLOReport is one experiment's SLO accounting for /metricsz and the
+// soak summary.
+type SLOReport struct {
+	Experiment  string  `json:"experiment"`
+	TargetP50Ms float64 `json:"target_p50_ms,omitempty"`
+	TargetP99Ms float64 `json:"target_p99_ms,omitempty"`
+	// Measured quantiles over the rolling window.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// Lifetime counters and the cumulative error-budget burn rate:
+	// breaches / (observations × (1 − objective)).
+	Observations int64   `json:"observations"`
+	Breaches     int64   `json:"breaches"`
+	BurnRate     float64 `json:"burn_rate"`
+}
+
+// Report returns the per-experiment accounting, sorted by experiment id.
+func (t *SLOTracker) Report() []SLOReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SLOReport, 0, len(t.series))
+	for exp, s := range t.series {
+		target := t.targetLocked(exp)
+		count := s.n
+		if count > t.window {
+			count = t.window
+		}
+		sorted := make([]float64, count)
+		copy(sorted, s.ring[:count])
+		sort.Float64s(sorted)
+		budget := float64(s.n) * (1 - t.objective)
+		burn := 0.0
+		if s.breaches > 0 {
+			burn = float64(s.breaches) / math.Max(budget, 1)
+		}
+		out = append(out, SLOReport{
+			Experiment:   exp,
+			TargetP50Ms:  float64(target.P50) / float64(time.Millisecond),
+			TargetP99Ms:  float64(target.P99) / float64(time.Millisecond),
+			P50Ms:        sloQuantile(sorted, 0.50),
+			P99Ms:        sloQuantile(sorted, 0.99),
+			Observations: int64(s.n),
+			Breaches:     s.breaches,
+			BurnRate:     burn,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Experiment < out[j].Experiment })
+	return out
+}
+
+// WorstBurn returns the highest per-experiment burn rate, 0 when
+// nothing has been observed — the single scalar a soak asserts on.
+func (t *SLOTracker) WorstBurn() float64 {
+	worst := 0.0
+	for _, r := range t.Report() {
+		if r.BurnRate > worst {
+			worst = r.BurnRate
+		}
+	}
+	return worst
+}
+
+// sloQuantile is the linear-interpolation quantile of sorted s.
+func sloQuantile(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	r := q * float64(len(s)-1)
+	lo := int(math.Floor(r))
+	hi := int(math.Ceil(r))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := r - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

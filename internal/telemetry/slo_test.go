@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSLOTrackerBreachAndBurn(t *testing.T) {
+	tr := NewSLOTracker(SLOTarget{P50: 50 * time.Millisecond, P99: 100 * time.Millisecond}, 0.99, 0)
+
+	// 98 fast observations, 2 breaches: budget = 100 × 0.01 = 1, so
+	// burn = 2/1 = 2.0 — the SLO is being violated.
+	for i := 0; i < 98; i++ {
+		tr.Observe("fig12", 10*time.Millisecond)
+	}
+	tr.Observe("fig12", 150*time.Millisecond)
+	tr.Observe("fig12", 200*time.Millisecond)
+
+	reps := tr.Report()
+	if len(reps) != 1 {
+		t.Fatalf("Report returned %d series, want 1", len(reps))
+	}
+	r := reps[0]
+	if r.Experiment != "fig12" || r.Observations != 100 || r.Breaches != 2 {
+		t.Fatalf("report %+v, want fig12 with 100 obs / 2 breaches", r)
+	}
+	if math.Abs(r.BurnRate-2.0) > 1e-9 {
+		t.Errorf("burn rate = %v, want 2.0", r.BurnRate)
+	}
+	if got := tr.WorstBurn(); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("WorstBurn = %v, want 2.0", got)
+	}
+	if r.TargetP50Ms != 50 || r.TargetP99Ms != 100 {
+		t.Errorf("targets = %v/%v ms, want 50/100", r.TargetP50Ms, r.TargetP99Ms)
+	}
+	if r.P50Ms != 10 {
+		t.Errorf("measured p50 = %v ms, want 10", r.P50Ms)
+	}
+	if r.P99Ms < 100 {
+		t.Errorf("measured p99 = %v ms should reflect the slow tail", r.P99Ms)
+	}
+}
+
+func TestSLOTrackerBudgetFloorAndZeroTarget(t *testing.T) {
+	// With few observations the budget floors at 1 breach, so a single
+	// breach burns exactly the whole budget, not a huge multiple.
+	tr := NewSLOTracker(SLOTarget{P99: 10 * time.Millisecond}, 0.99, 0)
+	tr.Observe("fig12", 50*time.Millisecond)
+	if got := tr.WorstBurn(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("single-breach burn = %v, want 1.0 (floored budget)", got)
+	}
+
+	// A zero P99 target records latencies but never breaches.
+	tr2 := NewSLOTracker(SLOTarget{}, 0.99, 0)
+	tr2.Observe("fig15", time.Hour)
+	r := tr2.Report()[0]
+	if r.Breaches != 0 || r.BurnRate != 0 {
+		t.Errorf("targetless series breached: %+v", r)
+	}
+	if r.Observations != 1 || r.P99Ms == 0 {
+		t.Errorf("targetless series not measured: %+v", r)
+	}
+}
+
+func TestSLOTrackerSetTargetAndWindow(t *testing.T) {
+	tr := NewSLOTracker(SLOTarget{P99: time.Second}, 0.9, 4)
+	tr.SetTarget("strict", SLOTarget{P99: time.Millisecond})
+
+	// The same latency breaches only under the per-experiment override.
+	tr.Observe("strict", 10*time.Millisecond)
+	tr.Observe("lax", 10*time.Millisecond)
+
+	reps := tr.Report()
+	if len(reps) != 2 {
+		t.Fatalf("Report returned %d series, want 2", len(reps))
+	}
+	byName := map[string]SLOReport{}
+	for _, r := range reps {
+		byName[r.Experiment] = r
+	}
+	if byName["strict"].Breaches != 1 {
+		t.Errorf("strict target did not breach: %+v", byName["strict"])
+	}
+	if byName["lax"].Breaches != 0 {
+		t.Errorf("default target breached: %+v", byName["lax"])
+	}
+
+	// The quantile window rolls: after 4 more fast observations the
+	// early slow sample ages out of the measured p99, while lifetime
+	// counters keep the breach.
+	for i := 0; i < 4; i++ {
+		tr.Observe("strict", 100*time.Microsecond)
+	}
+	r := byNameReport(t, tr, "strict")
+	if r.P99Ms >= 10 {
+		t.Errorf("rolled-out slow sample still in window p99: %v ms", r.P99Ms)
+	}
+	if r.Breaches != 1 || r.Observations != 5 {
+		t.Errorf("lifetime counters lost history: %+v", r)
+	}
+}
+
+func byNameReport(t *testing.T, tr *SLOTracker, exp string) SLOReport {
+	t.Helper()
+	for _, r := range tr.Report() {
+		if r.Experiment == exp {
+			return r
+		}
+	}
+	t.Fatalf("no report for %s", exp)
+	return SLOReport{}
+}
+
+func TestSLOQuantileInterpolation(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if got := sloQuantile(s, 0.5); got != 2.5 {
+		t.Errorf("q50 of 1..4 = %v, want 2.5", got)
+	}
+	if got := sloQuantile(s, 0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := sloQuantile(s, 1); got != 4 {
+		t.Errorf("q100 = %v, want 4", got)
+	}
+	if got := sloQuantile(nil, 0.99); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
