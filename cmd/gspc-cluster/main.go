@@ -11,6 +11,8 @@
 //	             [-health-interval 2s] [-health-timeout 1s] [-dead-after 2]
 //	             [-dead-after-timeout 3] [-forward-timeout 2m]
 //	             [-hedge-delay 500ms] [-max-inflight 256]
+//	             [-flight-events 256] [-event-log 1024]
+//	             [-event-log-file events.ndjson] [-federate=true]
 //	             [-name gspc-cluster] [-log-format text|json] [-version]
 //	             -member gspc-1=http://127.0.0.1:8081
 //	             -member gspc-2=http://127.0.0.2:8082 ...
@@ -33,6 +35,14 @@
 // The coordinator serves the same client surface as one gspcd (POST
 // /v1/runs, GET /v1/runs/{id}, ...) plus the /v1/cluster admin section;
 // see internal/cluster.Server for the route list.
+//
+// Observability knobs: -flight-events sizes the /debugz flight
+// recorder ring; -event-log sizes the /v1/cluster/events timeline ring
+// and -event-log-file makes it durable (NDJSON, replayed on restart);
+// -federate=false withdraws /metrics/federate (member scraping still
+// runs for /debugz freshness). Stitched traces are always on: GET
+// /v1/runs/{id}/trace merges coordinator and member spans into one
+// clock-corrected Perfetto document.
 //
 // SIGINT/SIGTERM stop health checking and close the listener.
 package main
@@ -105,6 +115,10 @@ func run(args []string, stderr io.Writer) int {
 	forwardTimeout := fs.Duration("forward-timeout", 0, "per-forward exchange bound (default 2m, negative disables)")
 	hedgeDelay := fs.Duration("hedge-delay", 0, "wait on a slow owner before probing replicas for a cached copy (default 500ms, negative disables)")
 	maxInflight := fs.Int("max-inflight", 0, "concurrent forwards per member before shedding 503s (default 256)")
+	flightEvents := fs.Int("flight-events", 0, "flight-recorder ring size for /debugz (default 256)")
+	eventLog := fs.Int("event-log", 0, "cluster event timeline ring size for /v1/cluster/events (default 1024)")
+	eventLogFile := fs.String("event-log-file", "", "persist timeline events to this NDJSON file (replayed on restart)")
+	federate := fs.Bool("federate", true, "serve the merged member metrics union at /metrics/federate")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	version := fs.Bool("version", false, "print build information and exit")
 	if err := fs.Parse(args); err != nil {
@@ -127,6 +141,8 @@ func run(args []string, stderr io.Writer) int {
 		HealthTimeout: *healthTimeout, DeadAfter: *deadAfter,
 		DeadAfterTimeout: *deadAfterTimeout, ForwardTimeout: *forwardTimeout,
 		HedgeDelay: *hedgeDelay, MaxInflight: *maxInflight, Logger: logger,
+		FlightEvents: *flightEvents, EventLogSize: *eventLog,
+		EventLogPath: *eventLogFile, DisableFederation: !*federate,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "gspc-cluster:", err)

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gspc/internal/service"
 	"gspc/internal/telemetry"
 )
 
@@ -86,6 +87,22 @@ type Config struct {
 	Client *http.Client
 	// Logger sinks coordinator operational logs. Default slog.Default().
 	Logger *slog.Logger
+	// FlightEvents sizes the coordinator's /debugz flight-recorder ring
+	// of recent routing decisions. Default telemetry.DefaultFlightEvents;
+	// negative disables the recorder.
+	FlightEvents int
+	// EventLogSize sizes the cluster event timeline ring
+	// (/v1/cluster/events). Default telemetry.DefaultEventLogSize;
+	// negative disables the timeline.
+	EventLogSize int
+	// EventLogPath, when set, makes the event timeline durable: events
+	// append to this NDJSON file (bounded by compaction) and the cursor
+	// resumes across coordinator restarts.
+	EventLogPath string
+	// DisableFederation turns off member /metrics scraping and the
+	// /metrics/federate surface. Federation is on by default: one scrape
+	// per member per health interval.
+	DisableFederation bool
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +162,18 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.FlightEvents == 0 {
+		c.FlightEvents = telemetry.DefaultFlightEvents
+	}
+	if c.FlightEvents < 0 {
+		c.FlightEvents = 0
+	}
+	if c.EventLogSize == 0 {
+		c.EventLogSize = telemetry.DefaultEventLogSize
+	}
+	if c.EventLogSize < 0 {
+		c.EventLogSize = 0
+	}
 	return c
 }
 
@@ -183,6 +212,7 @@ type Coordinator struct {
 
 	mu      sync.Mutex
 	ring    *Ring
+	gen     int64 // ring generation, bumped on every rebuild
 	flights map[string]*flight
 
 	stop      chan struct{}
@@ -190,6 +220,20 @@ type Coordinator struct {
 	wg        sync.WaitGroup
 
 	start time.Time
+
+	// Observability plane. flight is the /debugz ring of recent routing
+	// decisions; events the typed cluster timeline (/v1/cluster/events);
+	// traces the bounded registry of coordinator-side runs keyed by
+	// qualified run id, consulted when stitching /v1/runs/{id}/trace.
+	flight *telemetry.Flight
+	events *telemetry.EventLog
+	traces *traceRegistry
+	// spanSeq mints process-unique parent-span tokens propagated as
+	// X-Gspc-Parent-Span on every forward.
+	spanSeq atomic.Int64
+	// fwdHist times forward exchanges per outcome class; the key set is
+	// fixed at construction so exposition cardinality is bounded.
+	fwdHist map[string]*telemetry.Histogram
 
 	// Counters. Per-node vectors feed the gspc_cluster_* /metrics
 	// families; scalars are atomics so the forward hot path never takes
@@ -212,7 +256,39 @@ type Coordinator struct {
 	inflightRejects atomic.Int64
 	hedges          atomic.Int64
 	hedgeWins       atomic.Int64
+	tracesStitched  atomic.Int64
+	traceFallbacks  atomic.Int64
+	federateScrapes atomic.Int64
+	federateErrs    atomic.Int64
 }
+
+// Forward outcome classes: the label set of
+// gspc_cluster_forward_duration_seconds and the "outcome" attribute on
+// forward spans and correlated log lines. Closed by construction.
+const (
+	outcomeOK       = "ok"
+	outcomeTimeout  = "timeout"
+	outcomeRefused  = "refused"
+	outcomeBusy     = "busy"
+	outcomeHedgeWon = "hedge-won"
+)
+
+// outcomeClass maps a failed exchange to its outcome label.
+func outcomeClass(err error) string {
+	switch {
+	case errors.Is(err, ErrMemberBusy):
+		return outcomeBusy
+	case timeoutClass(err):
+		return outcomeTimeout
+	default:
+		return outcomeRefused
+	}
+}
+
+// forwardDurationBounds buckets the forward-path latency histogram:
+// sub-millisecond cache probes through multi-minute simulations
+// (ForwardTimeout defaults to 2m).
+var forwardDurationBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.25, 0.5, 1, 2.5, 10, 30, 120}
 
 // New builds a coordinator over the given members. Call Start to begin
 // health checking and Close to stop. The member set must be non-empty
@@ -249,8 +325,30 @@ func New(cfg Config) (*Coordinator, error) {
 		forwards:       telemetry.NewCounterVec(),
 		forwardErrors:  telemetry.NewCounterVec(),
 		replicasByNode: telemetry.NewCounterVec(),
+		traces:         newTraceRegistry(traceRegistryCap),
+		fwdHist: map[string]*telemetry.Histogram{
+			outcomeOK:       telemetry.NewHistogram(forwardDurationBounds...),
+			outcomeTimeout:  telemetry.NewHistogram(forwardDurationBounds...),
+			outcomeRefused:  telemetry.NewHistogram(forwardDurationBounds...),
+			outcomeBusy:     telemetry.NewHistogram(forwardDurationBounds...),
+			outcomeHedgeWon: telemetry.NewHistogram(forwardDurationBounds...),
+		},
+	}
+	if cfg.FlightEvents > 0 {
+		c.flight = telemetry.NewFlight(cfg.FlightEvents)
+	}
+	if cfg.EventLogSize > 0 {
+		events, err := telemetry.NewEventLog(cfg.EventLogSize, cfg.EventLogPath)
+		if err != nil {
+			// A broken durability path degrades to a memory-only timeline
+			// rather than refusing to coordinate.
+			cfg.Logger.Warn("cluster event log durability disabled",
+				"coordinator", cfg.Name, "path", cfg.EventLogPath, "err", err)
+		}
+		c.events = events
 	}
 	c.ring = NewRing(cfg.Vnodes, names...)
+	c.gen = 1
 	return c, nil
 }
 
@@ -278,6 +376,7 @@ func (c *Coordinator) Start() {
 func (c *Coordinator) Close() {
 	c.closeOnce.Do(func() { close(c.stop) })
 	c.wg.Wait()
+	c.events.Close()
 }
 
 // CheckNow sweeps every member's /readyz once, synchronously, and
@@ -287,16 +386,92 @@ func (c *Coordinator) CheckNow() {
 	changed := false
 	for _, name := range c.names {
 		m := c.members[name]
+		before := m.snapshot()
 		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
 		ready, info, err := checkMember(ctx, c.client, m)
 		cancel()
 		if m.applyCheck(ready, info, err, c.cfg.DeadAfter, c.cfg.DeadAfterTimeout) {
 			changed = true
 		}
+		c.recordTransition(before, m.snapshot())
+		if !c.cfg.DisableFederation {
+			c.scrapeMember(m)
+		}
 	}
 	if changed {
 		c.rebuildRing()
 	}
+}
+
+// recordTransition diffs two member snapshots around a health check and
+// records the observed state and mem-rung transitions on the cluster
+// timeline.
+func (c *Coordinator) recordTransition(before, after MemberStatus) {
+	if c.events == nil {
+		return
+	}
+	name := after.Name
+	if before.State != after.State {
+		switch {
+		case after.State == StateDead:
+			c.events.Add(telemetry.EventMemberDead, name, "health check: "+after.LastError)
+		case before.State == StateDead:
+			c.events.Add(telemetry.EventMemberRevived, name, "health check succeeded")
+			if after.State == StateDraining {
+				c.events.Add(telemetry.EventDrainStart, name, "self-reported via /readyz")
+			}
+		case after.State == StateSuspect:
+			c.events.Add(telemetry.EventMemberSuspected, name, "health check: "+after.LastError)
+		case after.State == StateDraining:
+			c.events.Add(telemetry.EventDrainStart, name, "self-reported via /readyz")
+		case before.State == StateDraining:
+			c.events.Add(telemetry.EventDrainEnd, name, "")
+		case before.State == StateSuspect && after.State == StateAlive:
+			c.events.Add(telemetry.EventMemberVindicated, name, "health check succeeded")
+		}
+	}
+	if before.ReadyInfo.MemRungLevel != after.ReadyInfo.MemRungLevel {
+		c.events.Add(telemetry.EventMemRungChange, name, fmt.Sprintf("rung %d -> %d (%s)",
+			before.ReadyInfo.MemRungLevel, after.ReadyInfo.MemRungLevel, after.ReadyInfo.MemRung))
+	}
+}
+
+// maxFederateBytes bounds one member /metrics scrape body.
+const maxFederateBytes = 4 << 20
+
+// scrapeMember pulls the member's /metrics for federation. Scrapes ride
+// the health cadence and use the health budget; failures are recorded
+// (age and ok-ness show in the federated meta series) but contribute no
+// strikes — the /readyz check is the health signal, a slow exposition
+// render is not.
+func (c *Coordinator) scrapeMember(m *Member) {
+	if !m.queryable() {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.Spec.URL+"/metrics", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.federateErrs.Add(1)
+		m.setScrape(nil, err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFederateBytes))
+	if err == nil && resp.StatusCode != http.StatusOK {
+		err = fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	if err != nil {
+		c.federateErrs.Add(1)
+		m.setScrape(nil, err)
+		return
+	}
+	c.federateScrapes.Add(1)
+	m.setScrape(body, nil)
 }
 
 // rebuildRing recomputes the ring from the currently routable members.
@@ -312,10 +487,14 @@ func (c *Coordinator) rebuildRing() {
 	ring := NewRing(c.cfg.Vnodes, routable...)
 	c.mu.Lock()
 	c.ring = ring
+	c.gen++
+	gen := c.gen
 	c.mu.Unlock()
 	c.rebalances.Add(1)
+	c.events.Add(telemetry.EventRingSwap, "",
+		fmt.Sprintf("generation %d, %d/%d members routable", gen, len(routable), len(c.names)))
 	c.cfg.Logger.Info("cluster ring rebuilt", "coordinator", c.cfg.Name,
-		"routable", len(routable), "members", len(c.names))
+		"generation", gen, "routable", len(routable), "members", len(c.names))
 }
 
 // currentRing returns the routing ring.
@@ -323,6 +502,13 @@ func (c *Coordinator) currentRing() *Ring {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ring
+}
+
+// ringState returns the routing ring together with its generation.
+func (c *Coordinator) ringState() (*Ring, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring, c.gen
 }
 
 // candidates lists members to try for key, in order: the owner, then
@@ -370,6 +556,7 @@ func (c *Coordinator) Drain(name string) bool {
 		return false
 	}
 	if m.setAdminDrain(true) {
+		c.events.Add(telemetry.EventDrainStart, name, "admin API")
 		c.rebuildRing()
 	}
 	return true
@@ -382,6 +569,7 @@ func (c *Coordinator) Undrain(name string) bool {
 		return false
 	}
 	if m.setAdminDrain(false) {
+		c.events.Add(telemetry.EventDrainEnd, name, "admin API")
 		c.rebuildRing()
 	}
 	return true
@@ -393,10 +581,25 @@ func (c *Coordinator) Undrain(name string) bool {
 // relayed as-is. Each exchange is bounded by ForwardTimeout and claims
 // one of the member's MaxInflight slots; any completed exchange (even a
 // 5xx — the transport worked) clears the member's strikes.
+//
+// When ctx carries a telemetry.Run, the exchange records a per-attempt
+// "forward" span (outcome class, status, span_id) and propagates the
+// trace downstream as X-Gspc-Trace-Id/X-Gspc-Parent-Span, the parent
+// token being this attempt's span_id — the member's engine adopts both,
+// so the stitched trace hangs the member lane under this attempt.
+// Timestamp echoes on the response feed the member's clock-offset
+// estimator, and every exchange lands in the per-outcome forward
+// duration histogram.
 func (c *Coordinator) forward(ctx context.Context, m *Member, method, pathAndQuery string, body []byte, hdr map[string]string) (*fwdResult, error) {
+	run := telemetry.FromContext(ctx)
 	if max := c.cfg.MaxInflight; max > 0 {
 		if !m.acquire(int64(max)) {
 			c.inflightRejects.Add(1)
+			c.fwdHist[outcomeBusy].Observe(0)
+			now := time.Now()
+			run.Record("forward", "cluster", now, now,
+				telemetry.String("node", m.Spec.Name),
+				telemetry.String("outcome", outcomeBusy))
 			return nil, fmt.Errorf("%w: %s", ErrMemberBusy, m.Spec.Name)
 		}
 		defer m.release()
@@ -416,23 +619,58 @@ func (c *Coordinator) forward(ctx context.Context, m *Member, method, pathAndQue
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("X-Gspc-Coordinator", c.cfg.Name)
+	var sp *telemetry.Span
+	if run != nil {
+		tok := fmt.Sprintf("%s/f%d", run.TraceID, c.spanSeq.Add(1))
+		req.Header.Set(service.HeaderTraceID, run.TraceID)
+		req.Header.Set(service.HeaderParentSpan, tok)
+		sp = run.Start("forward", "cluster",
+			telemetry.String("node", m.Spec.Name),
+			telemetry.String("method", method),
+			telemetry.String("span_id", tok))
+	}
 	for k, v := range hdr {
 		req.Header.Set(k, v)
 	}
+	t0 := time.Now()
 	resp, err := c.client.Do(req)
 	if err != nil {
+		class := outcomeClass(err)
+		c.fwdHist[class].Observe(time.Since(t0).Seconds())
+		sp.Attr(telemetry.String("outcome", class)).End()
 		c.forwardErrors.Add(m.Spec.Name, 1)
 		return nil, err
 	}
+	t3 := time.Now()
+	sampleClock(m, t0, t3, resp.Header)
 	defer resp.Body.Close()
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
+		class := outcomeClass(err)
+		c.fwdHist[class].Observe(time.Since(t0).Seconds())
+		sp.Attr(telemetry.String("outcome", class)).End()
 		c.forwardErrors.Add(m.Spec.Name, 1)
 		return nil, err
 	}
+	c.fwdHist[outcomeOK].Observe(time.Since(t0).Seconds())
+	sp.Attr(telemetry.String("outcome", outcomeOK),
+		telemetry.Int("status", int64(resp.StatusCode))).End()
 	c.forwards.Add(m.Spec.Name, 1)
-	m.clearStrikes()
+	if m.clearStrikes() {
+		c.events.Add(telemetry.EventMemberVindicated, m.Spec.Name, "forward succeeded")
+		c.cfg.Logger.Info("member vindicated by successful forward",
+			"coordinator", c.cfg.Name, "node", m.Spec.Name,
+			"trace_id", traceIDOf(run), "outcome", outcomeOK)
+	}
 	return &fwdResult{status: resp.StatusCode, header: resp.Header, body: b, member: m}, nil
+}
+
+// traceIDOf extracts a possibly-nil run's trace id for log correlation.
+func traceIDOf(run *telemetry.Run) string {
+	if run == nil {
+		return ""
+	}
+	return run.TraceID
 }
 
 // failMember folds one transport-level forward failure into the
@@ -440,7 +678,9 @@ func (c *Coordinator) forward(ctx context.Context, m *Member, method, pathAndQue
 // on the ring — one dropped packet must not eject a healthy owner);
 // crossing a strike limit kills it and routes around. Backpressure
 // rejections and caller cancellations are not evidence and are skipped.
-func (c *Coordinator) failMember(m *Member, err error) {
+// The ctx correlates the log lines and timeline events with the
+// distributed trace of the request that observed the failure.
+func (c *Coordinator) failMember(ctx context.Context, m *Member, err error) {
 	if errors.Is(err, ErrMemberBusy) || errors.Is(err, context.Canceled) {
 		return
 	}
@@ -450,16 +690,22 @@ func (c *Coordinator) failMember(m *Member, err error) {
 	} else {
 		c.forwardRefusals.Add(1)
 	}
+	class := outcomeClass(err)
+	traceID := traceIDOf(telemetry.FromContext(ctx))
+	c.flight.Add(telemetry.Event{Type: "forward-failed", TraceID: traceID,
+		Detail: m.Spec.Name + " " + class + ": " + err.Error()})
 	suspected, died := m.strike(timeout, err, c.cfg.DeadAfter, c.cfg.DeadAfterTimeout)
 	if suspected {
+		c.events.Add(telemetry.EventMemberSuspected, m.Spec.Name, "failed forward ("+class+"): "+err.Error())
 		c.cfg.Logger.Warn("member suspected after failed forward",
-			"coordinator", c.cfg.Name, "member", m.Spec.Name,
-			"timeout", timeout, "err", err)
+			"coordinator", c.cfg.Name, "node", m.Spec.Name,
+			"trace_id", traceID, "outcome", class, "err", err)
 	}
 	if died {
+		c.events.Add(telemetry.EventMemberDead, m.Spec.Name, "failed forward ("+class+"): "+err.Error())
 		c.cfg.Logger.Warn("member marked dead after failed forward",
-			"coordinator", c.cfg.Name, "member", m.Spec.Name,
-			"timeout", timeout, "err", err)
+			"coordinator", c.cfg.Name, "node", m.Spec.Name,
+			"trace_id", traceID, "outcome", class, "err", err)
 		c.rebuildRing()
 	}
 }
@@ -470,11 +716,30 @@ func (c *Coordinator) failMember(m *Member, err error) {
 // returned result may be any HTTP status — a member's 4xx/5xx is its
 // answer and propagates to the client untouched.
 func (c *Coordinator) forwardRun(ctx context.Context, key string, rawQuery string, body []byte) (*fwdResult, error) {
+	run := telemetry.FromContext(ctx)
+	_, gen := c.ringState()
 	cands := c.candidates(key)
 	if len(cands) == 0 {
 		c.noMemberErrs.Add(1)
 		return nil, ErrNoMembers
 	}
+	// The route decision and the health state it was made under, as
+	// zero-length marker spans on the coordinator lane.
+	if run != nil {
+		now := time.Now()
+		run.Record("route", "cluster", now, now,
+			telemetry.String("key", key),
+			telemetry.String("owner", cands[0].Spec.Name),
+			telemetry.Int("ring_generation", gen),
+			telemetry.Int("candidates", int64(len(cands))))
+		attrs := make([]telemetry.Attr, 0, len(c.names))
+		for _, st := range c.Members() {
+			attrs = append(attrs, telemetry.String(st.Name, string(st.State)))
+		}
+		run.Record("health-snapshot", "cluster", now, now, attrs...)
+	}
+	c.flight.Add(telemetry.Event{Type: "route", TraceID: traceIDOf(run),
+		Detail: fmt.Sprintf("key=%s owner=%s gen=%d", key, cands[0].Spec.Name, gen)})
 	path := "/v1/runs"
 	if rawQuery != "" {
 		path += "?" + rawQuery
@@ -491,11 +756,13 @@ func (c *Coordinator) forwardRun(ctx context.Context, key string, rawQuery strin
 			res, err := c.forward(ctx, m, http.MethodPost, path, body,
 				map[string]string{"X-Gspc-Cache-Only": "1"})
 			if err != nil {
-				c.failMember(m, err)
+				c.failMember(ctx, m, err)
 				continue
 			}
 			if res.status == http.StatusOK {
 				c.cacheProbeHits.Add(1)
+				c.flight.Add(telemetry.Event{Type: "cache-probe-hit", TraceID: traceIDOf(run),
+					Detail: m.Spec.Name})
 				return res, nil
 			}
 		}
@@ -515,7 +782,7 @@ func (c *Coordinator) forwardRun(ctx context.Context, key string, rawQuery strin
 				return nil, ctx.Err()
 			}
 			lastErr = err
-			c.failMember(m, err)
+			c.failMember(ctx, m, err)
 			continue
 		}
 		return res, nil
@@ -540,6 +807,7 @@ func (c *Coordinator) forwardRunOnce(ctx context.Context, m *Member, cands []*Me
 		return c.forward(ctx, m, http.MethodPost, path, body, nil)
 	}
 
+	start := time.Now()
 	type outcome struct {
 		res *fwdResult
 		err error
@@ -569,6 +837,10 @@ func (c *Coordinator) forwardRunOnce(ctx context.Context, m *Member, cands []*Me
 	// partitioned follower is real evidence) except when the hedge was
 	// cancelled because the owner answered first.
 	c.hedges.Add(1)
+	run := telemetry.FromContext(ctx)
+	hsp := run.Start("hedge", "cluster", telemetry.String("owner", m.Spec.Name))
+	c.flight.Add(telemetry.Event{Type: "hedge", TraceID: traceIDOf(run),
+		Detail: "owner " + m.Spec.Name + " slow, probing replicas"})
 	hctx, hcancel := context.WithCancel(ctx)
 	defer hcancel()
 	hedged := make(chan *fwdResult, 1)
@@ -581,7 +853,7 @@ func (c *Coordinator) forwardRunOnce(ctx context.Context, m *Member, cands []*Me
 				map[string]string{"X-Gspc-Cache-Only": "1"})
 			if err != nil {
 				if hctx.Err() == nil {
-					c.failMember(f, err)
+					c.failMember(hctx, f, err)
 				}
 				continue
 			}
@@ -597,12 +869,23 @@ func (c *Coordinator) forwardRunOnce(ctx context.Context, m *Member, cands []*Me
 
 	select {
 	case o := <-primary:
+		hsp.Attr(telemetry.String("winner", "owner")).End()
 		return o.res, o.err
 	case res := <-hedged:
 		c.hedgeWins.Add(1)
+		c.fwdHist[outcomeHedgeWon].Observe(time.Since(start).Seconds())
+		winner := res.nodeName()
+		hsp.Attr(telemetry.String("winner", "replica"),
+			telemetry.String("node", winner)).End()
+		c.flight.Add(telemetry.Event{Type: "hedge-win", TraceID: traceIDOf(run), Detail: winner})
+		c.cfg.Logger.Info("hedged forward won by replica",
+			"coordinator", c.cfg.Name, "node", winner, "owner", m.Spec.Name,
+			"run_id", res.header.Get("X-Gspc-Run"), "trace_id", traceIDOf(run),
+			"outcome", outcomeHedgeWon)
 		pcancel() // abandon the slow owner; its goroutine drains into the buffered chan
 		return res, nil
 	case <-ctx.Done():
+		hsp.Attr(telemetry.String("winner", "cancelled")).End()
 		o := <-primary
 		return o.res, o.err
 	}
@@ -616,16 +899,22 @@ func (c *Coordinator) submitSync(ctx context.Context, key string, rawQuery strin
 	c.mu.Lock()
 	if f, ok := c.flights[key]; ok {
 		c.mu.Unlock()
+		run := telemetry.FromContext(ctx)
+		wsp := run.Start("coalesced-wait", "cluster", telemetry.String("key", key))
 		select {
 		case <-f.done:
 			if f.status == 0 {
 				// The leader's forward failed outright; don't replay an
 				// empty response — run our own forward chain.
+				wsp.Attr(telemetry.String("outcome", "leader-failed")).End()
 				return c.forwardRun(ctx, key, rawQuery, body)
 			}
 			c.coalesced.Add(1)
+			wsp.Attr(telemetry.String("outcome", "replayed")).End()
+			c.flight.Add(telemetry.Event{Type: "coalesced", TraceID: traceIDOf(run), Detail: key})
 			return &fwdResult{status: f.status, header: f.header, body: f.body, coalesced: true}, nil
 		case <-ctx.Done():
+			wsp.Attr(telemetry.String("outcome", "cancelled")).End()
 			return nil, ctx.Err()
 		}
 	}
@@ -652,7 +941,11 @@ func (c *Coordinator) submitSync(ctx context.Context, key string, rawQuery strin
 // counted and logged but otherwise tolerated — replication is a
 // degradation hedge, not a durability guarantee (each node's WAL
 // provides that).
-func (c *Coordinator) replicate(key, experiment, runID string, body []byte, computedBy string) {
+// The run (when non-nil) collects per-follower "replicate" spans —
+// recorded after the client's reply went out, which is fine: the trace
+// is only exported when read — and correlates the replication log lines
+// with the distributed trace.
+func (c *Coordinator) replicate(run *telemetry.Run, key, experiment, runID string, body []byte, computedBy string) {
 	if c.cfg.Replication <= 0 {
 		return
 	}
@@ -668,8 +961,12 @@ func (c *Coordinator) replicate(key, experiment, runID string, body []byte, comp
 		c.wg.Add(1)
 		go func(m *Member) {
 			defer c.wg.Done()
+			rsp := run.Start("replicate", "cluster",
+				telemetry.String("node", m.Spec.Name),
+				telemetry.String("run_id", runID))
 			backoff := c.cfg.ReplicateBackoff
 			var lastErr error
+			attempts := 0
 			for attempt := 0; attempt <= c.cfg.ReplicateRetries; attempt++ {
 				if attempt > 0 {
 					c.replicationRtry.Add(1)
@@ -679,6 +976,7 @@ func (c *Coordinator) replicate(key, experiment, runID string, body []byte, comp
 					case <-c.stop:
 						t.Stop()
 						c.replicationErrs.Add(1)
+						rsp.Attr(telemetry.String("outcome", "shutdown")).End()
 						return
 					}
 					backoff *= 2
@@ -688,7 +986,13 @@ func (c *Coordinator) replicate(key, experiment, runID string, body []byte, comp
 						break
 					}
 				}
+				attempts++
 				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				if run != nil {
+					// Propagate the trace onto the replica PUT so the member's
+					// access log correlates even though no job is created.
+					ctx = telemetry.NewContext(ctx, run)
+				}
 				res, err := c.forward(ctx, m, http.MethodPut, "/v1/replicas/"+key, body,
 					map[string]string{"X-Gspc-Experiment": experiment, "X-Gspc-Run": runID})
 				cancel()
@@ -698,13 +1002,26 @@ func (c *Coordinator) replicate(key, experiment, runID string, body []byte, comp
 				if err == nil {
 					c.replications.Add(1)
 					c.replicasByNode.Add(m.Spec.Name, 1)
+					rsp.Attr(telemetry.String("outcome", outcomeOK),
+						telemetry.Int("attempts", int64(attempts))).End()
 					return
 				}
 				lastErr = err
 			}
 			c.replicationErrs.Add(1)
+			rsp.Attr(telemetry.String("outcome", "abandoned"),
+				telemetry.Int("attempts", int64(attempts))).End()
+			c.events.Add(telemetry.EventReplicationExhausted, m.Spec.Name,
+				fmt.Sprintf("key=%s run=%s after %d attempts: %v", key, runID, attempts, lastErr))
+			c.flight.Add(telemetry.Event{Type: "replication-abandoned", RunID: runID,
+				TraceID: traceIDOf(run), Detail: m.Spec.Name + ": " + fmt.Sprint(lastErr)})
+			outcome := outcomeRefused
+			if lastErr != nil {
+				outcome = outcomeClass(lastErr)
+			}
 			c.cfg.Logger.Warn("replication abandoned", "coordinator", c.cfg.Name,
-				"member", m.Spec.Name, "key", key,
+				"node", m.Spec.Name, "key", key, "run_id", runID,
+				"trace_id", traceIDOf(run), "outcome", outcome,
 				"attempts", c.cfg.ReplicateRetries+1, "err", lastErr)
 		}(m)
 	}
@@ -724,7 +1041,7 @@ func (c *Coordinator) forwardQuery(ctx context.Context, node, pathAndQuery strin
 	}
 	res, err := c.forward(ctx, m, http.MethodGet, pathAndQuery, nil, nil)
 	if err != nil {
-		c.failMember(m, err)
+		c.failMember(ctx, m, err)
 		return nil, fmt.Errorf("%w: member %s unreachable: %v", ErrNoMembers, node, err)
 	}
 	return res, nil
@@ -744,7 +1061,7 @@ func (c *Coordinator) forwardAny(ctx context.Context, pathAndQuery string) (*fwd
 			tried[name] = true
 			res, err := c.forward(ctx, m, http.MethodGet, pathAndQuery, nil, nil)
 			if err != nil {
-				c.failMember(m, err)
+				c.failMember(ctx, m, err)
 				continue
 			}
 			return res, nil

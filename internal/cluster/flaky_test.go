@@ -262,8 +262,8 @@ func TestMemberBusyIsBackpressureNotEvidence(t *testing.T) {
 		t.Errorf("inflight_rejects = %d, want 1", got)
 	}
 	// Busy and caller-cancel are not evidence of member failure.
-	co.failMember(m, fmt.Errorf("routing: %w", ErrMemberBusy))
-	co.failMember(m, context.Canceled)
+	co.failMember(context.Background(), m, fmt.Errorf("routing: %w", ErrMemberBusy))
+	co.failMember(context.Background(), m, context.Canceled)
 	if s := m.snapshot(); s.State != StateAlive || s.Strikes != 0 || s.TimeoutStrikes != 0 {
 		t.Errorf("backpressure struck the member: state=%s strikes=%d/%d",
 			s.State, s.Strikes, s.TimeoutStrikes)
@@ -337,7 +337,7 @@ func TestForwardTimeoutBoundsExchanges(t *testing.T) {
 		t.Errorf("black-holed forward error %v not classified as timeout", err)
 	}
 	c := co // the strike for it lands via failMember, as callers do
-	c.failMember(m, err)
+	c.failMember(context.Background(), m, err)
 	if s := m.snapshot(); s.TimeoutStrikes != 1 {
 		t.Errorf("timeout strikes = %d, want 1", s.TimeoutStrikes)
 	}

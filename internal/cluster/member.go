@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"gspc/internal/service"
+	"gspc/internal/telemetry"
 )
 
 // MemberState is a member's place in the routing lifecycle.
@@ -55,6 +57,12 @@ type Member struct {
 	// the state lock.
 	inflight atomic.Int64
 
+	// offsets estimates this member's clock offset from the send/receive
+	// timestamps echoed on every forward and health check, so the trace
+	// stitcher can rebase the member's span timestamps onto the
+	// coordinator's clock. Internally synchronized.
+	offsets *telemetry.OffsetEstimator
+
 	mu         sync.Mutex
 	state      MemberState
 	adminDrain bool // drained via the coordinator admin API
@@ -64,6 +72,11 @@ type Member struct {
 	ready      bool
 	readyInfo  service.ReadyInfo
 	lastCheck  time.Time
+
+	// Last /metrics scrape for federation (body retained verbatim).
+	scrapeBody []byte
+	scrapeAt   time.Time
+	scrapeErr  string
 }
 
 // MemberStatus is the queryable snapshot of a member
@@ -87,7 +100,27 @@ func newMember(spec MemberSpec) *Member {
 	// Members start alive and ready: the first health sweep corrects the
 	// optimism within one interval, while starting dead would refuse all
 	// traffic until the loop's first pass.
-	return &Member{Spec: spec, state: StateAlive, ready: true}
+	return &Member{Spec: spec, state: StateAlive, ready: true,
+		offsets: telemetry.NewOffsetEstimator(0)}
+}
+
+// setScrape stores the latest /metrics scrape outcome for federation.
+func (m *Member) setScrape(body []byte, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err != nil {
+		m.scrapeErr = err.Error()
+		return
+	}
+	m.scrapeBody, m.scrapeAt, m.scrapeErr = body, time.Now(), ""
+}
+
+// scrapeState returns the latest scrape for federation. The body is the
+// stored slice (never mutated after setScrape), so sharing it is safe.
+func (m *Member) scrapeState() (body []byte, at time.Time, errStr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.scrapeBody, m.scrapeAt, m.scrapeErr
 }
 
 // snapshot captures the member under its lock. The reported state is
@@ -194,18 +227,21 @@ func (m *Member) strike(timeout bool, err error, deadAfter, deadAfterTimeout int
 }
 
 // clearStrikes notes a successful exchange: the counters reset and a
-// suspect member is vindicated back to alive. Other states are left
-// alone — a successful status read from a draining member is not a
+// suspect member is vindicated back to alive (reported so the caller
+// can record the transition on the cluster timeline). Other states are
+// left alone — a successful status read from a draining member is not a
 // state change, and dead members revive only through the health loop
 // (which also refreshes readiness).
-func (m *Member) clearStrikes() {
+func (m *Member) clearStrikes() (vindicated bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.hardFails, m.softFails = 0, 0
 	m.lastErr = ""
 	if m.state == StateSuspect {
 		m.state = StateAlive
+		return true
 	}
+	return false
 }
 
 // applyCheck folds one health-check outcome into the member state and
@@ -255,6 +291,31 @@ func (m *Member) setAdminDrain(drain bool) (changed bool) {
 	return m.state == StateAlive || m.state == StateSuspect
 }
 
+// sampleClock folds one timestamp-echoed exchange into the member's
+// clock-offset estimator: t0/t3 are the coordinator's send/receive
+// times, the member's receive/send times ride the response headers as
+// unix nanoseconds on its own clock.
+func sampleClock(m *Member, t0, t3 time.Time, h http.Header) {
+	t1, ok1 := nsHeaderTime(h.Get(service.HeaderRecvNs))
+	t2, ok2 := nsHeaderTime(h.Get(service.HeaderSentNs))
+	if !ok1 || !ok2 {
+		return
+	}
+	m.offsets.Update(t0, t1, t2, t3)
+}
+
+// nsHeaderTime parses a unix-nanoseconds header value.
+func nsHeaderTime(v string) (time.Time, bool) {
+	if v == "" {
+		return time.Time{}, false
+	}
+	ns, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ns <= 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
+}
+
 // timeoutClass reports whether a failed exchange is timeout-flavored
 // (deadline exceeded, i/o timeout, black-holed link) rather than
 // refusal-flavored (connection refused, reset, EOF). The two classes
@@ -276,11 +337,13 @@ func checkMember(ctx context.Context, client *http.Client, m *Member) (bool, ser
 	if err != nil {
 		return false, service.ReadyInfo{}, err
 	}
+	t0 := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
 		return false, service.ReadyInfo{}, err
 	}
 	defer resp.Body.Close()
+	sampleClock(m, t0, time.Now(), resp.Header)
 	var info service.ReadyInfo
 	if derr := json.NewDecoder(resp.Body).Decode(&info); derr != nil {
 		return false, service.ReadyInfo{}, fmt.Errorf("readyz status %d: %v", resp.StatusCode, derr)

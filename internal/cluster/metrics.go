@@ -42,6 +42,22 @@ type Metrics struct {
 	// probes; HedgeWins counts those answered by a replica first.
 	Hedges    int64 `json:"hedges"`
 	HedgeWins int64 `json:"hedge_wins"`
+	// RingGeneration is the routing-ring rebuild counter: every
+	// membership/routability change swaps in a new generation.
+	RingGeneration int64 `json:"ring_generation"`
+	// ClusterEvents counts timeline events ever recorded
+	// (/v1/cluster/events), including any replayed from disk.
+	ClusterEvents int64 `json:"cluster_events"`
+	// TracesStitched counts /v1/runs/{id}/trace responses merged from
+	// coordinator + member spans; TraceFallbacks counts reads that
+	// relayed the member's document unstitched (registry miss or an
+	// uninterpretable member trace).
+	TracesStitched int64 `json:"traces_stitched"`
+	TraceFallbacks int64 `json:"trace_fallbacks"`
+	// FederateScrapes / FederateErrors count member /metrics scrapes for
+	// the federation surface.
+	FederateScrapes int64 `json:"federate_scrapes"`
+	FederateErrors  int64 `json:"federate_errors"`
 
 	Forwards       map[string]int64 `json:"forwards_by_node"`
 	ForwardErrors  map[string]int64 `json:"forward_errors_by_node,omitempty"`
@@ -72,6 +88,12 @@ func (c *Coordinator) Metrics() Metrics {
 		InflightRejects:    c.inflightRejects.Load(),
 		Hedges:             c.hedges.Load(),
 		HedgeWins:          c.hedgeWins.Load(),
+		RingGeneration:     c.ringGeneration(),
+		ClusterEvents:      c.events.Total(),
+		TracesStitched:     c.tracesStitched.Load(),
+		TraceFallbacks:     c.traceFallbacks.Load(),
+		FederateScrapes:    c.federateScrapes.Load(),
+		FederateErrors:     c.federateErrs.Load(),
 
 		Forwards:       c.forwards.Snapshot(),
 		ForwardErrors:  c.forwardErrors.Snapshot(),
@@ -126,5 +148,55 @@ func (c *Coordinator) PromExposition() []byte {
 	}
 	x.GaugeVec("gspc_cluster_member_mem_rung", "Member memory-ladder rung from its last /readyz report (0 healthy .. 4 shed).", "member", memRungs)
 	x.Gauge("gspc_cluster_ring_nodes", "Members currently on the routing ring.", float64(len(m.RingNodes)))
+	x.Gauge("gspc_cluster_ring_generation", "Routing ring generation, bumped on every rebuild.", float64(m.RingGeneration))
+	x.Counter("gspc_cluster_events_total", "Cluster timeline events recorded (see /v1/cluster/events).", float64(m.ClusterEvents))
+	x.Counter("gspc_cluster_traces_stitched_total", "Run traces served as a stitched coordinator+member document.", float64(m.TracesStitched))
+	x.Counter("gspc_cluster_trace_fallbacks_total", "Run trace reads relayed unstitched (no retained coordinator run, or member trace uninterpretable).", float64(m.TraceFallbacks))
+	x.Counter("gspc_cluster_federate_scrapes_total", "Member /metrics scrapes for the federation surface.", float64(m.FederateScrapes))
+	x.Counter("gspc_cluster_federate_errors_total", "Failed member /metrics scrapes.", float64(m.FederateErrors))
+	// The forward-duration histogram is labeled by outcome class; the
+	// class set is closed at construction so cardinality stays fixed.
+	durations := make(map[string]telemetry.HistogramSnapshot, len(c.fwdHist))
+	for class, h := range c.fwdHist {
+		durations[class] = h.Snapshot()
+	}
+	x.HistogramVec("gspc_cluster_forward_duration_seconds",
+		"Forward exchange latency by outcome class.", "class", durations)
 	return x.Bytes()
+}
+
+// ringGeneration reads the current ring generation.
+func (c *Coordinator) ringGeneration() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// FederatedExposition merges the latest member /metrics scrapes into one
+// exposition, every series labeled with its node (GET /metrics/federate).
+// Scrape health rides along as gspc_federate_* meta-families so a
+// dashboard can tell a silent member from a zero-valued one.
+func (c *Coordinator) FederatedExposition() []byte {
+	scrapes := make([]telemetry.FederatedScrape, 0, len(c.names))
+	ages := make(map[string]int64, len(c.names))
+	oks := make(map[string]int64, len(c.names))
+	for _, name := range c.names {
+		body, at, errStr := c.members[name].scrapeState()
+		if len(body) > 0 {
+			scrapes = append(scrapes, telemetry.FederatedScrape{Node: name, Body: body})
+		}
+		if !at.IsZero() {
+			ages[name] = int64(time.Since(at).Seconds())
+		}
+		if errStr == "" && len(body) > 0 {
+			oks[name] = 1
+		} else {
+			oks[name] = 0
+		}
+	}
+	out := telemetry.Federate(scrapes)
+	var x telemetry.Exposition
+	x.GaugeVec("gspc_federate_scrape_ok", "Whether the last /metrics scrape of the member succeeded.", "node", oks)
+	x.GaugeVec("gspc_federate_scrape_age_seconds", "Seconds since the member's metrics were last scraped.", "node", ages)
+	return append(out, x.Bytes()...)
 }

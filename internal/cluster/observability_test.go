@@ -1,0 +1,438 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gspc/internal/faultinject"
+	"gspc/internal/leakcheck"
+	"gspc/internal/service"
+	"gspc/internal/telemetry"
+)
+
+// newTracedNodes boots engines that trace every run, so propagated
+// trace ids are adopted and the member side of a stitched trace exists.
+func newTracedNodes(t *testing.T, n int, sims *simCounter, delay time.Duration) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, n)
+	for i := range nodes {
+		name := fmt.Sprintf("gspc-%d", i+1)
+		e, err := service.NewEngine(service.Config{
+			Workers: 2, CacheEntries: 32, Run: sims.runner(delay),
+			Logger: discard(), TraceEvery: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := service.NewServer(e)
+		srv.NodeName = name
+		ts := httptest.NewServer(srv)
+		nodes[i] = &testNode{name: name, engine: e, ts: ts}
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			e.Shutdown(ctx)
+		})
+	}
+	return nodes
+}
+
+func getURL(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestStitchedTraceEndToEnd is the tentpole acceptance check: a run
+// submitted through the coordinator yields, at the coordinator's
+// /v1/runs/{id}/trace, a single Perfetto document with a coordinator
+// lane (pid 1) and a member lane (pid 2), member timestamps rebased
+// through the clock-offset estimate, the member run adopted into the
+// coordinator's trace id, and no orphan spans.
+func TestStitchedTraceEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
+	sims := newSimCounter()
+	nodes := newTracedNodes(t, 3, sims, 5*time.Millisecond)
+	co, ts := newTestCoordinator(t, nodes, nil)
+	co.CheckNow() // samples member clocks and scrapes metrics
+
+	body := `{"experiment":"fig12","apps":["Dirt"]}`
+	resp, rb := postJSON(t, ts.URL, body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, rb)
+	}
+	traceID := resp.Header.Get(service.HeaderTraceID)
+	if traceID == "" {
+		t.Fatal("submit response missing " + service.HeaderTraceID)
+	}
+	qualified := resp.Header.Get("X-Gspc-Run")
+	if qualified == "" || !strings.Contains(qualified, "@") {
+		t.Fatalf("submit response X-Gspc-Run = %q, want qualified id", qualified)
+	}
+
+	tresp, tb := getURL(t, ts.URL+"/v1/runs/"+qualified+"/trace")
+	if tresp.StatusCode != 200 {
+		t.Fatalf("trace read = %d: %s", tresp.StatusCode, tb)
+	}
+	if got := tresp.Header.Get("X-Gspc-Trace-Stitched"); got != "1" {
+		t.Fatalf("X-Gspc-Trace-Stitched = %q, want 1 (body: %s)", got, tb)
+	}
+	var doc telemetry.TraceDoc
+	if err := json.Unmarshal(tb, &doc); err != nil {
+		t.Fatalf("stitched trace unparseable: %v", err)
+	}
+	for k, want := range map[string]string{
+		"stitched": "true", "adopted": "true", "orphan_spans": "0",
+		"trace_id": traceID,
+	} {
+		if got := doc.OtherData[k]; got != want {
+			t.Errorf("otherData[%q] = %q, want %q", k, got, want)
+		}
+	}
+	if doc.OtherData["offset_samples"] == "0" {
+		t.Error("offset_samples = 0: stitch used an unsampled clock offset")
+	}
+
+	lanes := map[int]bool{}
+	names := map[string]bool{}
+	procNames := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			lanes[ev.PID] = true
+			names[ev.Name] = true
+			if ev.TS < 0 {
+				t.Errorf("span %q at negative ts %f", ev.Name, ev.TS)
+			}
+		case "M":
+			procNames[ev.PID] = ev.Args["name"]
+		}
+	}
+	if !lanes[1] || !lanes[2] {
+		t.Errorf("stitched trace lanes = %v, want both coordinator (1) and member (2)", lanes)
+	}
+	for _, want := range []string{"submit", "route", "forward", "health-snapshot"} {
+		if !names[want] {
+			t.Errorf("stitched trace missing coordinator span %q (have %v)", want, names)
+		}
+	}
+	if procNames[1] == "" || procNames[2] == "" {
+		t.Errorf("process_name metadata missing: %v", procNames)
+	}
+	if m := co.Metrics(); m.TracesStitched != 1 || m.TraceFallbacks != 0 {
+		t.Errorf("traces_stitched=%d trace_fallbacks=%d, want 1/0", m.TracesStitched, m.TraceFallbacks)
+	}
+}
+
+// TestTraceFallbackRelaysMemberDoc: a coordinator that never routed the
+// submit (no retained run — e.g. after a restart) still serves the
+// member's trace, marked unstitched.
+func TestTraceFallbackRelaysMemberDoc(t *testing.T) {
+	sims := newSimCounter()
+	nodes := newTracedNodes(t, 2, sims, time.Millisecond)
+	_, ts1 := newTestCoordinator(t, nodes, nil)
+	co2, ts2 := newTestCoordinator(t, nodes, func(c *Config) { c.Name = "gspc-cluster-2" })
+
+	resp, rb := postJSON(t, ts1.URL, `{"experiment":"fig12","apps":["HAWX"]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, rb)
+	}
+	qualified := resp.Header.Get("X-Gspc-Run")
+
+	tresp, tb := getURL(t, ts2.URL+"/v1/runs/"+qualified+"/trace")
+	if tresp.StatusCode != 200 {
+		t.Fatalf("trace read via second coordinator = %d: %s", tresp.StatusCode, tb)
+	}
+	if got := tresp.Header.Get("X-Gspc-Trace-Stitched"); got != "0" {
+		t.Errorf("X-Gspc-Trace-Stitched = %q, want 0", got)
+	}
+	var doc telemetry.TraceDoc
+	if err := json.Unmarshal(tb, &doc); err != nil {
+		t.Fatalf("relayed member trace unparseable: %v", err)
+	}
+	if doc.OtherData["stitched"] != "" {
+		t.Errorf("relayed doc claims stitched=%q", doc.OtherData["stitched"])
+	}
+	if m := co2.Metrics(); m.TraceFallbacks != 1 {
+		t.Errorf("trace_fallbacks = %d, want 1", m.TraceFallbacks)
+	}
+}
+
+// TestHedgeRecordsExactlyOneWinner pins the hedge race's observability
+// contract under -race: one hedge span, exactly one winner attribute,
+// and every forward attempt span carries a span_id and a classified
+// outcome — no orphan attempts.
+func TestHedgeRecordsExactlyOneWinner(t *testing.T) {
+	leakcheck.Check(t)
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 3, sims, 5*time.Millisecond)
+	co, ts, ft := flakyCoordinator(t, nodes, func(c *Config) {
+		c.DeadAfter = 2
+		c.HedgeDelay = 100 * time.Millisecond
+	})
+
+	body := `{"experiment":"fig15","apps":["LostPlanet"]}`
+	key := keyOf(t, body)
+	owners := co.currentRing().Owners(key, 2)
+	owner, successor := owners[0], owners[1]
+
+	if resp, b := postJSON(t, ts.URL, body); resp.StatusCode != 200 {
+		t.Fatalf("warming submit = %d: %s", resp.StatusCode, b)
+	}
+	waitUntil(t, "replication", func() bool {
+		return nodeByName(nodes, successor).engine.Metrics().ReplicasInstalled >= 1
+	})
+	ft.SetHostSpec(hostOf(t, nodeByName(nodes, owner).ts.URL),
+		faultinject.NetSpec{DelayRate: 1, Latency: 5 * time.Second})
+
+	run := telemetry.NewRun(telemetry.NewTraceID(), coordTraceMaxSpans)
+	ctx := telemetry.NewContext(context.Background(), run)
+	res, err := co.submitSync(ctx, key, "", []byte(body))
+	if err != nil || res.status != 200 {
+		t.Fatalf("hedged submit: err=%v status=%d", err, res.status)
+	}
+
+	// The abandoned owner forward ends its span asynchronously once the
+	// hedge cancellation propagates; wait for it so the orphan check
+	// below sees the complete picture.
+	ownerForwardEnded := func() bool {
+		for _, sp := range run.Snapshot() {
+			if sp.Name != "forward" {
+				continue
+			}
+			attrs := attrMap(sp.Attrs)
+			if attrs["node"] == owner && attrs["outcome"] != "" {
+				return true
+			}
+		}
+		return false
+	}
+	waitUntil(t, "abandoned owner forward span", ownerForwardEnded)
+
+	hedges, winners := 0, 0
+	for _, sp := range run.Snapshot() {
+		attrs := attrMap(sp.Attrs)
+		switch sp.Name {
+		case "hedge":
+			hedges++
+			if w := attrs["winner"]; w != "" {
+				winners++
+				if w != "replica" || attrs["node"] != successor {
+					t.Errorf("hedge winner = %s/%s, want replica/%s", w, attrs["node"], successor)
+				}
+			}
+		case "forward":
+			if attrs["span_id"] == "" {
+				t.Errorf("forward span to %s lacks span_id", attrs["node"])
+			}
+			if attrs["outcome"] == "" {
+				t.Errorf("forward span to %s lacks outcome", attrs["node"])
+			}
+		}
+	}
+	if hedges != 1 || winners != 1 {
+		t.Errorf("hedge spans=%d winners=%d, want exactly 1/1", hedges, winners)
+	}
+	if m := co.Metrics(); m.HedgeWins != 1 {
+		t.Errorf("hedge_wins = %d, want 1", m.HedgeWins)
+	}
+}
+
+func attrMap(attrs []telemetry.Attr) map[string]string {
+	out := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		out[a.Key] = a.Val
+	}
+	return out
+}
+
+// TestClusterEventsTimeline: health transitions land on the typed
+// timeline, stream as NDJSON, and the since-cursor resumes cleanly.
+func TestClusterEventsTimeline(t *testing.T) {
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 2, sims, time.Millisecond)
+	co, ts := newTestCoordinator(t, nodes, nil)
+	co.CheckNow()
+
+	victim := nodes[1]
+	victim.ts.Close()
+	co.CheckNow() // DeadAfter=1: the dead refusal kills immediately
+
+	resp, b := getURL(t, ts.URL+"/v1/cluster/events")
+	if resp.StatusCode != 200 {
+		t.Fatalf("events read = %d: %s", resp.StatusCode, b)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("events content type = %q", ct)
+	}
+	cursor := resp.Header.Get("X-Gspc-Events-Cursor")
+	if cursor == "" || cursor == "0" {
+		t.Fatalf("events cursor = %q, want positive", cursor)
+	}
+
+	types := map[string]int{}
+	var lastSeq int64
+	sc := bufio.NewScanner(strings.NewReader(string(b)))
+	for sc.Scan() {
+		var ev telemetry.ClusterEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("unparseable NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Seq <= lastSeq {
+			t.Errorf("events out of order: seq %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		types[ev.Type]++
+	}
+	if types[telemetry.EventMemberDead] == 0 {
+		t.Errorf("no %s event after killing a member: %v", telemetry.EventMemberDead, types)
+	}
+	if types[telemetry.EventRingSwap] == 0 {
+		t.Errorf("no %s event after routability change: %v", telemetry.EventRingSwap, types)
+	}
+	for _, ev := range typesOf(t, b) {
+		if ev.Type == telemetry.EventMemberDead && ev.Node != victim.name {
+			t.Errorf("member-dead names %q, want %q", ev.Node, victim.name)
+		}
+	}
+
+	// Resume past the cursor: nothing new.
+	resp2, b2 := getURL(t, ts.URL+"/v1/cluster/events?since="+cursor)
+	if resp2.StatusCode != 200 || strings.TrimSpace(string(b2)) != "" {
+		t.Errorf("resume past cursor returned %d with body %q", resp2.StatusCode, b2)
+	}
+	if m := co.Metrics(); m.ClusterEvents != lastSeq {
+		t.Errorf("cluster_events metric = %d, want %d", m.ClusterEvents, lastSeq)
+	}
+}
+
+func typesOf(t *testing.T, ndjson []byte) []telemetry.ClusterEvent {
+	t.Helper()
+	var out []telemetry.ClusterEvent
+	sc := bufio.NewScanner(strings.NewReader(string(ndjson)))
+	for sc.Scan() {
+		var ev telemetry.ClusterEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestFederatedMetrics: the coordinator re-exposes scraped member
+// metrics under a node label, plus scrape-health meta families.
+func TestFederatedMetrics(t *testing.T) {
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 2, sims, time.Millisecond)
+	co, ts := newTestCoordinator(t, nodes, nil)
+	co.CheckNow() // scrape sweep
+
+	resp, b := getURL(t, ts.URL+"/metrics/federate")
+	if resp.StatusCode != 200 {
+		t.Fatalf("federate read = %d: %s", resp.StatusCode, b)
+	}
+	body := string(b)
+	for _, want := range []string{
+		`gspc_jobs_completed_total{node="gspc-1"}`,
+		`gspc_jobs_completed_total{node="gspc-2"}`,
+		`gspc_federate_scrape_ok{node="gspc-1"} 1`,
+		`gspc_federate_scrape_ok{node="gspc-2"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("federated exposition missing %q", want)
+		}
+	}
+	if m := co.Metrics(); m.FederateScrapes < 2 || m.FederateErrors != 0 {
+		t.Errorf("federate_scrapes=%d federate_errors=%d", m.FederateScrapes, m.FederateErrors)
+	}
+
+	// Disabled federation fails loudly.
+	_, ts2 := newTestCoordinator(t, nodes, func(c *Config) {
+		c.Name = "gspc-cluster-nofed"
+		c.DisableFederation = true
+	})
+	if resp, _ := getURL(t, ts2.URL+"/metrics/federate"); resp.StatusCode != 404 {
+		t.Errorf("disabled federation read = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDebugzFlightRecorder: routing decisions land on the coordinator
+// flight recorder and /debugz folds in the cluster timeline tail.
+func TestDebugzFlightRecorder(t *testing.T) {
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 2, sims, time.Millisecond)
+	co, ts := newTestCoordinator(t, nodes, nil)
+	co.CheckNow()
+	if resp, b := postJSON(t, ts.URL, `{"experiment":"fig12","apps":["Unigine"]}`); resp.StatusCode != 200 {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, b)
+	}
+
+	resp, b := getURL(t, ts.URL+"/debugz")
+	if resp.StatusCode != 200 {
+		t.Fatalf("debugz = %d: %s", resp.StatusCode, b)
+	}
+	var dbg struct {
+		Coordinator    string            `json:"coordinator"`
+		RingGeneration int64             `json:"ring_generation"`
+		TotalEvents    int64             `json:"total_events"`
+		Events         []telemetry.Event `json:"events"`
+	}
+	if err := json.Unmarshal(b, &dbg); err != nil {
+		t.Fatalf("debugz unparseable: %v", err)
+	}
+	if dbg.Coordinator != co.cfg.Name || dbg.RingGeneration < 1 {
+		t.Errorf("debugz identity: %+v", dbg)
+	}
+	if dbg.TotalEvents == 0 {
+		t.Error("flight recorder empty after a routed submit")
+	}
+	found := false
+	for _, ev := range dbg.Events {
+		if ev.Type == "route" {
+			found = true
+			if ev.TraceID == "" {
+				t.Error("route flight event lacks trace_id")
+			}
+		}
+	}
+	if !found {
+		t.Error("no route event on the flight recorder")
+	}
+}
+
+// TestClockSampling: health checks alone give every member a usable
+// clock-offset estimate (the echoed send/receive timestamps).
+func TestClockSampling(t *testing.T) {
+	sims := newSimCounter()
+	nodes := newTestNodes(t, 2, sims, time.Millisecond)
+	co, _ := newTestCoordinator(t, nodes, nil)
+	co.CheckNow()
+	for _, name := range co.names {
+		m, _ := co.Member(name)
+		est := m.offsets.Estimate()
+		if est.Samples == 0 {
+			t.Errorf("member %s has no clock samples after a health sweep", name)
+		}
+		if est.Delay <= 0 {
+			t.Errorf("member %s offset delay = %v, want positive", name, est.Delay)
+		}
+	}
+}

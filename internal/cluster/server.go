@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"gspc/internal/service"
@@ -30,8 +31,11 @@ const maxRequestBytes = 1 << 20
 //	GET  /v1/runs/{id}                      id is "run-NNNNNN@node"; forwarded to node
 //	GET  /v1/runs/{id}/trace                forwarded to node
 //	GET  /v1/cluster/members                membership + health snapshot
+//	GET  /v1/cluster/events                 typed cluster timeline (NDJSON, ?since=N)
 //	POST /v1/cluster/members/{name}/drain   stop placing new runs on name
 //	POST /v1/cluster/members/{name}/undrain reverse a drain
+//	GET  /debugz                            flight recorder + recent timeline
+//	GET  /metrics/federate                  merged member metrics, node-labeled
 //
 // Run ids returned by the coordinator are qualified with the owning
 // member ("run-000017@gspc-2"), in the 202 body, the Location header,
@@ -54,8 +58,11 @@ func NewServer(co *Coordinator) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleRunStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	s.mux.HandleFunc("GET /v1/cluster/members", s.handleMembers)
+	s.mux.HandleFunc("GET /v1/cluster/events", s.handleEvents)
 	s.mux.HandleFunc("POST /v1/cluster/members/{name}/drain", s.handleDrain)
 	s.mux.HandleFunc("POST /v1/cluster/members/{name}/undrain", s.handleUndrain)
+	s.mux.HandleFunc("GET /debugz", s.handleDebug)
+	s.mux.HandleFunc("GET /metrics/federate", s.handleFederate)
 	return s
 }
 
@@ -187,24 +194,59 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	key := nreq.Key()
 	s.co.submits.Add(1)
 
+	// Every submit gets a coordinator-side run: adopt an inbound trace id
+	// (a client or upstream coordinator minted one) or mint a fresh one,
+	// and thread the run through the routing path so forwards, hedges,
+	// and replication record spans against it. The members the submit
+	// reaches adopt the same id via the propagated X-Gspc-Trace-Id, which
+	// is what lets /v1/runs/{id}/trace stitch the two sides later.
+	traceID := r.Header.Get(service.HeaderTraceID)
+	inherited := traceID != ""
+	if !inherited {
+		traceID = telemetry.NewTraceID()
+	}
+	run := telemetry.NewRun(traceID, coordTraceMaxSpans)
+	if inherited {
+		run.ParentSpan = r.Header.Get(service.HeaderParentSpan)
+	}
+	w.Header().Set(service.HeaderTraceID, run.TraceID)
+	ctx := telemetry.NewContext(r.Context(), run)
+
 	sync := r.URL.Query().Get("wait") != "0"
+	mode := "async"
+	if sync {
+		mode = "sync"
+	}
+	root := run.Start("submit", "cluster",
+		telemetry.String("key", key), telemetry.String("mode", mode))
+
 	var res *fwdResult
 	if sync {
-		res, err = s.co.submitSync(r.Context(), key, r.URL.RawQuery, body)
+		res, err = s.co.submitSync(ctx, key, r.URL.RawQuery, body)
 	} else {
-		res, err = s.co.forwardRun(r.Context(), key, r.URL.RawQuery, body)
+		res, err = s.co.forwardRun(ctx, key, r.URL.RawQuery, body)
 	}
 	if err != nil {
+		root.Attr(telemetry.String("outcome", outcomeClass(err))).End()
 		s.writeForwardError(w, err)
 		return
 	}
+	root.Attr(telemetry.String("outcome", outcomeOK),
+		telemetry.Int("status", int64(res.status))).End()
 
 	node := res.nodeName()
+	// Retain the coordinator run under the qualified run id so the trace
+	// endpoint can stitch; first registration wins, so a coalesced replay
+	// never displaces the submit that actually routed.
+	if id := res.header.Get("X-Gspc-Run"); id != "" && node != "" {
+		s.co.traces.register(qualifyRun(id, node), run, node)
+	}
+
 	// A fresh synchronous result fans out to the key's ring successors
 	// so an owner failure later degrades to replica-served reads.
 	if sync && !res.coalesced && res.status == http.StatusOK &&
 		res.header.Get("X-Gspc-Cache") == "miss" && node != "" {
-		s.co.replicate(key, nreq.Experiment, res.header.Get("X-Gspc-Run"), res.body, node)
+		s.co.replicate(run, key, nreq.Experiment, res.header.Get("X-Gspc-Run"), res.body, node)
 	}
 
 	if res.status == http.StatusAccepted && node != "" {
@@ -213,6 +255,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		var ack map[string]string
 		if json.Unmarshal(res.body, &ack) == nil && ack["id"] != "" {
 			ack["id"] = qualifyRun(ack["id"], node)
+			s.co.traces.register(ack["id"], run, node)
 			w.Header().Set("Location", "/v1/runs/"+ack["id"])
 			for k, v := range relayHeaders(res.header) {
 				w.Header().Set(k, v)
@@ -225,31 +268,146 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
-	s.forwardRunSubpath(w, r, "")
-}
-
-func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
-	s.forwardRunSubpath(w, r, "/trace")
-}
-
-func (s *Server) forwardRunSubpath(w http.ResponseWriter, r *http.Request, suffix string) {
-	id, node, ok := splitRun(r.PathValue("id"))
+	id, node, ok := s.splitKnownRun(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound,
-			"cluster run ids look like run-000017@node; this one has no @node suffix")
-		return
-	}
-	if _, known := s.co.Member(node); !known {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown member %q", node))
 		return
 	}
 	s.co.statusReads.Add(1)
-	res, err := s.co.forwardQuery(r.Context(), node, "/v1/runs/"+id+suffix)
+	res, err := s.co.forwardQuery(r.Context(), node, "/v1/runs/"+id)
 	if err != nil {
 		s.writeForwardError(w, err)
 		return
 	}
 	s.relay(w, res, node)
+}
+
+// handleRunTrace serves a run's distributed trace. The member's exported
+// document is fetched as usual; when the coordinator still retains its
+// own run for the submit, the two are stitched into one Perfetto
+// document — coordinator spans on pid 1, member spans on pid 2, member
+// timestamps rebased through the clock-offset estimate. Otherwise the
+// member document is relayed unstitched (X-Gspc-Trace-Stitched: 0).
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	qualified := r.PathValue("id")
+	id, node, ok := s.splitKnownRun(w, r)
+	if !ok {
+		return
+	}
+	s.co.statusReads.Add(1)
+	res, err := s.co.forwardQuery(r.Context(), node, "/v1/runs/"+id+"/trace")
+	if err != nil {
+		s.writeForwardError(w, err)
+		return
+	}
+	if res.status != http.StatusOK {
+		s.relay(w, res, node)
+		return
+	}
+	entry, retained := s.co.traces.lookup(qualified)
+	if !retained {
+		s.co.traceFallbacks.Add(1)
+		w.Header().Set("X-Gspc-Trace-Stitched", "0")
+		s.relay(w, res, node)
+		return
+	}
+	m, _ := s.co.Member(node)
+	stitched, err := stitchTrace(entry.run, s.co.cfg.Name, node, res.body, m.offsets.Estimate())
+	if err != nil {
+		s.co.traceFallbacks.Add(1)
+		s.co.cfg.Logger.Warn("trace stitch failed, relaying member document",
+			"coordinator", s.co.cfg.Name, "run_id", qualified, "node", node,
+			"trace_id", entry.run.TraceID, "err", err)
+		w.Header().Set("X-Gspc-Trace-Stitched", "0")
+		s.relay(w, res, node)
+		return
+	}
+	s.co.tracesStitched.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Gspc-Trace-Stitched", "1")
+	w.Header().Set(service.HeaderTraceID, entry.run.TraceID)
+	w.WriteHeader(http.StatusOK)
+	w.Write(stitched)
+}
+
+// splitKnownRun parses {id} as a qualified run id and 404s unknown
+// shapes and members.
+func (s *Server) splitKnownRun(w http.ResponseWriter, r *http.Request) (id, node string, ok bool) {
+	id, node, ok = splitRun(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"cluster run ids look like run-000017@node; this one has no @node suffix")
+		return "", "", false
+	}
+	if _, known := s.co.Member(node); !known {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown member %q", node))
+		return "", "", false
+	}
+	return id, node, true
+}
+
+// handleEvents streams the cluster timeline as NDJSON, oldest first.
+// ?since=N resumes past a previously returned cursor (the
+// X-Gspc-Events-Cursor header carries the newest Seq); ?max=N caps the
+// batch.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var since int64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "since must be a non-negative integer cursor")
+			return
+		}
+		since = n
+	}
+	max := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "max must be a non-negative integer")
+			return
+		}
+		max = n
+	}
+	events, cursor := s.co.events.Since(since, max)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Gspc-Events-Cursor", strconv.FormatInt(cursor, 10))
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		enc.Encode(ev)
+	}
+}
+
+// handleDebug serves the coordinator flight recorder — recent routing
+// decisions, newest first — plus the tail of the cluster timeline, so
+// one curl answers "what has the coordinator been doing lately".
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	events, cursor := s.co.events.Since(0, 0)
+	const debugEventTail = 64
+	if len(events) > debugEventTail {
+		events = events[len(events)-debugEventTail:]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"coordinator":     s.co.cfg.Name,
+		"ring_generation": s.co.ringGeneration(),
+		"total_events":    s.co.flight.Total(),
+		"events":          s.co.flight.Events(),
+		"cluster_events":  events,
+		"events_cursor":   cursor,
+		"traces_retained": s.co.traces.len(),
+	})
+}
+
+// handleFederate serves the merged member metrics (node-labeled). 404
+// when federation is disabled, so a scraper fails loudly rather than
+// reading an empty page forever.
+func (s *Server) handleFederate(w http.ResponseWriter, r *http.Request) {
+	if s.co.cfg.DisableFederation {
+		writeError(w, http.StatusNotFound, "metrics federation is disabled on this coordinator")
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	w.Write(s.co.FederatedExposition())
 }
 
 // relayHeaders selects the response headers worth propagating from a

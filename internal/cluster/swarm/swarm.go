@@ -16,6 +16,13 @@
 //     concurrently through the coordinator simulates exactly once
 //     cluster-wide, proven by a per-key simulation counter inside the
 //     stub runner.
+//   - The observability plane is complete for acknowledged work: after
+//     quiesce, every acked run that reached done serves a stitched
+//     coordinator+member trace through the coordinator — both lanes
+//     present, timestamps clock-corrected and non-negative, no orphan
+//     spans when the member adopted the propagated trace id. A missing
+//     member trace is tolerated only when the schedule killed nodes (a
+//     job resubmitted from the WAL after a kill reruns untraced).
 //
 // The cmd/gspc-swarm binary wraps this package; TestSwarmChaos runs it
 // under -race in CI.
@@ -148,6 +155,13 @@ type Report struct {
 	Undrains    int   `json:"undrains"`
 	Proofs      int   `json:"coalescing_proofs"`
 	Simulations int   `json:"simulations"`
+	// Observability-plane completeness: TraceChecks counts acked runs
+	// that reached done and had their stitched trace validated at exit;
+	// TracesStitched those that came back stitched and well-formed;
+	// TracesMissing the member-side 404s (tolerated only under kills).
+	TraceChecks    int `json:"trace_checks,omitempty"`
+	TracesStitched int `json:"traces_stitched,omitempty"`
+	TracesMissing  int `json:"traces_missing,omitempty"`
 	// Soak-only fields.
 	SoakSeconds       float64 `json:"soak_seconds,omitempty"`
 	WeatherShifts     int     `json:"weather_shifts,omitempty"`
@@ -357,7 +371,7 @@ func (s *swarm) startNode(n *node) error {
 	}
 	e, err := service.NewEngine(service.Config{
 		Workers: 2, QueueDepth: 64, CacheEntries: 64, KeepFinished: 2048,
-		Run: s.runner, DataDir: n.dataDir, Logger: s.cfg.Logger, TraceEvery: -1,
+		Run: s.runner, DataDir: n.dataDir, Logger: s.cfg.Logger, TraceEvery: 1,
 		Governor: n.gov, SLO: s.slo,
 	})
 	if err != nil {
@@ -922,6 +936,79 @@ func (s *swarm) quiesce() {
 	for _, run := range s.acked {
 		if run.terminal != "" {
 			s.checkStatus(run, true)
+		}
+	}
+
+	s.checkTraces()
+}
+
+// checkTraces asserts observability-plane completeness over the quiesced
+// cluster: every acked run that reached done must serve a stitched
+// coordinator+member trace through the coordinator, with both lanes
+// present, clock-corrected non-negative timestamps, and zero orphan
+// spans when the member adopted the propagated trace id. A member-side
+// 404 is tolerated only when the schedule killed nodes — a job that was
+// queued in the WAL at kill time is resubmitted without its run handle
+// and completes untraced.
+func (s *swarm) checkTraces() {
+	for _, run := range s.acked {
+		if run.terminal != service.StatusDone {
+			continue
+		}
+		s.rep.TraceChecks++
+		resp, err := s.client.Get(s.coURL + "/v1/runs/" + run.id + "/trace")
+		if err != nil {
+			s.violate("trace %s: transport error: %v", run.id, err)
+			continue
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNotFound:
+			s.rep.TracesMissing++
+			if s.rep.Kills == 0 {
+				s.violate("run %s: done but trace missing with no kills in schedule", run.id)
+			}
+			continue
+		case resp.StatusCode != http.StatusOK:
+			s.violate("trace %s: unexpected status %d: %s", run.id, resp.StatusCode, b)
+			continue
+		}
+		if resp.Header.Get("X-Gspc-Trace-Stitched") != "1" {
+			// The coordinator never restarts in a swarm schedule and its
+			// registry outlives the op budget, so an unstitched relay
+			// means the plane lost a submit it acknowledged.
+			s.violate("run %s: trace served unstitched", run.id)
+			continue
+		}
+		var doc telemetry.TraceDoc
+		if err := json.Unmarshal(b, &doc); err != nil {
+			s.violate("trace %s: stitched body unparseable: %v", run.id, err)
+			continue
+		}
+		s.rep.TracesStitched++
+		if doc.OtherData["stitched"] != "true" {
+			s.violate("run %s: stitched trace lacks stitched marker", run.id)
+		}
+		lanes := map[int]bool{}
+		badTS := false
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph != "X" {
+				continue
+			}
+			lanes[ev.PID] = true
+			if ev.TS < 0 && !badTS {
+				badTS = true
+				s.violate("run %s: span %q at negative timestamp after clock correction", run.id, ev.Name)
+			}
+		}
+		if !lanes[1] || !lanes[2] {
+			s.violate("run %s: stitched trace missing a lane (coordinator=%v member=%v)",
+				run.id, lanes[1], lanes[2])
+		}
+		if doc.OtherData["adopted"] == "true" && doc.OtherData["orphan_spans"] != "0" {
+			s.violate("run %s: %s orphan member spans in adopted trace",
+				run.id, doc.OtherData["orphan_spans"])
 		}
 	}
 }

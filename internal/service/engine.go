@@ -413,7 +413,23 @@ func NewEngine(cfg Config) (*Engine, error) {
 // still queued whose every waiting caller has left is cancelled in
 // place instead of burning a worker for nobody.
 func (e *Engine) Do(ctx context.Context, req Request) (*Reply, error) {
-	job, rep, downgraded, err := e.submit(req, true)
+	return e.DoTraced(ctx, req, TraceHint{})
+}
+
+// TraceHint carries a distributed-trace identity inherited from an
+// upstream hop (the gspc-cluster coordinator). When TraceID is set and
+// tracing is not disabled, the job adopts it — and records ParentSpan —
+// instead of minting a fresh id, so the coordinator can stitch the
+// member's spans under its own forward attempt. A zero TraceHint is
+// exactly the untraced-upstream behavior.
+type TraceHint struct {
+	TraceID    string
+	ParentSpan string
+}
+
+// DoTraced is Do with an inherited trace identity.
+func (e *Engine) DoTraced(ctx context.Context, req Request, hint TraceHint) (*Reply, error) {
+	job, rep, downgraded, err := e.submit(req, true, hint)
 	if err != nil {
 		return nil, err
 	}
@@ -442,7 +458,12 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Reply, error) {
 // on the Reply (cache hit) or the Job (Downgraded, when this submission
 // created it).
 func (e *Engine) Submit(req Request) (*Job, *Reply, error) {
-	job, rep, downgraded, err := e.submit(req, false)
+	return e.SubmitTraced(req, TraceHint{})
+}
+
+// SubmitTraced is Submit with an inherited trace identity.
+func (e *Engine) SubmitTraced(req Request, hint TraceHint) (*Job, *Reply, error) {
+	job, rep, downgraded, err := e.submit(req, false, hint)
 	if rep != nil {
 		rep.Downgraded = downgraded
 	}
@@ -454,7 +475,7 @@ func (e *Engine) Submit(req Request) (*Job, *Reply, error) {
 // that order. The returned bool reports whether THIS submission was
 // downgraded to sampled fidelity by the ladder (a coalesced caller may
 // land on a job some earlier downgraded submission created).
-func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, bool, error) {
+func (e *Engine) submit(req Request, sync bool, hint TraceHint) (*Job, *Reply, bool, error) {
 	req, err := req.Normalize()
 	if err != nil {
 		return nil, nil, false, err
@@ -570,7 +591,14 @@ func (e *Engine) submit(req Request, sync bool) (*Job, *Reply, bool, error) {
 		g.Reserve(job.reserved)
 	}
 	if e.cfg.TraceEvery > 0 {
-		if e.traceSeq%int64(e.cfg.TraceEvery) == 0 {
+		if hint.TraceID != "" {
+			// An upstream hop already traced this request: adopt its id
+			// regardless of the sampling phase so the distributed trace is
+			// never cut at this hop, and remember which remote span caused
+			// the job for the coordinator's stitcher.
+			job.run = telemetry.NewRun(hint.TraceID, e.cfg.TraceMaxSpans)
+			job.run.ParentSpan = hint.ParentSpan
+		} else if e.traceSeq%int64(e.cfg.TraceEvery) == 0 {
 			job.run = telemetry.NewRun(telemetry.NewTraceID(), e.cfg.TraceMaxSpans)
 		}
 		e.traceSeq++

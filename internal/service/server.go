@@ -59,12 +59,49 @@ func NewServer(e *Engine) *Server {
 	return s
 }
 
+// Headers of the cluster observability plane, shared by gspcd and the
+// gspc-cluster coordinator. The trace pair propagates a distributed
+// trace identity downstream; the clock pair echoes this node's
+// receive/send timestamps (unix nanoseconds on its own clock) so the
+// caller can estimate the clock offset NTP-style and stitch traces with
+// corrected timestamps.
+const (
+	HeaderTraceID    = "X-Gspc-Trace-Id"
+	HeaderParentSpan = "X-Gspc-Parent-Span"
+	HeaderRecvNs     = "X-Gspc-Recv-Ns"
+	HeaderSentNs     = "X-Gspc-Sent-Ns"
+)
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.NodeName != "" {
 		w.Header().Set("X-Gspc-Node", s.NodeName)
 	}
-	s.mux.ServeHTTP(w, r)
+	w.Header().Set(HeaderRecvNs, strconv.FormatInt(time.Now().UnixNano(), 10))
+	s.mux.ServeHTTP(&clockEchoWriter{ResponseWriter: w}, r)
+}
+
+// clockEchoWriter stamps X-Gspc-Sent-Ns as late as possible — at the
+// moment the header section is flushed — so the echoed send timestamp
+// excludes as little of the node's processing time as we can manage.
+type clockEchoWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (c *clockEchoWriter) WriteHeader(code int) {
+	if !c.wrote {
+		c.wrote = true
+		c.Header().Set(HeaderSentNs, strconv.FormatInt(time.Now().UnixNano(), 10))
+	}
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *clockEchoWriter) Write(b []byte) (int, error) {
+	if !c.wrote {
+		c.WriteHeader(http.StatusOK)
+	}
+	return c.ResponseWriter.Write(b)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -218,11 +255,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "result not cached on this node")
 		return
 	}
+	hint := TraceHint{
+		TraceID:    r.Header.Get(HeaderTraceID),
+		ParentSpan: r.Header.Get(HeaderParentSpan),
+	}
 	if r.URL.Query().Get("wait") == "0" {
-		s.handleRunAsync(w, req)
+		s.handleRunAsync(w, req, hint)
 		return
 	}
-	rep, err := s.engine.Do(r.Context(), req)
+	rep, err := s.engine.DoTraced(r.Context(), req, hint)
 	if err != nil {
 		s.writeEngineError(w, r, err)
 		return
@@ -232,8 +273,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 // handleRunAsync queues the job and returns 202 with its id; a cache hit
 // still returns the result immediately.
-func (s *Server) handleRunAsync(w http.ResponseWriter, req Request) {
-	job, rep, err := s.engine.Submit(req)
+func (s *Server) handleRunAsync(w http.ResponseWriter, req Request, hint TraceHint) {
+	job, rep, err := s.engine.SubmitTraced(req, hint)
 	if err != nil {
 		s.writeEngineErrorNoCtx(w, err)
 		return

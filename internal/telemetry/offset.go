@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// OffsetEstimator estimates the clock offset of one remote node from
+// request-time timestamp echoes, NTP-style. Each exchange yields four
+// timestamps:
+//
+//	t0  local send       (coordinator clock)
+//	t1  remote receive   (member clock, echoed in X-Gspc-Recv-Ns)
+//	t2  remote send      (member clock, echoed in X-Gspc-Sent-Ns)
+//	t3  local receive    (coordinator clock)
+//
+// offset θ = ((t1−t0)+(t2−t3))/2 estimates remote−local; its error is
+// bounded by half the round-trip delay δ = (t3−t0)−(t2−t1), with the
+// bound tight only when the network is symmetric. Smoothing therefore
+// keeps a sliding window of recent samples and reports the offset of
+// the minimum-delay sample: low-delay exchanges bound the asymmetry
+// error most tightly, and a window (rather than an all-time minimum)
+// lets the estimate track drift and step changes.
+//
+// All methods are safe for concurrent use and nil-safe.
+type OffsetEstimator struct {
+	mu      sync.Mutex
+	window  []offsetSample // ring, oldest overwritten
+	next    int
+	filled  int
+	samples int64
+}
+
+type offsetSample struct {
+	offset time.Duration
+	delay  time.Duration
+}
+
+// DefaultOffsetWindow is the sliding-window size used when
+// NewOffsetEstimator is given a non-positive capacity. At the cluster's
+// default 2s health cadence this spans ~30s of samples — long enough to
+// catch a quiet-network exchange, short enough to track drift.
+const DefaultOffsetWindow = 16
+
+// NewOffsetEstimator builds an estimator with a sliding window of n
+// samples (<= 0 selects DefaultOffsetWindow).
+func NewOffsetEstimator(n int) *OffsetEstimator {
+	if n <= 0 {
+		n = DefaultOffsetWindow
+	}
+	return &OffsetEstimator{window: make([]offsetSample, n)}
+}
+
+// Update folds one timestamp exchange into the window. Exchanges with a
+// non-positive delay (clock steps mid-exchange, duplicated echoes) are
+// rejected: their error bound is meaningless.
+func (o *OffsetEstimator) Update(t0, t1, t2, t3 time.Time) {
+	if o == nil {
+		return
+	}
+	delay := t3.Sub(t0) - t2.Sub(t1)
+	if delay <= 0 {
+		return
+	}
+	offset := (t1.Sub(t0) + t2.Sub(t3)) / 2
+	o.mu.Lock()
+	o.window[o.next] = offsetSample{offset: offset, delay: delay}
+	o.next = (o.next + 1) % len(o.window)
+	if o.filled < len(o.window) {
+		o.filled++
+	}
+	o.samples++
+	o.mu.Unlock()
+}
+
+// OffsetEstimate is the current best guess of the remote clock offset.
+type OffsetEstimate struct {
+	// Offset is remote−local: add it to a local timestamp to express it
+	// on the remote clock, subtract it from a remote timestamp to bring
+	// it onto the local clock.
+	Offset time.Duration
+	// Delay is the round-trip delay of the sample the estimate came
+	// from; the offset error is bounded by Delay/2.
+	Delay time.Duration
+	// Samples counts exchanges folded in over the estimator's lifetime.
+	Samples int64
+}
+
+// Estimate returns the minimum-delay sample in the window. The zero
+// OffsetEstimate (Samples == 0) means no usable exchange has happened;
+// callers should then treat the remote clock as unsynchronized.
+func (o *OffsetEstimator) Estimate() OffsetEstimate {
+	if o == nil {
+		return OffsetEstimate{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.filled == 0 {
+		return OffsetEstimate{}
+	}
+	best := o.window[0]
+	for _, s := range o.window[1:o.filled] {
+		if s.delay < best.delay {
+			best = s
+		}
+	}
+	return OffsetEstimate{Offset: best.offset, Delay: best.delay, Samples: o.samples}
+}

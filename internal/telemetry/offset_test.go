@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeExchange synthesizes the four timestamps of one request/response
+// given a member clock skew and one-way latencies. The member observes
+// coordinator time + skew.
+func fakeExchange(base time.Time, skew, outLat, backLat, remoteWork time.Duration) (t0, t1, t2, t3 time.Time) {
+	t0 = base
+	t1 = base.Add(outLat).Add(skew)
+	t2 = t1.Add(remoteWork)
+	t3 = base.Add(outLat).Add(remoteWork).Add(backLat)
+	return
+}
+
+func TestOffsetEstimatorRecoversSkew(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	skew := 250 * time.Millisecond // member clock runs fast
+	o := NewOffsetEstimator(8)
+	// Symmetric latency: the estimate should recover the skew exactly.
+	for i := 0; i < 5; i++ {
+		t0, t1, t2, t3 := fakeExchange(base.Add(time.Duration(i)*time.Second), skew,
+			2*time.Millisecond, 2*time.Millisecond, time.Millisecond)
+		o.Update(t0, t1, t2, t3)
+	}
+	est := o.Estimate()
+	if est.Samples != 5 {
+		t.Fatalf("samples = %d, want 5", est.Samples)
+	}
+	if est.Offset != skew {
+		t.Errorf("offset = %s, want %s (symmetric path recovers skew exactly)", est.Offset, skew)
+	}
+	if est.Delay != 4*time.Millisecond {
+		t.Errorf("delay = %s, want 4ms", est.Delay)
+	}
+}
+
+func TestOffsetEstimatorNegativeSkew(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	skew := -3 * time.Second // member clock runs behind
+	o := NewOffsetEstimator(0)
+	t0, t1, t2, t3 := fakeExchange(base, skew, time.Millisecond, time.Millisecond, 500*time.Microsecond)
+	o.Update(t0, t1, t2, t3)
+	if est := o.Estimate(); est.Offset != skew {
+		t.Errorf("offset = %s, want %s", est.Offset, skew)
+	}
+}
+
+// TestOffsetEstimatorAsymmetricLatencyBound checks the NTP error model:
+// with asymmetric one-way latencies the estimate is off by the
+// asymmetry/2, which is always within ±delay/2.
+func TestOffsetEstimatorAsymmetricLatencyBound(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	skew := 100 * time.Millisecond
+	out, back := 9*time.Millisecond, 1*time.Millisecond // heavy asymmetry
+	o := NewOffsetEstimator(8)
+	t0, t1, t2, t3 := fakeExchange(base, skew, out, back, time.Millisecond)
+	o.Update(t0, t1, t2, t3)
+	est := o.Estimate()
+	err := est.Offset - skew
+	if err < 0 {
+		err = -err
+	}
+	if half := est.Delay / 2; err > half {
+		t.Errorf("offset error %s exceeds delay/2 = %s", err, half)
+	}
+	// Exact expected error: (out-back)/2 = 4ms.
+	if want := skew + (out-back)/2; est.Offset != want {
+		t.Errorf("offset = %s, want %s", est.Offset, want)
+	}
+}
+
+// TestOffsetEstimatorPrefersLowDelay checks the smoothing rule: the
+// minimum-delay sample in the window wins, so one quiet-network
+// exchange overrides many congested (and therefore badly-bounded) ones.
+func TestOffsetEstimatorPrefersLowDelay(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	skew := 50 * time.Millisecond
+	o := NewOffsetEstimator(8)
+	// Congested, asymmetric exchanges with large error.
+	for i := 0; i < 4; i++ {
+		t0, t1, t2, t3 := fakeExchange(base.Add(time.Duration(i)*time.Second), skew,
+			40*time.Millisecond, 2*time.Millisecond, time.Millisecond)
+		o.Update(t0, t1, t2, t3)
+	}
+	// One clean symmetric exchange.
+	t0, t1, t2, t3 := fakeExchange(base.Add(10*time.Second), skew,
+		time.Millisecond, time.Millisecond, time.Millisecond)
+	o.Update(t0, t1, t2, t3)
+	if est := o.Estimate(); est.Offset != skew {
+		t.Errorf("offset = %s, want %s (min-delay sample should win)", est.Offset, skew)
+	}
+}
+
+// TestOffsetEstimatorWindowSlides checks that old samples age out: after
+// the window turns over, a step change in skew is fully adopted.
+func TestOffsetEstimatorWindowSlides(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	o := NewOffsetEstimator(4)
+	for i := 0; i < 4; i++ {
+		t0, t1, t2, t3 := fakeExchange(base.Add(time.Duration(i)*time.Second), 10*time.Millisecond,
+			time.Millisecond, time.Millisecond, time.Millisecond)
+		o.Update(t0, t1, t2, t3)
+	}
+	// Clock steps: fill the whole window with the new skew.
+	for i := 4; i < 8; i++ {
+		t0, t1, t2, t3 := fakeExchange(base.Add(time.Duration(i)*time.Second), 90*time.Millisecond,
+			time.Millisecond, time.Millisecond, time.Millisecond)
+		o.Update(t0, t1, t2, t3)
+	}
+	if est := o.Estimate(); est.Offset != 90*time.Millisecond {
+		t.Errorf("offset = %s, want 90ms after window turnover", est.Offset)
+	}
+}
+
+func TestOffsetEstimatorRejectsNonPositiveDelay(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	o := NewOffsetEstimator(4)
+	// Remote claims more processing time than the whole round trip took.
+	o.Update(base, base, base.Add(10*time.Millisecond), base.Add(time.Millisecond))
+	if est := o.Estimate(); est.Samples != 0 {
+		t.Errorf("samples = %d, want 0 (non-positive delay rejected)", est.Samples)
+	}
+}
+
+func TestOffsetEstimatorNilSafe(t *testing.T) {
+	var o *OffsetEstimator
+	o.Update(time.Now(), time.Now(), time.Now(), time.Now())
+	if est := o.Estimate(); est.Samples != 0 || est.Offset != 0 {
+		t.Error("nil estimator reported state")
+	}
+}

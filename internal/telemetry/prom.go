@@ -201,5 +201,32 @@ func (e *Exposition) Histogram(name, help string, s HistogramSnapshot) {
 	fmt.Fprintf(&e.b, "%s_count %d\n", name, s.Count)
 }
 
+// HistogramVec writes one histogram family with a fixed label dimension:
+// for each label value (sorted, so the exposition is deterministic) the
+// cumulative _bucket series, then _sum and _count carrying the same
+// label. Cardinality is bounded by the caller passing a fixed key set —
+// there is no dynamic registration.
+func (e *Exposition) HistogramVec(name, help, label string, snaps map[string]HistogramSnapshot) {
+	e.header(name, "histogram", help)
+	keys := make([]string, 0, len(snaps))
+	for k := range snaps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := snaps[k]
+		lv := escapeLabel(k)
+		for i, c := range s.Counts {
+			le := "+Inf"
+			if i < len(s.Bounds) {
+				le = formatValue(s.Bounds[i])
+			}
+			fmt.Fprintf(&e.b, "%s_bucket{%s=\"%s\",le=%q} %d\n", name, label, lv, le, c)
+		}
+		fmt.Fprintf(&e.b, "%s_sum{%s=\"%s\"} %s\n", name, label, lv, formatValue(s.Sum))
+		fmt.Fprintf(&e.b, "%s_count{%s=\"%s\"} %d\n", name, label, lv, s.Count)
+	}
+}
+
 // Bytes returns the accumulated exposition.
 func (e *Exposition) Bytes() []byte { return e.b.Bytes() }

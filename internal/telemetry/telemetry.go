@@ -55,6 +55,11 @@ type Run struct {
 	// TraceID identifies the run across logs, job status, and the
 	// exported trace.
 	TraceID string
+	// ParentSpan, when non-empty, names the remote span that caused this
+	// run (a coordinator forward attempt). It must be set before the run
+	// is shared across goroutines; the trace stitcher uses it to attach
+	// the member's span set under the right coordinator attempt.
+	ParentSpan string
 
 	anchor  time.Time
 	slots   []SpanRecord

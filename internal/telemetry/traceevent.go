@@ -59,6 +59,12 @@ func (r *Run) Export(meta map[string]string) *TraceDoc {
 	}
 	if r != nil {
 		doc.OtherData["trace_id"] = r.TraceID
+		// The absolute anchor lets a remote stitcher rebase these relative
+		// timestamps onto its own clock (after offset correction).
+		doc.OtherData["anchor_unix_ns"] = strconv.FormatInt(r.anchor.UnixNano(), 10)
+		if r.ParentSpan != "" {
+			doc.OtherData["parent_span"] = r.ParentSpan
+		}
 		if d := r.Dropped(); d > 0 {
 			doc.OtherData["dropped_spans"] = strconv.FormatInt(d, 10)
 		}
